@@ -1,0 +1,327 @@
+//! The MRSE baseline of Cao et al. (INFOCOM 2011), built on the secure kNN technique.
+//!
+//! The scheme works over a fixed dictionary of `n` keywords:
+//!
+//! * **Key**: a random split bit-string `S` of length `n + 2` and two random invertible
+//!   `(n+2)×(n+2)` matrices `M₁`, `M₂`.
+//! * **Index** (per document): the binary indicator vector `p` over the dictionary is extended
+//!   to `p̃ = (p, ε, 1)` with a small random `ε`; `p̃` is split into `(p̃', p̃'')` according to
+//!   `S` (copied where `S_i = 1`, randomly shared where `S_i = 0`) and encrypted as
+//!   `I = (M₁ᵀ p̃', M₂ᵀ p̃'')`.
+//! * **Trapdoor** (per query): the indicator vector `q` is extended to `q̃ = (r·q, r, t)` with
+//!   random `r > 0` and `t`; split with the *complementary* convention and encrypted as
+//!   `T = (M₁⁻¹ q̃', M₂⁻¹ q̃'')`.
+//! * **Scoring**: the server computes `I · T = p̃ · q̃ = r·(p·q + ε) + t`, which preserves the
+//!   ranking by the number of matched keywords `p·q` (up to the `ε` noise).
+//!
+//! The cost profile is what the paper's §8.1 comparison measures: index generation and
+//! trapdoor generation each cost two `(n+2)×(n+2)` matrix-vector products (`O(n²)`), and
+//! scoring one document costs `O(n)` — versus `O(r)`-bit operations for MKSE.
+
+use mkse_linalg::matrix::Matrix;
+use mkse_linalg::vector::dot;
+use mkse_textproc::dictionary::Dictionary;
+use rand::Rng;
+
+/// The MRSE secret key: split vector and the two invertible matrices (with their inverses
+/// precomputed, since trapdoor generation needs them).
+pub struct MrseKey {
+    split: Vec<bool>,
+    m1_t: Matrix,
+    m2_t: Matrix,
+    m1_inv: Matrix,
+    m2_inv: Matrix,
+}
+
+impl MrseKey {
+    /// Dimension of the extended vectors (`n + 2`).
+    pub fn dimension(&self) -> usize {
+        self.split.len()
+    }
+}
+
+/// An encrypted document index: the two encrypted shares of the extended indicator vector.
+#[derive(Clone, Debug)]
+pub struct MrseIndex {
+    /// The document this index belongs to.
+    pub document_id: u64,
+    share1: Vec<f64>,
+    share2: Vec<f64>,
+}
+
+/// An encrypted query trapdoor.
+#[derive(Clone, Debug)]
+pub struct MrseTrapdoor {
+    share1: Vec<f64>,
+    share2: Vec<f64>,
+}
+
+/// The MRSE scheme instance over a fixed dictionary.
+pub struct MrseScheme {
+    dictionary: Dictionary,
+    /// Magnitude of the per-document randomization term ε (the paper's precision/privacy
+    /// trade-off parameter; small values keep the ranking faithful).
+    epsilon_magnitude: f64,
+}
+
+impl MrseScheme {
+    /// Create a scheme over `dictionary` with a small default ε magnitude (0.01).
+    pub fn new(dictionary: Dictionary) -> Self {
+        MrseScheme {
+            dictionary,
+            epsilon_magnitude: 0.01,
+        }
+    }
+
+    /// Override the ε magnitude (0 disables index randomization entirely).
+    pub fn with_epsilon(mut self, epsilon_magnitude: f64) -> Self {
+        self.epsilon_magnitude = epsilon_magnitude;
+        self
+    }
+
+    /// The dictionary this scheme indexes against.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dictionary
+    }
+
+    /// Extended vector dimension `n + 2`.
+    pub fn dimension(&self) -> usize {
+        self.dictionary.len() + 2
+    }
+
+    /// Generate the secret key: the split string and two random invertible matrices.
+    ///
+    /// This is the expensive setup step (two `O(n³)` inversions); the paper's point is that
+    /// even the *per-document* cost afterwards is `O(n²)`.
+    pub fn generate_key<R: Rng + ?Sized>(&self, rng: &mut R) -> MrseKey {
+        let dim = self.dimension();
+        let split: Vec<bool> = (0..dim).map(|_| rng.gen_bool(0.5)).collect();
+        let m1 = Matrix::random_invertible(dim, rng);
+        let m2 = Matrix::random_invertible(dim, rng);
+        let m1_inv = m1.inverse().expect("matrix generated invertible");
+        let m2_inv = m2.inverse().expect("matrix generated invertible");
+        MrseKey {
+            split,
+            m1_t: m1.transpose(),
+            m2_t: m2.transpose(),
+            m1_inv,
+            m2_inv,
+        }
+    }
+
+    /// Build the extended indicator vector `p̃ = (p, ε, 1)` for a set of keywords.
+    fn extend_index_vector<R: Rng + ?Sized>(&self, keywords: &[&str], rng: &mut R) -> Vec<f64> {
+        let mut v = self.dictionary.indicator_vector(keywords);
+        let epsilon = if self.epsilon_magnitude > 0.0 {
+            rng.gen_range(-self.epsilon_magnitude..self.epsilon_magnitude)
+        } else {
+            0.0
+        };
+        v.push(epsilon);
+        v.push(1.0);
+        v
+    }
+
+    /// Build the extended query vector `q̃ = (r·q, r, t)`.
+    fn extend_query_vector<R: Rng + ?Sized>(&self, keywords: &[&str], rng: &mut R) -> (Vec<f64>, f64, f64) {
+        let q = self.dictionary.indicator_vector(keywords);
+        let r: f64 = rng.gen_range(0.5..2.0);
+        let t: f64 = rng.gen_range(-1.0..1.0);
+        let mut v: Vec<f64> = q.iter().map(|x| x * r).collect();
+        v.push(r);
+        v.push(t);
+        (v, r, t)
+    }
+
+    /// Split a vector into two shares. For **index** vectors: positions where `split = true`
+    /// are copied into both shares, positions where `split = false` are randomly shared.
+    /// For **query** vectors the convention is reversed (`invert = true`).
+    fn split_vector<R: Rng + ?Sized>(
+        &self,
+        v: &[f64],
+        key: &MrseKey,
+        invert: bool,
+        rng: &mut R,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let mut a = vec![0.0; v.len()];
+        let mut b = vec![0.0; v.len()];
+        for i in 0..v.len() {
+            let copy_here = key.split[i] ^ invert;
+            if copy_here {
+                a[i] = v[i];
+                b[i] = v[i];
+            } else {
+                let share: f64 = rng.gen_range(-1.0..1.0);
+                a[i] = v[i] / 2.0 + share;
+                b[i] = v[i] / 2.0 - share;
+            }
+        }
+        (a, b)
+    }
+
+    /// Encrypt a document's keyword set into an [`MrseIndex`]. Cost: two `(n+2)²`
+    /// matrix-vector products.
+    pub fn build_index<R: Rng + ?Sized>(
+        &self,
+        key: &MrseKey,
+        document_id: u64,
+        keywords: &[&str],
+        rng: &mut R,
+    ) -> MrseIndex {
+        let extended = self.extend_index_vector(keywords, rng);
+        let (p1, p2) = self.split_vector(&extended, key, false, rng);
+        MrseIndex {
+            document_id,
+            share1: key.m1_t.matvec(&p1).expect("dimensions fixed by scheme"),
+            share2: key.m2_t.matvec(&p2).expect("dimensions fixed by scheme"),
+        }
+    }
+
+    /// Encrypt a query into an [`MrseTrapdoor`]. Cost: two `(n+2)²` matrix-vector products.
+    pub fn trapdoor<R: Rng + ?Sized>(
+        &self,
+        key: &MrseKey,
+        keywords: &[&str],
+        rng: &mut R,
+    ) -> MrseTrapdoor {
+        let (extended, _r, _t) = self.extend_query_vector(keywords, rng);
+        let (q1, q2) = self.split_vector(&extended, key, true, rng);
+        MrseTrapdoor {
+            share1: key.m1_inv.matvec(&q1).expect("dimensions fixed by scheme"),
+            share2: key.m2_inv.matvec(&q2).expect("dimensions fixed by scheme"),
+        }
+    }
+
+    /// Server-side similarity score of one document against a trapdoor:
+    /// `I·T = r·(p·q + ε) + t`.
+    pub fn score(&self, index: &MrseIndex, trapdoor: &MrseTrapdoor) -> f64 {
+        dot(&index.share1, &trapdoor.share1) + dot(&index.share2, &trapdoor.share2)
+    }
+
+    /// Rank all documents by score (descending) and return the top `k` as
+    /// `(document_id, score)` pairs.
+    pub fn search(&self, indices: &[MrseIndex], trapdoor: &MrseTrapdoor, k: usize) -> Vec<(u64, f64)> {
+        let mut scored: Vec<(u64, f64)> = indices
+            .iter()
+            .map(|idx| (idx.document_id, self.score(idx, trapdoor)))
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_scheme() -> (MrseScheme, MrseKey, StdRng) {
+        let dict = Dictionary::from_words((0..20).map(|i| format!("word{i}")));
+        let scheme = MrseScheme::new(dict).with_epsilon(0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = scheme.generate_key(&mut rng);
+        (scheme, key, rng)
+    }
+
+    #[test]
+    fn dimension_is_dictionary_plus_two() {
+        let (scheme, key, _) = small_scheme();
+        assert_eq!(scheme.dimension(), 22);
+        assert_eq!(key.dimension(), 22);
+        assert_eq!(scheme.dictionary().len(), 20);
+    }
+
+    #[test]
+    fn score_recovers_scaled_inner_product() {
+        // With ε = 0: score = r·(p·q) + t, so for two documents scored against the SAME
+        // trapdoor, the difference in scores is r·(difference in matched keyword counts) —
+        // i.e. the ranking by matched count is preserved exactly.
+        let (scheme, key, mut rng) = small_scheme();
+        let idx_two_matches = scheme.build_index(&key, 0, &["word1", "word2", "word9"], &mut rng);
+        let idx_one_match = scheme.build_index(&key, 1, &["word1", "word15"], &mut rng);
+        let idx_no_match = scheme.build_index(&key, 2, &["word17", "word18"], &mut rng);
+        let trapdoor = scheme.trapdoor(&key, &["word1", "word2"], &mut rng);
+
+        let s2 = scheme.score(&idx_two_matches, &trapdoor);
+        let s1 = scheme.score(&idx_one_match, &trapdoor);
+        let s0 = scheme.score(&idx_no_match, &trapdoor);
+        assert!(s2 > s1 + 1e-6, "s2={s2}, s1={s1}");
+        assert!(s1 > s0 + 1e-6, "s1={s1}, s0={s0}");
+        // The gaps are both exactly r (one extra matching keyword each).
+        assert!(((s2 - s1) - (s1 - s0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn search_returns_documents_in_relevance_order() {
+        let (scheme, key, mut rng) = small_scheme();
+        let indices = vec![
+            scheme.build_index(&key, 10, &["word0"], &mut rng),
+            scheme.build_index(&key, 11, &["word0", "word1"], &mut rng),
+            scheme.build_index(&key, 12, &["word0", "word1", "word2"], &mut rng),
+            scheme.build_index(&key, 13, &["word19"], &mut rng),
+        ];
+        let trapdoor = scheme.trapdoor(&key, &["word0", "word1", "word2"], &mut rng);
+        let top = scheme.search(&indices, &trapdoor, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 12);
+        assert_eq!(top[1].0, 11);
+        assert_eq!(top[2].0, 10);
+    }
+
+    #[test]
+    fn unknown_keywords_are_ignored() {
+        let (scheme, key, mut rng) = small_scheme();
+        let idx = scheme.build_index(&key, 0, &["word3", "not-in-dictionary"], &mut rng);
+        let td_known = scheme.trapdoor(&key, &["word3"], &mut rng);
+        let td_unknown = scheme.trapdoor(&key, &["also-unknown"], &mut rng);
+        assert!(scheme.score(&idx, &td_known) > scheme.score(&idx, &td_unknown));
+    }
+
+    #[test]
+    fn encrypted_shares_hide_the_indicator_vector() {
+        // The encrypted index must not simply contain the 0/1 indicator pattern.
+        let (scheme, key, mut rng) = small_scheme();
+        let idx = scheme.build_index(&key, 0, &["word5"], &mut rng);
+        let binary_like = idx
+            .share1
+            .iter()
+            .filter(|v| (v.abs() < 1e-9) || ((v.abs() - 1.0).abs() < 1e-9))
+            .count();
+        assert!(binary_like < idx.share1.len() / 2);
+    }
+
+    #[test]
+    fn epsilon_randomizes_repeated_indexing() {
+        let dict = Dictionary::from_words((0..10).map(|i| format!("w{i}")));
+        let scheme = MrseScheme::new(dict).with_epsilon(0.5);
+        let mut rng = StdRng::seed_from_u64(9);
+        let key = scheme.generate_key(&mut rng);
+        let a = scheme.build_index(&key, 0, &["w1"], &mut rng);
+        let b = scheme.build_index(&key, 0, &["w1"], &mut rng);
+        let td = scheme.trapdoor(&key, &["w1"], &mut rng);
+        // Same document indexed twice gives different scores (the ε noise)…
+        assert!((scheme.score(&a, &td) - scheme.score(&b, &td)).abs() > 1e-9);
+        // …but both stay within ε·r of each other.
+        assert!((scheme.score(&a, &td) - scheme.score(&b, &td)).abs() < 2.5);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn prop_more_matching_keywords_never_scores_lower(seed in 0u64..u64::MAX) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let dict = Dictionary::from_words((0..12).map(|i| format!("w{i}")));
+            let scheme = MrseScheme::new(dict).with_epsilon(0.0);
+            let key = scheme.generate_key(&mut rng);
+            // Document A contains a strict superset of document B's matching keywords.
+            let idx_superset = scheme.build_index(&key, 0, &["w0", "w1", "w2"], &mut rng);
+            let idx_subset = scheme.build_index(&key, 1, &["w0"], &mut rng);
+            let td = scheme.trapdoor(&key, &["w0", "w1", "w2"], &mut rng);
+            prop_assert!(scheme.score(&idx_superset, &td) > scheme.score(&idx_subset, &td));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Ranking-agreement metrics.
+//!
+//! §5 reports the quality of the MKSE level-based ranking against the Eq. (4) reference as
+//! three statistics over repeated trials: how often the reference's top match appears as the
+//! MKSE top match (40%), how often it appears in MKSE's top 3 (100%), and how often at least 4
+//! of the reference's top 5 appear in MKSE's top 5 (80%). These helpers compute the per-trial
+//! ingredients; the experiment binary aggregates them.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of elements of `reference`'s first `k` that also appear in `candidate`'s first `k`.
+pub fn top_k_overlap(reference: &[u64], candidate: &[u64], k: usize) -> usize {
+    let ref_top: Vec<u64> = reference.iter().take(k).copied().collect();
+    let cand_top: Vec<u64> = candidate.iter().take(k).copied().collect();
+    ref_top.iter().filter(|id| cand_top.contains(id)).count()
+}
+
+/// True if `reference`'s single top element appears within `candidate`'s first `k`.
+pub fn top_k_containment(reference: &[u64], candidate: &[u64], k: usize) -> bool {
+    match reference.first() {
+        None => false,
+        Some(top) => candidate.iter().take(k).any(|id| id == top),
+    }
+}
+
+/// Aggregated comparison between a reference ranking method and a candidate over many trials.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RankingComparison {
+    /// Number of trials recorded.
+    pub trials: usize,
+    /// Trials where the reference top-1 was also the candidate top-1.
+    pub top1_agreement: usize,
+    /// Trials where the reference top-1 was within the candidate's top 3.
+    pub top1_in_top3: usize,
+    /// Trials where at least 4 of the reference's top 5 were within the candidate's top 5.
+    pub four_of_top5: usize,
+}
+
+impl RankingComparison {
+    /// Start an empty comparison.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one trial given both methods' ranked id lists (best first).
+    pub fn record(&mut self, reference: &[u64], candidate: &[u64]) {
+        self.trials += 1;
+        if top_k_containment(reference, candidate, 1) {
+            self.top1_agreement += 1;
+        }
+        if top_k_containment(reference, candidate, 3) {
+            self.top1_in_top3 += 1;
+        }
+        if top_k_overlap(reference, candidate, 5) >= 4 {
+            self.four_of_top5 += 1;
+        }
+    }
+
+    /// Fraction of trials with exact top-1 agreement (the paper reports ≈ 40%).
+    pub fn top1_agreement_rate(&self) -> f64 {
+        self.rate(self.top1_agreement)
+    }
+
+    /// Fraction of trials where the reference top-1 is in the candidate top 3 (paper: 100%).
+    pub fn top1_in_top3_rate(&self) -> f64 {
+        self.rate(self.top1_in_top3)
+    }
+
+    /// Fraction of trials where ≥ 4 of the reference top 5 are in the candidate top 5
+    /// (paper: ≈ 80%).
+    pub fn four_of_top5_rate(&self) -> f64 {
+        self.rate(self.four_of_top5)
+    }
+
+    fn rate(&self, count: usize) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            count as f64 / self.trials as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_counts_common_prefix_members() {
+        let a = vec![1, 2, 3, 4, 5];
+        let b = vec![5, 4, 9, 2, 1];
+        assert_eq!(top_k_overlap(&a, &b, 5), 4);
+        assert_eq!(top_k_overlap(&a, &b, 1), 0);
+        assert_eq!(top_k_overlap(&a, &b, 2), 0); // {1,2} vs {5,4} share nothing
+        assert_eq!(top_k_overlap(&a, &b, 4), 2); // {1,2,3,4} vs {5,4,9,2} share {2,4}
+    }
+
+    #[test]
+    fn overlap_edge_cases() {
+        assert_eq!(top_k_overlap(&[], &[1, 2], 3), 0);
+        assert_eq!(top_k_overlap(&[1, 2], &[], 3), 0);
+        assert_eq!(top_k_overlap(&[1, 2], &[1, 2], 10), 2);
+    }
+
+    #[test]
+    fn containment_checks_reference_top_element() {
+        assert!(top_k_containment(&[7, 1], &[3, 7, 9], 3));
+        assert!(!top_k_containment(&[7, 1], &[3, 7, 9], 1));
+        assert!(!top_k_containment(&[], &[1], 3));
+        assert!(!top_k_containment(&[5], &[], 3));
+    }
+
+    #[test]
+    fn comparison_accumulates_rates() {
+        let mut cmp = RankingComparison::new();
+        // Trial 1: perfect agreement.
+        cmp.record(&[1, 2, 3, 4, 5], &[1, 2, 3, 4, 5]);
+        // Trial 2: top-1 only in top-3; top-5 overlap is 4.
+        cmp.record(&[1, 2, 3, 4, 5], &[2, 3, 1, 4, 9]);
+        // Trial 3: complete disagreement.
+        cmp.record(&[1, 2, 3, 4, 5], &[6, 7, 8, 9, 10]);
+        assert_eq!(cmp.trials, 3);
+        assert!((cmp.top1_agreement_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cmp.top1_in_top3_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cmp.four_of_top5_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_comparison_reports_zero_rates() {
+        let cmp = RankingComparison::new();
+        assert_eq!(cmp.top1_agreement_rate(), 0.0);
+        assert_eq!(cmp.top1_in_top3_rate(), 0.0);
+        assert_eq!(cmp.four_of_top5_rate(), 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The shared-hash baseline (Wang et al., WISA 2009) and the §4.1 brute-force attack on it.
+//!
+//! Wang et al.'s common-secure-index scheme is the *indexing mechanism* MKSE adopts (bit
+//! indices, bitwise products, Eq. 3 matching), but with one crucial difference: every
+//! authorized user shares a single secret hash function. §4.1 argues that once that hash leaks
+//! to the server, the whole keyword space can be brute-forced — "approximately 2²⁷ trials will
+//! be sufficient" for a two-keyword query over a 25 000-word dictionary — whereas MKSE's
+//! per-bin secret keys held only by the data owner remove that attack surface.
+//!
+//! [`SharedHashScheme`] implements the baseline (a thin wrapper over the same keyword-index
+//! machinery, keyed with a *public* constant), and [`BruteForceAttack`] implements the keyword
+//! recovery attack so experiment E11 can measure it.
+
+use mkse_core::bitindex::BitIndex;
+use mkse_core::keyword::keyword_index;
+use mkse_core::params::SystemParams;
+use mkse_textproc::dictionary::Dictionary;
+
+/// The hash key every user shares in the Wang et al. model. It is a constant precisely to
+/// model "the server has learned the shared secret" — the situation §4.1's attack assumes.
+pub const SHARED_HASH_KEY: &[u8] = b"wang-et-al-common-secure-index-shared-hash";
+
+/// The Wang et al. conjunctive-search baseline: identical index algebra to MKSE, but keyed
+/// with a single shared hash function instead of per-bin owner-held secrets.
+pub struct SharedHashScheme {
+    params: SystemParams,
+}
+
+impl SharedHashScheme {
+    /// Create the baseline under the given index parameters.
+    pub fn new(params: SystemParams) -> Self {
+        SharedHashScheme { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Index of a single keyword under the shared hash.
+    pub fn keyword_index(&self, keyword: &str) -> BitIndex {
+        keyword_index(&self.params, SHARED_HASH_KEY, keyword)
+    }
+
+    /// Document index: bitwise product of the keyword indices (Eq. 2).
+    pub fn document_index(&self, keywords: &[&str]) -> BitIndex {
+        let mut idx = BitIndex::all_ones(self.params.index_bits);
+        for kw in keywords {
+            idx.bitwise_product_assign(&self.keyword_index(kw));
+        }
+        idx
+    }
+
+    /// Query index: same construction as the document index (the scheme has no separate
+    /// trapdoor step — that is exactly its weakness).
+    pub fn query_index(&self, keywords: &[&str]) -> BitIndex {
+        self.document_index(keywords)
+    }
+
+    /// Eq. (3) matching.
+    pub fn matches(&self, document: &BitIndex, query: &BitIndex) -> bool {
+        document.matches_query(query)
+    }
+}
+
+/// The §4.1 brute-force keyword-recovery attack against the shared-hash scheme.
+///
+/// The adversary (e.g. the server) knows the shared hash and a dictionary of candidate
+/// keywords. Given an observed query index it enumerates single keywords and keyword pairs,
+/// recomputes their query indices, and reports every candidate whose index matches the
+/// observation exactly.
+pub struct BruteForceAttack<'a> {
+    scheme: &'a SharedHashScheme,
+    dictionary: &'a Dictionary,
+}
+
+/// The outcome of a brute-force run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttackOutcome {
+    /// Keyword combinations whose recomputed index equals the observed query index.
+    pub candidates: Vec<Vec<String>>,
+    /// Number of index recomputations performed (the "trials" §4.1 counts).
+    pub trials: u64,
+}
+
+impl AttackOutcome {
+    /// True if exactly one candidate combination survived — full keyword recovery.
+    pub fn is_unique_recovery(&self) -> bool {
+        self.candidates.len() == 1
+    }
+}
+
+impl<'a> BruteForceAttack<'a> {
+    /// Prepare an attack with the adversary's knowledge: the (leaked) scheme and a dictionary.
+    pub fn new(scheme: &'a SharedHashScheme, dictionary: &'a Dictionary) -> Self {
+        BruteForceAttack { scheme, dictionary }
+    }
+
+    /// Try to recover the keywords behind `observed`, assuming it was built from exactly
+    /// `num_keywords` dictionary words (1 or 2, matching the paper's "users usually search for
+    /// a single or two keywords").
+    pub fn recover(&self, observed: &BitIndex, num_keywords: usize) -> AttackOutcome {
+        assert!(
+            (1..=2).contains(&num_keywords),
+            "the attack enumerates single keywords and pairs"
+        );
+        let words: Vec<&str> = self.dictionary.iter().collect();
+        // Precompute single-keyword indices once: the pair enumeration reuses them.
+        let singles: Vec<BitIndex> = words.iter().map(|w| self.scheme.keyword_index(w)).collect();
+        let mut trials = words.len() as u64;
+        let mut candidates = Vec::new();
+
+        if num_keywords == 1 {
+            for (i, idx) in singles.iter().enumerate() {
+                if idx == observed {
+                    candidates.push(vec![words[i].to_string()]);
+                }
+            }
+            return AttackOutcome { candidates, trials };
+        }
+
+        for i in 0..singles.len() {
+            for j in i + 1..singles.len() {
+                trials += 1;
+                if singles[i].bitwise_product(&singles[j]) == *observed {
+                    candidates.push(vec![words[i].to_string(), words[j].to_string()]);
+                }
+            }
+        }
+        AttackOutcome { candidates, trials }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkse_core::keys::SchemeKeys;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scheme() -> SharedHashScheme {
+        SharedHashScheme::new(SystemParams::default().without_randomization())
+    }
+
+    #[test]
+    fn shared_hash_indexing_matches_eq3_semantics() {
+        let s = scheme();
+        let doc = s.document_index(&["cloud", "privacy", "search"]);
+        assert!(s.matches(&doc, &s.query_index(&["cloud"])));
+        assert!(s.matches(&doc, &s.query_index(&["cloud", "privacy"])));
+        assert!(!s.matches(&doc, &s.query_index(&["unrelated-word"])));
+    }
+
+    #[test]
+    fn every_user_computes_the_same_query_index() {
+        // The defining property (and weakness) of the shared-hash model.
+        let a = scheme().query_index(&["cloud"]);
+        let b = scheme().query_index(&["cloud"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn brute_force_recovers_a_single_keyword() {
+        let s = scheme();
+        let dict = Dictionary::generate(500);
+        let secret_query = s.query_index(&["kw00123"]);
+        let attack = BruteForceAttack::new(&s, &dict);
+        let outcome = attack.recover(&secret_query, 1);
+        assert!(outcome.is_unique_recovery(), "candidates: {:?}", outcome.candidates);
+        assert_eq!(outcome.candidates[0], vec!["kw00123".to_string()]);
+        assert_eq!(outcome.trials, 500);
+    }
+
+    #[test]
+    fn brute_force_recovers_a_keyword_pair() {
+        let s = scheme();
+        let dict = Dictionary::generate(120);
+        let secret_query = s.query_index(&["kw00007", "kw00042"]);
+        let attack = BruteForceAttack::new(&s, &dict);
+        let outcome = attack.recover(&secret_query, 2);
+        assert!(!outcome.candidates.is_empty());
+        assert!(outcome
+            .candidates
+            .iter()
+            .any(|c| c.contains(&"kw00007".to_string()) && c.contains(&"kw00042".to_string())));
+        // Trials ≈ dictionary size + (n choose 2), matching the §4.1 cost estimate.
+        assert_eq!(outcome.trials, 120 + 120 * 119 / 2);
+    }
+
+    #[test]
+    fn brute_force_fails_against_trapdoor_based_mkse() {
+        // The same attack run against an MKSE query (built under secret per-bin keys the
+        // adversary does not hold) recovers nothing: recomputing indices under the shared hash
+        // does not reproduce the observed index.
+        let params = SystemParams::default().without_randomization();
+        let s = SharedHashScheme::new(params.clone());
+        let dict = Dictionary::generate(300);
+        let keys = SchemeKeys::generate(&params, &mut StdRng::seed_from_u64(3));
+        let mkse_query = keys.trapdoor_for(&params, "kw00123").index().clone();
+        let attack = BruteForceAttack::new(&s, &dict);
+        let outcome = attack.recover(&mkse_query, 1);
+        assert!(outcome.candidates.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "single keywords and pairs")]
+    fn attack_rejects_large_keyword_counts() {
+        let s = scheme();
+        let dict = Dictionary::generate(10);
+        let q = s.query_index(&["kw00001"]);
+        let _ = BruteForceAttack::new(&s, &dict).recover(&q, 3);
+    }
+}

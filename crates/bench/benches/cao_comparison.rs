@@ -1,0 +1,86 @@
+//! §8.1: head-to-head per-document costs, MKSE versus the Cao et al. MRSE baseline.
+//!
+//! The paper's comparison point (6000 documents, dictionary of thousands of keywords) takes
+//! MRSE over an hour to index, so the benchmark measures the *per-document* index cost and the
+//! *per-query* search cost over a fixed store, at dictionary size 1000 — the asymmetry (MRSE
+//! scales with the dictionary, MKSE does not) is already unmistakable there.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mkse_baselines::MrseScheme;
+use mkse_bench::BenchFixture;
+use mkse_core::{CloudIndex, QueryBuilder};
+use mkse_textproc::dictionary::Dictionary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DICT_SIZE: usize = 1000;
+const NUM_DOCS: usize = 200;
+
+fn bench_index_per_document(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cao_comparison_index_per_doc");
+    group.sample_size(10);
+
+    let fixture = BenchFixture::new(NUM_DOCS, 5, 23);
+    let doc = fixture.corpus.documents[0].clone();
+
+    group.bench_function("mkse_rank5", |b| {
+        let indexer = fixture.indexer();
+        b.iter(|| indexer.index_document(&doc));
+    });
+
+    let mut rng = StdRng::seed_from_u64(29);
+    let mrse = MrseScheme::new(Dictionary::generate(DICT_SIZE));
+    let key = mrse.generate_key(&mut rng);
+    let keywords: Vec<String> = doc.keywords().into_iter().map(|s| s.to_string()).collect();
+    let kw_refs: Vec<&str> = keywords.iter().map(|s| s.as_str()).collect();
+    group.bench_function("mrse_dict1000", |b| {
+        let mut rng = StdRng::seed_from_u64(31);
+        b.iter(|| mrse.build_index(&key, 0, &kw_refs, &mut rng));
+    });
+
+    group.finish();
+}
+
+fn bench_search_over_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cao_comparison_search");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(NUM_DOCS as u64));
+
+    // MKSE store.
+    let fixture = BenchFixture::new(NUM_DOCS, 5, 37);
+    let indexer = fixture.indexer();
+    let mut cloud = CloudIndex::new(fixture.params.clone());
+    cloud.insert_all(indexer.index_documents(&fixture.corpus.documents));
+    let mut rng = StdRng::seed_from_u64(41);
+    let kws = fixture.query_keywords();
+    let kw_refs: Vec<&str> = kws.iter().map(|s| s.as_str()).collect();
+    let trapdoors = fixture.keys.trapdoors_for(&fixture.params, &kw_refs);
+    let pool = fixture.keys.random_pool_trapdoors(&fixture.params);
+    let query = QueryBuilder::new(&fixture.params)
+        .add_trapdoors(&trapdoors)
+        .with_randomization(&pool)
+        .build(&mut rng);
+    group.bench_function("mkse_rank5", |b| b.iter(|| cloud.search(&query)));
+
+    // MRSE store over the same documents.
+    let mrse = MrseScheme::new(Dictionary::generate(DICT_SIZE));
+    let key = mrse.generate_key(&mut rng);
+    let indices: Vec<_> = fixture
+        .corpus
+        .documents
+        .iter()
+        .map(|d| {
+            let kws: Vec<&str> = d.keywords();
+            mrse.build_index(&key, d.id, &kws, &mut rng)
+        })
+        .collect();
+    let trapdoor = mrse.trapdoor(&key, &kw_refs, &mut rng);
+    group.bench_function("mrse_dict1000", |b| {
+        b.iter(|| mrse.search(&indices, &trapdoor, 10))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_per_document, bench_search_over_store);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 4(a): index-construction time on the data-owner side.
+//!
+//! Benchmarks the paper-faithful (uncached) per-document index construction at several corpus
+//! sizes and ranking depths, plus two ablations the paper hints at (§8.1 calls the problem
+//! "of highly parallelized nature"): keyword-index memoization and multi-threaded indexing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mkse_bench::BenchFixture;
+
+fn bench_index_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_index_construction");
+    group.sample_size(10);
+
+    for &num_docs in &[250usize, 500, 1000] {
+        for &levels in &[1usize, 3, 5] {
+            let fixture = BenchFixture::new(num_docs, levels, 7);
+            group.throughput(Throughput::Elements(num_docs as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("uncached_eta{levels}"), num_docs),
+                &fixture,
+                |b, fx| {
+                    let indexer = fx.indexer();
+                    b.iter(|| {
+                        fx.corpus
+                            .documents
+                            .iter()
+                            .map(|d| indexer.index_document(d))
+                            .collect::<Vec<_>>()
+                    });
+                },
+            );
+        }
+    }
+
+    // Ablations at a fixed size: memoized keyword indices and parallel indexing.
+    let fixture = BenchFixture::new(1000, 3, 7);
+    group.throughput(Throughput::Elements(1000));
+    group.bench_function("ablation_cached_eta3_1000docs", |b| {
+        let indexer = fixture.indexer();
+        b.iter(|| indexer.index_documents(&fixture.corpus.documents));
+    });
+    group.bench_function("ablation_parallel4_eta3_1000docs", |b| {
+        let indexer = fixture.indexer();
+        b.iter(|| indexer.index_documents_parallel(&fixture.corpus.documents, 4));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_construction);
+criterion_main!(benches);

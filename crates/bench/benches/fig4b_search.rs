@@ -1,0 +1,46 @@
+//! Figure 4(b): server-side search time per query.
+//!
+//! Benchmarks ranked search over stores of 2000–10000 documents at ranking depths 1, 3 and 5.
+//! The store is built once per configuration (with keyword-index memoization — only the search
+//! is timed); the query carries 2 genuine keywords plus the V = 30 random keywords.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mkse_bench::BenchFixture;
+use mkse_core::{CloudIndex, QueryBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4b_search");
+    group.sample_size(20);
+
+    for &num_docs in &[2000usize, 6000, 10000] {
+        for &levels in &[1usize, 3, 5] {
+            let fixture = BenchFixture::new(num_docs, levels, 11);
+            let indexer = fixture.indexer();
+            let mut cloud = CloudIndex::new(fixture.params.clone());
+            cloud.insert_all(indexer.index_documents(&fixture.corpus.documents));
+
+            let mut rng = StdRng::seed_from_u64(13);
+            let kws = fixture.query_keywords();
+            let kw_refs: Vec<&str> = kws.iter().map(|s| s.as_str()).collect();
+            let trapdoors = fixture.keys.trapdoors_for(&fixture.params, &kw_refs);
+            let pool = fixture.keys.random_pool_trapdoors(&fixture.params);
+            let query = QueryBuilder::new(&fixture.params)
+                .add_trapdoors(&trapdoors)
+                .with_randomization(&pool)
+                .build(&mut rng);
+
+            group.throughput(Throughput::Elements(num_docs as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("eta{levels}"), num_docs),
+                &(cloud, query),
+                |b, (cloud, query)| b.iter(|| cloud.search(query)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

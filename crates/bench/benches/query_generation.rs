@@ -1,0 +1,48 @@
+//! Query-side costs: trapdoor computation from a bin key and query-index construction with and
+//! without the §6 randomization. Table 2 credits the user with "1 hash and bitwise product";
+//! this bench shows what that costs in absolute terms and what the V = 30 random keywords add.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mkse_core::{QueryBuilder, SchemeKeys, SystemParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_query_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_generation");
+    let params = SystemParams::default();
+    let mut rng = StdRng::seed_from_u64(5);
+    let keys = SchemeKeys::generate(&params, &mut rng);
+    let pool = keys.random_pool_trapdoors(&params);
+
+    group.bench_function("trapdoor_single_keyword", |b| {
+        b.iter(|| keys.trapdoor_for(&params, "privacy"))
+    });
+
+    for &terms in &[1usize, 3, 5] {
+        let keywords: Vec<String> = (0..terms).map(|i| format!("kw{i}")).collect();
+        let kw_refs: Vec<&str> = keywords.iter().map(|s| s.as_str()).collect();
+        let trapdoors = keys.trapdoors_for(&params, &kw_refs);
+
+        group.bench_function(format!("build_query_{terms}terms_plain"), |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                QueryBuilder::new(&params)
+                    .add_trapdoors(&trapdoors)
+                    .build(&mut rng)
+            })
+        });
+        group.bench_function(format!("build_query_{terms}terms_randomized_v30"), |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                QueryBuilder::new(&params)
+                    .add_trapdoors(&trapdoors)
+                    .with_randomization(&pool)
+                    .build(&mut rng)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_generation);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! # mkse-bench — Criterion benchmarks
+//!
+//! Shared fixtures for the Criterion benches that regenerate the paper's timing results:
+//!
+//! * `fig4a_index_construction` — Figure 4(a): per-corpus index-construction time at several
+//!   corpus sizes and ranking depths, plus cached/parallel ablations.
+//! * `fig4b_search` — Figure 4(b): server-side search time at several corpus sizes and
+//!   ranking depths.
+//! * `cao_comparison` — §8.1: per-document index construction and per-query search, MKSE vs
+//!   the Cao et al. MRSE baseline.
+//! * `crypto_primitives` — the substrate: long-output PRF, keyword-index derivation, AES-CTR
+//!   document encryption, RSA blind decryption.
+//! * `query_generation` — trapdoor computation and query building with and without
+//!   randomization.
+//!
+//! The benches are intentionally smaller than the experiment binaries (Criterion repeats each
+//! measurement many times); the full-scale sweeps live in `mkse-experiments`.
+
+use mkse_core::{DocumentIndexer, SchemeKeys, SystemParams};
+use mkse_textproc::corpus::{CorpusSpec, FrequencyModel, SyntheticCorpus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A ready-to-bench deployment: parameters, keys, a corpus and its indexer.
+pub struct BenchFixture {
+    /// Scheme parameters.
+    pub params: SystemParams,
+    /// Owner key material.
+    pub keys: SchemeKeys,
+    /// The synthetic corpus (20 genuine keywords per document, paper workload).
+    pub corpus: SyntheticCorpus,
+}
+
+impl BenchFixture {
+    /// Build a fixture with `num_docs` documents and the given ranking depth.
+    pub fn new(num_docs: usize, levels: usize, seed: u64) -> Self {
+        let params = match levels {
+            1 => SystemParams::without_ranking(),
+            5 => SystemParams::with_five_levels(),
+            _ => SystemParams::default(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = SchemeKeys::generate(&params, &mut rng);
+        let corpus = SyntheticCorpus::generate(
+            &CorpusSpec {
+                num_documents: num_docs,
+                vocabulary_size: 25_000,
+                keywords_per_document: 20,
+                frequency_model: FrequencyModel::Uniform { lo: 1, hi: 15 },
+            },
+            &mut rng,
+        );
+        BenchFixture { params, keys, corpus }
+    }
+
+    /// An indexer borrowing this fixture's parameters and keys.
+    pub fn indexer(&self) -> DocumentIndexer<'_> {
+        DocumentIndexer::new(&self.params, &self.keys)
+    }
+
+    /// Two query keywords guaranteed to co-occur in at least one document.
+    pub fn query_keywords(&self) -> Vec<String> {
+        self.corpus.documents[self.corpus.len() / 2]
+            .keywords()
+            .into_iter()
+            .take(2)
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds_consistent_state() {
+        let fx = BenchFixture::new(10, 3, 1);
+        assert_eq!(fx.corpus.len(), 10);
+        assert_eq!(fx.params.rank_levels(), 3);
+        assert_eq!(fx.query_keywords().len(), 2);
+        let indexer = fx.indexer();
+        let idx = indexer.index_document(&fx.corpus.documents[0]);
+        assert_eq!(idx.num_levels(), 3);
+    }
+
+    #[test]
+    fn fixture_levels_presets() {
+        assert_eq!(BenchFixture::new(2, 1, 1).params.rank_levels(), 1);
+        assert_eq!(BenchFixture::new(2, 5, 1).params.rank_levels(), 5);
+    }
+}

@@ -1,0 +1,152 @@
+//! Keyword index generation (§4.1).
+//!
+//! Each keyword `w` is mapped, under a secret bin key, to an `l = r·d`-bit PRF output
+//! `x = HMAC_k(w)`, viewed as `r` digits of `d` bits each. Digit `j` collapses to index bit
+//! `j` by Eq. (1): the bit is 0 iff the digit is all-zero (probability `2^-d` per digit),
+//! 1 otherwise. The result is the keyword's `r`-bit index `I_w`, which doubles as the
+//! keyword's *trapdoor* (footnote 3 of the paper).
+
+use crate::bitindex::BitIndex;
+use crate::params::SystemParams;
+use mkse_crypto::prf::LongPrf;
+
+/// Compute the keyword index `I_w` for `keyword` under the secret `bin_key` (Eq. 1).
+///
+/// The data owner calls this during index generation; an authorized user calls it after
+/// receiving the bin key to build trapdoors locally (§4.2).
+pub fn keyword_index(params: &SystemParams, bin_key: &[u8], keyword: &str) -> BitIndex {
+    let prf = LongPrf::new(bin_key);
+    keyword_index_with_prf(params, &prf, keyword)
+}
+
+/// Same as [`keyword_index`] but reuses an already-constructed PRF (saves the HMAC key
+/// schedule when indexing many keywords under the same bin key).
+pub fn keyword_index_with_prf(params: &SystemParams, prf: &LongPrf, keyword: &str) -> BitIndex {
+    let bits = prf.evaluate_bits(keyword.as_bytes(), params.prf_output_bits());
+    reduce_digits(params, &bits)
+}
+
+/// The GF(2^d) → GF(2) reduction of Eq. (1): bit `j` of the index is 0 iff digit `j`
+/// (bits `j·d .. (j+1)·d` of the PRF output) is all-zero.
+pub fn reduce_digits(params: &SystemParams, prf_bits: &[bool]) -> BitIndex {
+    let r = params.index_bits;
+    let d = params.digit_bits;
+    assert!(
+        prf_bits.len() >= r * d,
+        "PRF output too short: {} bits for r*d = {}",
+        prf_bits.len(),
+        r * d
+    );
+    let mut idx = BitIndex::all_zeros(r);
+    for j in 0..r {
+        let digit = &prf_bits[j * d..(j + 1) * d];
+        if digit.iter().any(|&b| b) {
+            idx.set(j, true);
+        }
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn params() -> SystemParams {
+        SystemParams::default()
+    }
+
+    #[test]
+    fn index_has_r_bits() {
+        let idx = keyword_index(&params(), b"bin-key", "network");
+        assert_eq!(idx.len(), 448);
+    }
+
+    #[test]
+    fn deterministic_for_same_key_and_keyword() {
+        let p = params();
+        assert_eq!(
+            keyword_index(&p, b"key", "cloud"),
+            keyword_index(&p, b"key", "cloud")
+        );
+    }
+
+    #[test]
+    fn different_keywords_give_different_indices() {
+        let p = params();
+        assert_ne!(
+            keyword_index(&p, b"key", "cloud"),
+            keyword_index(&p, b"key", "server")
+        );
+    }
+
+    #[test]
+    fn different_keys_give_different_indices() {
+        // This is what makes the scheme trapdoor-based: without the bin key the index cannot
+        // be reproduced (contrast with the Wang et al. shared-hash baseline).
+        let p = params();
+        assert_ne!(
+            keyword_index(&p, b"key-1", "cloud"),
+            keyword_index(&p, b"key-2", "cloud")
+        );
+    }
+
+    #[test]
+    fn zero_fraction_is_roughly_one_over_2d() {
+        // Each bit is 0 with probability 2^-d = 1/64, so a keyword index should have about
+        // r/64 = 7 zero bits. Averaged over many keywords this must be close to 7.
+        let p = params();
+        let total_zeros: usize = (0..200)
+            .map(|i| keyword_index(&p, b"bin", &format!("word{i}")).count_zeros())
+            .sum();
+        let avg = total_zeros as f64 / 200.0;
+        assert!((avg - 7.0).abs() < 1.5, "average zeros = {avg}");
+    }
+
+    #[test]
+    fn reduce_digits_known_pattern() {
+        let p = SystemParams::new(4, 2, 1, 0, 0, vec![1]).unwrap();
+        // Digits: 00 | 01 | 10 | 11 → bits 0,1,1,1
+        let bits = [false, false, false, true, true, false, true, true];
+        let idx = reduce_digits(&p, &bits);
+        assert!(!idx.get(0));
+        assert!(idx.get(1));
+        assert!(idx.get(2));
+        assert!(idx.get(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "PRF output too short")]
+    fn reduce_digits_rejects_short_input() {
+        let p = SystemParams::new(4, 2, 1, 0, 0, vec![1]).unwrap();
+        let _ = reduce_digits(&p, &[false; 7]);
+    }
+
+    #[test]
+    fn prf_reuse_matches_fresh_computation() {
+        let p = params();
+        let prf = LongPrf::new(b"bin-key-42");
+        assert_eq!(
+            keyword_index_with_prf(&p, &prf, "privacy"),
+            keyword_index(&p, b"bin-key-42", "privacy")
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_all_zero_digits_iff_zero_bit(seed in 0u64..1000) {
+            // Explicitly check Eq. (1) on small random parameters.
+            let p = SystemParams::new(32, 3, 1, 0, 0, vec![1]).unwrap();
+            let keyword = format!("kw{seed}");
+            let prf = LongPrf::new(b"k");
+            let bits = prf.evaluate_bits(keyword.as_bytes(), p.prf_output_bits());
+            let idx = reduce_digits(&p, &bits);
+            for j in 0..p.index_bits {
+                let digit_is_zero = bits[j * 3..(j + 1) * 3].iter().all(|b| !b);
+                prop_assert_eq!(idx.get(j), !digit_is_zero);
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Binary serialization of searchable indices.
+//!
+//! The cloud server in the paper's model is a long-lived service: the data owner uploads the
+//! search index files once (offline phase) and the server keeps them across restarts. This
+//! module gives [`RankedDocumentIndex`] and whole index stores a compact, versioned binary
+//! encoding — `8 + η·⌈r/8⌉` bytes per document, matching the storage-overhead analysis at the
+//! end of §5 — without pulling in any serialization framework beyond what the index itself
+//! needs.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! store  := magic "MKSE" | version u16 | r u32 | eta u16 | count u64 | entry*
+//! entry  := document_id u64 | level_bits × eta
+//! ```
+
+use crate::bitindex::BitIndex;
+use crate::document_index::RankedDocumentIndex;
+use crate::params::SystemParams;
+
+const MAGIC: &[u8; 4] = b"MKSE";
+const VERSION: u16 = 1;
+
+/// Errors produced while decoding a serialized index store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistenceError {
+    /// The buffer does not start with the `MKSE` magic.
+    BadMagic,
+    /// The format version is not supported.
+    UnsupportedVersion(u16),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// The declared geometry does not match the supplied parameters.
+    ParameterMismatch { expected_r: usize, found_r: usize, expected_eta: usize, found_eta: usize },
+}
+
+impl std::fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistenceError::BadMagic => write!(f, "not an MKSE index store"),
+            PersistenceError::UnsupportedVersion(v) => write!(f, "unsupported store version {v}"),
+            PersistenceError::Truncated => write!(f, "store is truncated"),
+            PersistenceError::ParameterMismatch { expected_r, found_r, expected_eta, found_eta } => {
+                write!(
+                    f,
+                    "parameter mismatch: store has r={found_r}, eta={found_eta}; expected r={expected_r}, eta={expected_eta}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistenceError {}
+
+/// Serialize a collection of document indices into the binary store format.
+///
+/// Panics if any index disagrees with `params` on the index size or level count (the same
+/// invariant [`crate::search::CloudIndex::insert`] enforces).
+pub fn serialize_store(params: &SystemParams, indices: &[RankedDocumentIndex]) -> Vec<u8> {
+    let r_bytes = params.index_bits.div_ceil(8);
+    let eta = params.rank_levels();
+    let mut out = Vec::with_capacity(20 + indices.len() * (8 + eta * r_bytes));
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(params.index_bits as u32).to_le_bytes());
+    out.extend_from_slice(&(eta as u16).to_le_bytes());
+    out.extend_from_slice(&(indices.len() as u64).to_le_bytes());
+    for idx in indices {
+        assert_eq!(idx.num_levels(), eta, "level count mismatch");
+        out.extend_from_slice(&idx.document_id.to_le_bytes());
+        for level in &idx.levels {
+            assert_eq!(level.len(), params.index_bits, "index size mismatch");
+            out.extend_from_slice(&level.to_bytes());
+        }
+    }
+    out
+}
+
+/// Decode a binary store produced by [`serialize_store`], validating it against `params`.
+pub fn deserialize_store(
+    params: &SystemParams,
+    bytes: &[u8],
+) -> Result<Vec<RankedDocumentIndex>, PersistenceError> {
+    let mut cursor = Cursor { bytes, pos: 0 };
+    if cursor.take(4)? != MAGIC {
+        return Err(PersistenceError::BadMagic);
+    }
+    let version = u16::from_le_bytes(cursor.take(2)?.try_into().unwrap());
+    if version != VERSION {
+        return Err(PersistenceError::UnsupportedVersion(version));
+    }
+    let r = u32::from_le_bytes(cursor.take(4)?.try_into().unwrap()) as usize;
+    let eta = u16::from_le_bytes(cursor.take(2)?.try_into().unwrap()) as usize;
+    if r != params.index_bits || eta != params.rank_levels() {
+        return Err(PersistenceError::ParameterMismatch {
+            expected_r: params.index_bits,
+            found_r: r,
+            expected_eta: params.rank_levels(),
+            found_eta: eta,
+        });
+    }
+    let count = u64::from_le_bytes(cursor.take(8)?.try_into().unwrap()) as usize;
+    let r_bytes = r.div_ceil(8);
+    let mut indices = Vec::with_capacity(count);
+    for _ in 0..count {
+        let document_id = u64::from_le_bytes(cursor.take(8)?.try_into().unwrap());
+        let mut levels = Vec::with_capacity(eta);
+        for _ in 0..eta {
+            levels.push(BitIndex::from_bytes(cursor.take(r_bytes)?, r));
+        }
+        indices.push(RankedDocumentIndex { document_id, levels });
+    }
+    Ok(indices)
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], PersistenceError> {
+        if self.pos + len > self.bytes.len() {
+            return Err(PersistenceError::Truncated);
+        }
+        let out = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document_index::DocumentIndexer;
+    use crate::keys::SchemeKeys;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_indices(params: &SystemParams, n: u64) -> Vec<RankedDocumentIndex> {
+        let keys = SchemeKeys::generate(params, &mut StdRng::seed_from_u64(1));
+        let indexer = DocumentIndexer::new(params, &keys);
+        (0..n)
+            .map(|id| indexer.index_keywords(id, &[&format!("kw{id}"), "shared"]))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_every_index() {
+        let params = SystemParams::default();
+        let indices = sample_indices(&params, 5);
+        let bytes = serialize_store(&params, &indices);
+        let decoded = deserialize_store(&params, &bytes).unwrap();
+        assert_eq!(decoded, indices);
+        // Size matches the §5 storage analysis: header + n·(8 + η·r/8).
+        assert_eq!(bytes.len(), 20 + 5 * (8 + 3 * 56));
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let params = SystemParams::without_ranking();
+        let bytes = serialize_store(&params, &[]);
+        assert!(deserialize_store(&params, &bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupted_magic_and_version_are_rejected() {
+        let params = SystemParams::default();
+        let mut bytes = serialize_store(&params, &sample_indices(&params, 1));
+        bytes[0] = b'X';
+        assert_eq!(deserialize_store(&params, &bytes), Err(PersistenceError::BadMagic));
+
+        let mut bytes = serialize_store(&params, &sample_indices(&params, 1));
+        bytes[4] = 0xff;
+        assert!(matches!(
+            deserialize_store(&params, &bytes),
+            Err(PersistenceError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_store_is_rejected() {
+        let params = SystemParams::default();
+        let bytes = serialize_store(&params, &sample_indices(&params, 2));
+        for cut in [3usize, 10, 21, bytes.len() - 1] {
+            assert_eq!(
+                deserialize_store(&params, &bytes[..cut]),
+                Err(PersistenceError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn parameter_mismatch_is_rejected() {
+        let params3 = SystemParams::default();
+        let params1 = SystemParams::without_ranking();
+        let bytes = serialize_store(&params3, &sample_indices(&params3, 1));
+        assert!(matches!(
+            deserialize_store(&params1, &bytes),
+            Err(PersistenceError::ParameterMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!format!("{}", PersistenceError::BadMagic).is_empty());
+        assert!(format!("{}", PersistenceError::UnsupportedVersion(9)).contains('9'));
+        assert!(!format!("{}", PersistenceError::Truncated).is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_round_trip_arbitrary_store_sizes(n in 0u64..20) {
+            let params = SystemParams::with_five_levels();
+            let indices = sample_indices(&params, n);
+            let decoded = deserialize_store(&params, &serialize_store(&params, &indices)).unwrap();
+            prop_assert_eq!(decoded, indices);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Periodic HMAC-key rotation and trapdoor expiration (§4.3).
+//!
+//! "For improving the security, the data owner can change the HMAC keys periodically. Each
+//! trapdoor will have an expiration time. After this time, the user needs to get a new trapdoor
+//! for the keyword he previously used in his queries. This will alleviate the risk when the
+//! HMAC keys are compromised."
+//!
+//! [`RotatingKeys`] wraps [`SchemeKeys`] with an epoch counter: each rotation draws fresh bin
+//! keys and a fresh random-keyword pool, and trapdoors issued under an older epoch are reported
+//! as expired. The data owner re-indexes (or lazily re-uploads) the corpus under the new epoch;
+//! [`RotatingKeys::reindex`] performs that step.
+
+use crate::document_index::{DocumentIndexer, RankedDocumentIndex};
+use crate::keys::{SchemeKeys, Trapdoor};
+use crate::params::SystemParams;
+use mkse_textproc::document::Document;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a key epoch (0 at setup, incremented on every rotation).
+pub type Epoch = u64;
+
+/// A trapdoor tagged with the epoch it was issued under.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochTrapdoor {
+    /// The epoch whose bin keys produced this trapdoor.
+    pub epoch: Epoch,
+    /// The trapdoor itself.
+    pub trapdoor: Trapdoor,
+}
+
+/// The data owner's rotating key material.
+pub struct RotatingKeys {
+    params: SystemParams,
+    current: SchemeKeys,
+    epoch: Epoch,
+}
+
+impl RotatingKeys {
+    /// Set up epoch 0.
+    pub fn new<R: Rng + ?Sized>(params: SystemParams, rng: &mut R) -> Self {
+        let current = SchemeKeys::generate(&params, rng);
+        RotatingKeys {
+            params,
+            current,
+            epoch: 0,
+        }
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The key material of the current epoch.
+    pub fn keys(&self) -> &SchemeKeys {
+        &self.current
+    }
+
+    /// The scheme parameters (fixed across rotations — only keys change).
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Rotate to a fresh epoch: new bin keys, new random-keyword pool. Previously issued
+    /// trapdoors become invalid ([`RotatingKeys::is_current`] returns `false` for them).
+    pub fn rotate<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Epoch {
+        self.current = SchemeKeys::generate(&self.params, rng);
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Issue a trapdoor under the current epoch.
+    pub fn issue_trapdoor(&self, keyword: &str) -> EpochTrapdoor {
+        EpochTrapdoor {
+            epoch: self.epoch,
+            trapdoor: self.current.trapdoor_for(&self.params, keyword),
+        }
+    }
+
+    /// Issue the current epoch's random-pool trapdoors.
+    pub fn issue_random_pool(&self) -> Vec<EpochTrapdoor> {
+        self.current
+            .random_pool_trapdoors(&self.params)
+            .into_iter()
+            .map(|trapdoor| EpochTrapdoor {
+                epoch: self.epoch,
+                trapdoor,
+            })
+            .collect()
+    }
+
+    /// `true` iff the trapdoor was issued under the current epoch (i.e. has not expired).
+    pub fn is_current(&self, trapdoor: &EpochTrapdoor) -> bool {
+        trapdoor.epoch == self.epoch
+    }
+
+    /// Re-index a corpus under the current epoch's keys. The server replaces its stored
+    /// indices with the result; encrypted documents themselves need no re-encryption because
+    /// rotation only touches the *search* keys, not the per-document symmetric keys.
+    pub fn reindex(&self, documents: &[Document]) -> Vec<RankedDocumentIndex> {
+        let indexer = DocumentIndexer::new(&self.params, &self.current);
+        indexer.index_documents(documents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryBuilder;
+    use crate::search::CloudIndex;
+    use mkse_textproc::document::TermFrequencies;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus() -> Vec<Document> {
+        vec![
+            Document::from_terms(0, TermFrequencies::from_pairs([("alpha", 3u32), ("beta", 1)])),
+            Document::from_terms(1, TermFrequencies::from_pairs([("gamma", 2u32)])),
+        ]
+    }
+
+    #[test]
+    fn rotation_increments_epoch_and_changes_keys() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut rotating = RotatingKeys::new(SystemParams::default(), &mut rng);
+        assert_eq!(rotating.epoch(), 0);
+        let before = rotating.issue_trapdoor("alpha");
+        let new_epoch = rotating.rotate(&mut rng);
+        assert_eq!(new_epoch, 1);
+        assert_eq!(rotating.epoch(), 1);
+        let after = rotating.issue_trapdoor("alpha");
+        // Same keyword, different epoch keys ⇒ different trapdoor bits.
+        assert_ne!(before.trapdoor, after.trapdoor);
+        assert_ne!(before.epoch, after.epoch);
+    }
+
+    #[test]
+    fn expired_trapdoors_are_detected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rotating = RotatingKeys::new(SystemParams::default(), &mut rng);
+        let old = rotating.issue_trapdoor("alpha");
+        assert!(rotating.is_current(&old));
+        rotating.rotate(&mut rng);
+        assert!(!rotating.is_current(&old));
+        assert!(rotating.is_current(&rotating.issue_trapdoor("alpha")));
+    }
+
+    #[test]
+    fn queries_with_stale_trapdoors_fail_against_the_reindexed_store() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let params = SystemParams::default();
+        let mut rotating = RotatingKeys::new(params.clone(), &mut rng);
+        let docs = corpus();
+
+        // Epoch 0: index, query, match.
+        let mut cloud = CloudIndex::new(params.clone());
+        cloud.insert_all(rotating.reindex(&docs));
+        let old_td = rotating.issue_trapdoor("alpha");
+        let old_query = QueryBuilder::new(&params)
+            .add_trapdoor(&old_td.trapdoor)
+            .build(&mut rng);
+        assert!(cloud.search_unranked(&old_query).contains(&0));
+
+        // Rotate and re-index.
+        rotating.rotate(&mut rng);
+        let mut cloud = CloudIndex::new(params.clone());
+        cloud.insert_all(rotating.reindex(&docs));
+
+        // The stale trapdoor no longer matches (overwhelmingly likely: its zero positions are
+        // unrelated to the new index), while a freshly issued one does.
+        assert!(!cloud.search_unranked(&old_query).contains(&0));
+        let fresh = rotating.issue_trapdoor("alpha");
+        let fresh_query = QueryBuilder::new(&params)
+            .add_trapdoor(&fresh.trapdoor)
+            .build(&mut rng);
+        assert!(cloud.search_unranked(&fresh_query).contains(&0));
+    }
+
+    #[test]
+    fn random_pool_is_reissued_per_epoch() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut rotating = RotatingKeys::new(SystemParams::default(), &mut rng);
+        let pool0 = rotating.issue_random_pool();
+        rotating.rotate(&mut rng);
+        let pool1 = rotating.issue_random_pool();
+        assert_eq!(pool0.len(), pool1.len());
+        assert!(pool0.iter().all(|t| t.epoch == 0));
+        assert!(pool1.iter().all(|t| t.epoch == 1));
+        assert_ne!(pool0[0].trapdoor, pool1[0].trapdoor);
+    }
+
+    #[test]
+    fn params_are_stable_across_rotations() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut rotating = RotatingKeys::new(SystemParams::with_five_levels(), &mut rng);
+        rotating.rotate(&mut rng);
+        rotating.rotate(&mut rng);
+        assert_eq!(rotating.params().rank_levels(), 5);
+        assert_eq!(rotating.epoch(), 2);
+        assert_eq!(rotating.keys().num_bins(), rotating.params().num_bins);
+    }
+}

@@ -1,0 +1,379 @@
+//! Oblivious search on the server side (§4.3) and ranked search (§5, Algorithm 1).
+//!
+//! The server holds one [`RankedDocumentIndex`] per document and evaluates the matching
+//! predicate of Eq. (3) — a pure bitwise comparison — against the query index. When ranking is
+//! enabled, Algorithm 1 walks the levels of each matching document upward; the document's rank
+//! is the highest level that still matches. The server never learns anything beyond which
+//! stored indices matched at which level.
+
+use crate::bitindex::BitIndex;
+use crate::document_index::RankedDocumentIndex;
+use crate::params::SystemParams;
+use crate::query::QueryIndex;
+use serde::{Deserialize, Serialize};
+
+/// One search hit: a document id and its relevance rank (1 ≤ rank ≤ η).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchMatch {
+    /// The matching document.
+    pub document_id: u64,
+    /// The highest index level that matched the query (Algorithm 1); higher is more relevant.
+    pub rank: u32,
+}
+
+/// Statistics about one search execution (used for the Table 2 computation-cost accounting
+/// and the Figure 4b timing experiments).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of r-bit binary comparisons performed (σ for level 1, plus the extra level
+    /// comparisons for matching documents).
+    pub comparisons: u64,
+    /// Number of documents that matched at level 1.
+    pub matches: u64,
+}
+
+/// The server-side index store.
+#[derive(Clone, Debug, Default)]
+pub struct CloudIndex {
+    params: SystemParams,
+    documents: Vec<RankedDocumentIndex>,
+}
+
+impl CloudIndex {
+    /// Create an empty store for the given parameters.
+    pub fn new(params: SystemParams) -> Self {
+        CloudIndex {
+            params,
+            documents: Vec::new(),
+        }
+    }
+
+    /// Upload one document index.
+    ///
+    /// Panics if the index was built with a different number of levels or a different index
+    /// size than this store's parameters — mixing parameter sets is a protocol violation.
+    pub fn insert(&mut self, index: RankedDocumentIndex) {
+        assert_eq!(
+            index.num_levels(),
+            self.params.rank_levels(),
+            "level count mismatch"
+        );
+        assert!(
+            index.levels.iter().all(|l| l.len() == self.params.index_bits),
+            "index size mismatch"
+        );
+        self.documents.push(index);
+    }
+
+    /// Upload many document indices.
+    pub fn insert_all<I: IntoIterator<Item = RankedDocumentIndex>>(&mut self, indices: I) {
+        for idx in indices {
+            self.insert(idx);
+        }
+    }
+
+    /// Number of stored documents (σ).
+    pub fn len(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// True if no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.documents.is_empty()
+    }
+
+    /// The stored indices (the "metadata" the server returns for matching documents).
+    pub fn document_index(&self, document_id: u64) -> Option<&RankedDocumentIndex> {
+        self.documents.iter().find(|d| d.document_id == document_id)
+    }
+
+    /// Plain (unranked) oblivious search: every document whose level-1 index matches the
+    /// query, in storage order. This is Eq. (3) applied across the database.
+    pub fn search_unranked(&self, query: &QueryIndex) -> Vec<u64> {
+        self.documents
+            .iter()
+            .filter(|d| d.base_level().matches_query(query.bits()))
+            .map(|d| d.document_id)
+            .collect()
+    }
+
+    /// Ranked search (Algorithm 1): returns matches sorted by descending rank (ties broken by
+    /// document id) together with execution statistics.
+    pub fn search_ranked_with_stats(&self, query: &QueryIndex) -> (Vec<SearchMatch>, SearchStats) {
+        let mut stats = SearchStats::default();
+        let mut matches = Vec::new();
+        for doc in &self.documents {
+            stats.comparisons += 1;
+            if !doc.base_level().matches_query(query.bits()) {
+                continue;
+            }
+            stats.matches += 1;
+            // Walk upward while the higher levels still match.
+            let mut rank = 1u32;
+            for level in doc.levels.iter().skip(1) {
+                stats.comparisons += 1;
+                if level.matches_query(query.bits()) {
+                    rank += 1;
+                } else {
+                    break;
+                }
+            }
+            matches.push(SearchMatch {
+                document_id: doc.document_id,
+                rank,
+            });
+        }
+        matches.sort_by(|a, b| b.rank.cmp(&a.rank).then(a.document_id.cmp(&b.document_id)));
+        (matches, stats)
+    }
+
+    /// Ranked search without statistics.
+    pub fn search(&self, query: &QueryIndex) -> Vec<SearchMatch> {
+        self.search_ranked_with_stats(query).0
+    }
+
+    /// Ranked search returning only the top `tau` matches (§5: "the user can retrieve only
+    /// the top τ matches where τ is chosen by the user").
+    pub fn search_top(&self, query: &QueryIndex, tau: usize) -> Vec<SearchMatch> {
+        let mut all = self.search(query);
+        all.truncate(tau);
+        all
+    }
+
+    /// The metadata (per-level indices) of the matching documents, which the server sends back
+    /// so the user can assess relevance before retrieving ciphertexts (§4.3).
+    pub fn matching_metadata(&self, query: &QueryIndex) -> Vec<(u64, Vec<BitIndex>)> {
+        self.documents
+            .iter()
+            .filter(|d| d.base_level().matches_query(query.bits()))
+            .map(|d| (d.document_id, d.levels.clone()))
+            .collect()
+    }
+
+    /// The parameters of this store.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document_index::DocumentIndexer;
+    use crate::keys::SchemeKeys;
+    use crate::query::QueryBuilder;
+    use mkse_textproc::document::TermFrequencies;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        params: SystemParams,
+        keys: SchemeKeys,
+        rng: StdRng,
+    }
+
+    fn fixture(params: SystemParams) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(99);
+        let keys = SchemeKeys::generate(&params, &mut rng);
+        Fixture { params, keys, rng }
+    }
+
+    fn query(fx: &mut Fixture, keywords: &[&str]) -> QueryIndex {
+        let tds = fx.keys.trapdoors_for(&fx.params, keywords);
+        QueryBuilder::new(&fx.params)
+            .add_trapdoors(&tds)
+            .build(&mut fx.rng)
+    }
+
+    #[test]
+    fn documents_with_all_query_keywords_match() {
+        let mut fx = fixture(SystemParams::default());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        cloud.insert(indexer.index_keywords(0, &["cloud", "privacy", "search"]));
+        cloud.insert(indexer.index_keywords(1, &["cloud", "weather"]));
+        cloud.insert(indexer.index_keywords(2, &["privacy", "search", "ranking"]));
+        assert_eq!(cloud.len(), 3);
+
+        let q = query(&mut fx, &["privacy", "search"]);
+        let hits = cloud.search_unranked(&q);
+        assert!(hits.contains(&0));
+        assert!(hits.contains(&2));
+        assert!(!hits.contains(&1));
+    }
+
+    #[test]
+    fn single_keyword_query_matches_all_containing_documents() {
+        let mut fx = fixture(SystemParams::default());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        for (id, kws) in [
+            (0u64, vec!["alpha", "beta"]),
+            (1, vec!["alpha"]),
+            (2, vec!["gamma"]),
+        ] {
+            cloud.insert(indexer.index_keywords(id, &kws.iter().map(|s| *s).collect::<Vec<_>>()));
+        }
+        let q = query(&mut fx, &["alpha"]);
+        let hits = cloud.search_unranked(&q);
+        assert!(hits.contains(&0) && hits.contains(&1));
+        assert!(!hits.contains(&2));
+    }
+
+    #[test]
+    fn ranked_search_orders_by_term_frequency_level() {
+        let mut fx = fixture(SystemParams::default()); // thresholds 1, 5, 10
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        // doc 0: keyword occurs 12 times → should reach level 3.
+        cloud.insert(indexer.index_terms(0, &TermFrequencies::from_pairs([("topic", 12u32)])));
+        // doc 1: keyword occurs 6 times → level 2.
+        cloud.insert(indexer.index_terms(1, &TermFrequencies::from_pairs([("topic", 6u32)])));
+        // doc 2: keyword occurs once → level 1.
+        cloud.insert(indexer.index_terms(2, &TermFrequencies::from_pairs([("topic", 1u32)])));
+        // doc 3: unrelated.
+        cloud.insert(indexer.index_terms(3, &TermFrequencies::from_pairs([("other", 9u32)])));
+
+        let q = query(&mut fx, &["topic"]);
+        let (hits, stats) = cloud.search_ranked_with_stats(&q);
+        let ranks: Vec<(u64, u32)> = hits.iter().map(|m| (m.document_id, m.rank)).collect();
+        assert_eq!(ranks, vec![(0, 3), (1, 2), (2, 1)]);
+        assert_eq!(stats.matches, 3);
+        // 4 level-1 comparisons + (2 extra for doc0) + (2 extra for doc1: level2 match,
+        // level3 fail) + (1 extra for doc2: level2 fail) = 9.
+        assert_eq!(stats.comparisons, 9);
+    }
+
+    #[test]
+    fn rank_is_determined_by_least_frequent_query_keyword() {
+        // §5: "The rank of the document is identified with the least frequent keyword of the
+        // query."
+        let mut fx = fixture(SystemParams::default());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        cloud.insert(indexer.index_terms(
+            0,
+            &TermFrequencies::from_pairs([("hot", 12u32), ("rare", 1u32)]),
+        ));
+        let q = query(&mut fx, &["hot", "rare"]);
+        let hits = cloud.search(&q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rank, 1);
+        // Querying only the hot keyword reaches level 3.
+        let q_hot = query(&mut fx, &["hot"]);
+        assert_eq!(cloud.search(&q_hot)[0].rank, 3);
+    }
+
+    #[test]
+    fn search_top_truncates_to_tau() {
+        let mut fx = fixture(SystemParams::default());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        for id in 0..10u64 {
+            let tf = TermFrequencies::from_pairs([("shared", 1 + (id as u32 % 11))]);
+            cloud.insert(indexer.index_terms(id, &tf));
+        }
+        let q = query(&mut fx, &["shared"]);
+        let top3 = cloud.search_top(&q, 3);
+        assert_eq!(top3.len(), 3);
+        let all = cloud.search(&q);
+        assert_eq!(&all[..3], &top3[..]);
+        // Ranks are non-increasing.
+        for w in all.windows(2) {
+            assert!(w[0].rank >= w[1].rank);
+        }
+    }
+
+    #[test]
+    fn randomized_queries_return_the_same_matches() {
+        // Randomization must not change the response (§6, last paragraph).
+        let mut fx = fixture(SystemParams::default());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        cloud.insert(indexer.index_keywords(0, &["cloud", "privacy"]));
+        cloud.insert(indexer.index_keywords(1, &["weather"]));
+
+        let tds = fx.keys.trapdoors_for(&fx.params, &["cloud"]);
+        let pool = fx.keys.random_pool_trapdoors(&fx.params);
+        let plain = QueryBuilder::new(&fx.params)
+            .add_trapdoors(&tds)
+            .build(&mut fx.rng);
+        let randomized = QueryBuilder::new(&fx.params)
+            .add_trapdoors(&tds)
+            .with_randomization(&pool)
+            .build(&mut fx.rng);
+        assert_eq!(
+            cloud.search_unranked(&plain),
+            cloud.search_unranked(&randomized)
+        );
+    }
+
+    #[test]
+    fn metadata_is_returned_for_matches_only() {
+        let mut fx = fixture(SystemParams::default());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        cloud.insert(indexer.index_keywords(0, &["match"]));
+        cloud.insert(indexer.index_keywords(1, &["other"]));
+        let q = query(&mut fx, &["match"]);
+        let metadata = cloud.matching_metadata(&q);
+        assert_eq!(metadata.len(), 1);
+        assert_eq!(metadata[0].0, 0);
+        assert_eq!(metadata[0].1.len(), fx.params.rank_levels());
+    }
+
+    #[test]
+    fn empty_store_returns_no_matches() {
+        let mut fx = fixture(SystemParams::default());
+        let cloud = CloudIndex::new(fx.params.clone());
+        assert!(cloud.is_empty());
+        let q = query(&mut fx, &["anything"]);
+        assert!(cloud.search(&q).is_empty());
+        assert!(cloud.search_unranked(&q).is_empty());
+        assert!(cloud.document_index(0).is_none());
+    }
+
+    #[test]
+    fn document_index_lookup_finds_stored_index() {
+        let fx = fixture(SystemParams::default());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        let idx = indexer.index_keywords(42, &["kw"]);
+        cloud.insert(idx.clone());
+        assert_eq!(cloud.document_index(42), Some(&idx));
+        assert!(cloud.document_index(43).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "level count mismatch")]
+    fn inserting_index_with_wrong_level_count_panics() {
+        let fx = fixture(SystemParams::default());
+        let other_params = SystemParams::without_ranking();
+        let other_keys = SchemeKeys::generate(&other_params, &mut StdRng::seed_from_u64(5));
+        let other_indexer = DocumentIndexer::new(&other_params, &other_keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        cloud.insert(other_indexer.index_keywords(0, &["kw"]));
+    }
+
+    #[test]
+    fn insert_all_accepts_an_iterator() {
+        let fx = fixture(SystemParams::default());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        cloud.insert_all((0..5u64).map(|id| indexer.index_keywords(id, &["kw"])));
+        assert_eq!(cloud.len(), 5);
+    }
+
+    #[test]
+    fn unranked_search_with_single_level_params() {
+        let mut fx = fixture(SystemParams::without_ranking());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        cloud.insert(indexer.index_keywords(0, &["kw"]));
+        let q = query(&mut fx, &["kw"]);
+        let (hits, stats) = cloud.search_ranked_with_stats(&q);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rank, 1);
+        assert_eq!(stats.comparisons, 1);
+    }
+}

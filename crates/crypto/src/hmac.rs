@@ -1,0 +1,171 @@
+//! HMAC (RFC 2104) over the SHA-2 family.
+//!
+//! The MKSE scheme derives every keyword index from `HMAC_k(keyword)` where `k` is the secret
+//! key of the keyword's bin (§4.1–4.2). [`HmacSha256`] and [`HmacSha512`] are the two
+//! instantiations; [`crate::prf::LongPrf`] expands them to the `l`-bit output the scheme needs.
+
+use crate::sha256::{self, Sha256};
+use crate::sha512::{self, Sha512};
+
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+macro_rules! define_hmac {
+    ($name:ident, $hash:ident, $hash_mod:ident, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone)]
+        pub struct $name {
+            inner: $hash,
+            opad_key: [u8; $hash_mod::BLOCK_LEN],
+        }
+
+        impl $name {
+            /// Create a MAC instance keyed with `key` (any length; longer keys are hashed
+            /// first, as required by RFC 2104).
+            pub fn new(key: &[u8]) -> Self {
+                let mut block_key = [0u8; $hash_mod::BLOCK_LEN];
+                if key.len() > $hash_mod::BLOCK_LEN {
+                    let digest = $hash::digest(key);
+                    block_key[..digest.len()].copy_from_slice(&digest);
+                } else {
+                    block_key[..key.len()].copy_from_slice(key);
+                }
+                let mut ipad_key = [0u8; $hash_mod::BLOCK_LEN];
+                let mut opad_key = [0u8; $hash_mod::BLOCK_LEN];
+                for i in 0..$hash_mod::BLOCK_LEN {
+                    ipad_key[i] = block_key[i] ^ IPAD;
+                    opad_key[i] = block_key[i] ^ OPAD;
+                }
+                let mut inner = $hash::new();
+                inner.update(&ipad_key);
+                $name { inner, opad_key }
+            }
+
+            /// Feed message bytes into the MAC.
+            pub fn update(&mut self, data: &[u8]) {
+                self.inner.update(data);
+            }
+
+            /// Finish and return the authentication tag.
+            pub fn finalize(self) -> [u8; $hash_mod::DIGEST_LEN] {
+                let inner_digest = self.inner.finalize();
+                let mut outer = $hash::new();
+                outer.update(&self.opad_key);
+                outer.update(&inner_digest);
+                outer.finalize()
+            }
+
+            /// One-shot convenience.
+            pub fn mac(key: &[u8], data: &[u8]) -> [u8; $hash_mod::DIGEST_LEN] {
+                let mut h = Self::new(key);
+                h.update(data);
+                h.finalize()
+            }
+
+            /// Verify a tag in constant time.
+            pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+                crate::ct_eq(&Self::mac(key, data), tag)
+            }
+        }
+    };
+}
+
+define_hmac!(HmacSha256, Sha256, sha256, "HMAC-SHA-256 (RFC 2104 / RFC 4231).");
+define_hmac!(HmacSha512, Sha512, sha512, "HMAC-SHA-512 (RFC 2104 / RFC 4231).");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex(&HmacSha512::mac(&key, data)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let key = b"Jefe";
+        let data = b"what do ya want for nothing?";
+        assert_eq!(
+            hex(&HmacSha256::mac(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+        assert_eq!(
+            hex(&HmacSha512::mac(key, data)),
+            "164b7a7bfcf819e2e395fbe73b56e0a387bd64222e831fd610270cd7ea250554\
+             9758bf75c05a994a6d034f65f8f0e6fdcaeab1a34d4a6b4b636e070a38bce737"
+        );
+    }
+
+    // RFC 4231 test case 3: 20-byte 0xaa key, 50 bytes of 0xdd data.
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaau8; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex(&HmacSha256::mac(&key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+        assert_eq!(
+            hex(&HmacSha512::mac(&key, data)),
+            "80b24263c7c1a3ebb71493c1dd7be8b49b46d1f41b4aeec1121b013783f8f352\
+             6b56d037e05f2598bd0fd2215d6a1e5295e64f73f63f0aec8b915a985d786598"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_correct_tag_and_rejects_wrong() {
+        let key = b"bin-key-17";
+        let tag = HmacSha256::mac(key, b"keyword");
+        assert!(HmacSha256::verify(key, b"keyword", &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!HmacSha256::verify(key, b"keyword", &bad));
+        assert!(!HmacSha256::verify(b"other-key", b"keyword", &tag));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"k";
+        let data = b"splitting a message into pieces must not change the MAC";
+        let mut h = HmacSha256::new(key);
+        for chunk in data.chunks(5) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), HmacSha256::mac(key, data));
+    }
+
+    #[test]
+    fn different_keys_give_different_macs() {
+        let a = HmacSha256::mac(b"key-a", b"payload");
+        let b = HmacSha256::mac(b"key-b", b"payload");
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! E10 — §6: validating the analytic model against measurement.
+//!
+//! Checks three of the paper's analytic quantities against empirical averages over real keyword
+//! indices: `F(x)` (expected zeros in an x-keyword index), `Δ(x, x̄)` (expected Hamming
+//! distance between two x-keyword queries sharing x̄ keywords, Eq. 5) and `EO` (expected number
+//! of shared random keywords between two queries, Eq. 6).
+
+use mkse_core::{
+    expected_hamming_distance, expected_random_overlap, expected_zeros, BitIndex, SchemeKeys,
+    SystemParams,
+};
+use mkse_experiments::{header, ExpArgs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build_index(params: &SystemParams, keys: &SchemeKeys, keywords: &[String]) -> BitIndex {
+    let mut idx = BitIndex::all_ones(params.index_bits);
+    for kw in keywords {
+        idx.bitwise_product_assign(keys.trapdoor_for(params, kw).index());
+    }
+    idx
+}
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let trials = args.scaled(200, 20);
+    let params = SystemParams::default();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let keys = SchemeKeys::generate(&params, &mut rng);
+    header(&format!(
+        "E10  §6 analytic model validation — r = 448, d = 6, {trials} trials per point"
+    ));
+
+    println!("\n  F(x): expected number of zero bits in an x-keyword index");
+    println!("  x   | analytic F(x) | measured mean");
+    for x in [1usize, 2, 5, 10, 20, 30, 40, 60, 63] {
+        let mut total = 0usize;
+        for t in 0..trials {
+            let kws: Vec<String> = (0..x).map(|i| format!("f-{t}-{i}")).collect();
+            total += build_index(&params, &keys, &kws).count_zeros();
+        }
+        println!(
+            "  {x:>3} | {:>13.2} | {:>13.2}",
+            expected_zeros(&params, x),
+            total as f64 / trials as f64
+        );
+    }
+
+    println!("\n  Δ(x, x̄): expected Hamming distance, Eq. (5)  (x = 33 ≈ 3 genuine + 30 random)");
+    println!("  shared x̄ | analytic Δ | measured mean");
+    let x = 33usize;
+    for x_bar in [0usize, 10, 15, 20, 30, 33] {
+        let mut total = 0usize;
+        for t in 0..trials {
+            let shared: Vec<String> = (0..x_bar).map(|i| format!("s-{t}-{i}")).collect();
+            let mut left = shared.clone();
+            left.extend((0..x - x_bar).map(|i| format!("l-{t}-{i}")));
+            let mut right = shared.clone();
+            right.extend((0..x - x_bar).map(|i| format!("r-{t}-{i}")));
+            total += build_index(&params, &keys, &left)
+                .hamming_distance(&build_index(&params, &keys, &right));
+        }
+        println!(
+            "  {x_bar:>8} | {:>10.2} | {:>13.2}",
+            expected_hamming_distance(&params, x, x_bar),
+            total as f64 / trials as f64
+        );
+    }
+
+    println!("\n  EO: expected number of shared random keywords between two queries (Eq. 6)");
+    let pool = keys.random_pool();
+    let mut total_overlap = 0usize;
+    for _ in 0..trials {
+        let a: std::collections::HashSet<usize> =
+            pool.choose_subset(params.query_random_keywords, &mut rng).into_iter().collect();
+        let b: std::collections::HashSet<usize> =
+            pool.choose_subset(params.query_random_keywords, &mut rng).into_iter().collect();
+        total_overlap += a.intersection(&b).count();
+    }
+    println!(
+        "  analytic EO = V/2 = {:.1}, measured mean = {:.2}  (V = {}, U = {})",
+        expected_random_overlap(params.query_random_keywords),
+        total_overlap as f64 / trials as f64,
+        params.query_random_keywords,
+        params.doc_random_keywords
+    );
+}

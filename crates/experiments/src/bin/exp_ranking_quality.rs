@@ -1,0 +1,112 @@
+//! E1 — §5 ranking-quality experiment.
+//!
+//! Workload (paper defaults): 1000 equal-length files, 3 searched keywords, each appearing in
+//! `f_t = 200` files, 20 files containing all three, term frequencies uniform in `[1, 15]`,
+//! `η = 5` ranking levels. The MKSE level-based ranking is compared against the Eq. (4)
+//! relevance score over repeated trials.
+//!
+//! Paper reference: top-1 agreement ≈ 40%, reference top-1 inside MKSE top-3 100% of the time,
+//! ≥ 4 of the reference top-5 inside MKSE top-5 ≈ 80% of the time.
+
+use mkse_baselines::metrics::RankingComparison;
+use mkse_baselines::relevance::RelevanceRanker;
+use mkse_core::{CloudIndex, DocumentIndexer, QueryBuilder, SchemeKeys, SystemParams};
+use mkse_experiments::{header, timed, ExpArgs};
+use mkse_textproc::corpus::RankingWorkload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = ExpArgs::from_env();
+    let trials = args.scaled(40, 4);
+    let num_docs = args.scaled(1000, 100);
+    header(&format!(
+        "E1  §5 ranking quality: {trials} trials, {num_docs} documents, eta = 5"
+    ));
+
+    let params = SystemParams::with_five_levels();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let mut comparison = RankingComparison::new();
+    let mut exact_top1 = 0usize;
+
+    let (_, total) = timed(|| {
+        for trial in 0..trials {
+            let workload = RankingWorkload::generate_with(&mut rng, num_docs, 3, 200.min(num_docs / 5).max(25), 20.min(num_docs / 50).max(5), (1, 15));
+            let keys = SchemeKeys::generate(&params, &mut rng);
+            let indexer = DocumentIndexer::new(&params, &keys);
+
+            // Index only the full-match documents' competition: the whole corpus goes to the
+            // server, exactly as in a deployment.
+            let mut cloud = CloudIndex::new(params.clone());
+            cloud.insert_all(indexer.index_documents(&workload.corpus.documents));
+
+            let query_keywords: Vec<&str> =
+                workload.query_keywords.iter().map(|s| s.as_str()).collect();
+            let trapdoors = keys.trapdoors_for(&params, &query_keywords);
+            let pool = keys.random_pool_trapdoors(&params);
+            let query = QueryBuilder::new(&params)
+                .add_trapdoors(&trapdoors)
+                .with_randomization(&pool)
+                .build(&mut rng);
+
+            // MKSE ranking restricted to the ground-truth full matches (the paper compares the
+            // orderings of the documents that really contain all searched keywords).
+            let truth: std::collections::HashSet<u64> =
+                workload.full_match_ids.iter().copied().collect();
+            let mkse_ranking: Vec<u64> = cloud
+                .search(&query)
+                .into_iter()
+                .filter(|m| truth.contains(&m.document_id))
+                .map(|m| m.document_id)
+                .collect();
+
+            // Eq. (4) reference ranking over the same documents.
+            let full_docs: Vec<_> = workload
+                .corpus
+                .documents
+                .iter()
+                .filter(|d| truth.contains(&d.id))
+                .cloned()
+                .collect();
+            let ranker = RelevanceRanker::from_documents_with_length(
+                &workload.corpus.documents,
+                Some(workload.document_length),
+            );
+            let reference: Vec<u64> = ranker
+                .rank(&query_keywords, &full_docs)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+
+            comparison.record(&reference, &mkse_ranking);
+            if reference.first() == mkse_ranking.first() {
+                exact_top1 += 1;
+            }
+            if trial == 0 {
+                println!(
+                    "  trial 0: {} full matches, MKSE returned {} of them",
+                    workload.full_match_ids.len(),
+                    mkse_ranking.len()
+                );
+            }
+        }
+    });
+
+    println!("\nresults over {trials} trials ({:.1}s total):", total.as_secs_f64());
+    println!(
+        "  reference top-1 is MKSE top-1            : {:>5.1}%   (paper: ~40%)",
+        100.0 * comparison.top1_agreement_rate()
+    );
+    println!(
+        "  reference top-1 within MKSE top-3        : {:>5.1}%   (paper: 100%)",
+        100.0 * comparison.top1_in_top3_rate()
+    );
+    println!(
+        "  >=4 of reference top-5 within MKSE top-5 : {:>5.1}%   (paper: ~80%)",
+        100.0 * comparison.four_of_top5_rate()
+    );
+    println!(
+        "  exact top-1 id equality (strict ties)    : {:>5.1}%",
+        100.0 * exact_top1 as f64 / trials as f64
+    );
+}

@@ -1,0 +1,195 @@
+//! Communication-cost accounting (Table 1).
+//!
+//! Every message an actor sends is recorded in a [`CostLedger`] as `(sender, receiver, phase,
+//! bits)`. The ledger can then be summarized exactly the way Table 1 presents the costs: bits
+//! *sent by* each party, per protocol phase (trapdoor / search / decrypt).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The three protocol roles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Party {
+    /// A querying user.
+    User,
+    /// The data owner (or its active delegate).
+    DataOwner,
+    /// The cloud server.
+    Server,
+}
+
+impl std::fmt::Display for Party {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Party::User => write!(f, "user"),
+            Party::DataOwner => write!(f, "data owner"),
+            Party::Server => write!(f, "server"),
+        }
+    }
+}
+
+/// The three phases Table 1 breaks the communication down into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Learning the trapdoor (user ↔ data owner).
+    Trapdoor,
+    /// Sending the query and receiving results/documents (user ↔ server).
+    Search,
+    /// Learning the decryption key through blinding (user ↔ data owner).
+    Decrypt,
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Trapdoor => write!(f, "trapdoor"),
+            Phase::Search => write!(f, "search"),
+            Phase::Decrypt => write!(f, "decrypt"),
+        }
+    }
+}
+
+/// One recorded transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transmission {
+    /// Sending party (the one Table 1 charges the bits to).
+    pub from: Party,
+    /// Receiving party.
+    pub to: Party,
+    /// Protocol phase.
+    pub phase: Phase,
+    /// Message size in bits.
+    pub bits: u64,
+}
+
+/// A shared, thread-safe ledger of every transmission in a protocol run.
+///
+/// Cloning the ledger clones the handle, not the data, so every actor can hold one.
+#[derive(Clone, Default, Debug)]
+pub struct CostLedger {
+    inner: Arc<Mutex<Vec<Transmission>>>,
+}
+
+impl CostLedger {
+    /// Create an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one transmission.
+    pub fn record(&self, from: Party, to: Party, phase: Phase, bits: u64) {
+        self.inner.lock().push(Transmission { from, to, phase, bits });
+    }
+
+    /// All transmissions recorded so far.
+    pub fn transmissions(&self) -> Vec<Transmission> {
+        self.inner.lock().clone()
+    }
+
+    /// Total bits *sent* by `party` in `phase` — one cell of Table 1.
+    pub fn bits_sent(&self, party: Party, phase: Phase) -> u64 {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|t| t.from == party && t.phase == phase)
+            .map(|t| t.bits)
+            .sum()
+    }
+
+    /// Total bits sent by `party` across all phases.
+    pub fn total_bits_sent(&self, party: Party) -> u64 {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|t| t.from == party)
+            .map(|t| t.bits)
+            .sum()
+    }
+
+    /// Total traffic in the run.
+    pub fn total_bits(&self) -> u64 {
+        self.inner.lock().iter().map(|t| t.bits).sum()
+    }
+
+    /// A `(party, phase) → bits` table — the full Table 1 grid.
+    pub fn table(&self) -> BTreeMap<(Party, Phase), u64> {
+        let mut out = BTreeMap::new();
+        for t in self.inner.lock().iter() {
+            *out.entry((t.from, t.phase)).or_insert(0) += t.bits;
+        }
+        out
+    }
+
+    /// Render the grid as alignment-friendly text rows (used by the experiment binaries).
+    pub fn render_table(&self) -> String {
+        let table = self.table();
+        let mut out = String::from("party        | trapdoor (bits) | search (bits) | decrypt (bits)\n");
+        for party in [Party::User, Party::DataOwner, Party::Server] {
+            let cell = |phase| table.get(&(party, phase)).copied().unwrap_or(0);
+            out.push_str(&format!(
+                "{:<12} | {:>15} | {:>13} | {:>14}\n",
+                party.to_string(),
+                cell(Phase::Trapdoor),
+                cell(Phase::Search),
+                cell(Phase::Decrypt)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_sums_by_party_and_phase() {
+        let ledger = CostLedger::new();
+        ledger.record(Party::User, Party::DataOwner, Phase::Trapdoor, 96);
+        ledger.record(Party::DataOwner, Party::User, Phase::Trapdoor, 1024);
+        ledger.record(Party::User, Party::Server, Phase::Search, 448);
+        ledger.record(Party::Server, Party::User, Phase::Search, 10_000);
+        ledger.record(Party::User, Party::DataOwner, Phase::Decrypt, 1024);
+        ledger.record(Party::DataOwner, Party::User, Phase::Decrypt, 1024);
+
+        assert_eq!(ledger.bits_sent(Party::User, Phase::Trapdoor), 96);
+        assert_eq!(ledger.bits_sent(Party::User, Phase::Search), 448);
+        assert_eq!(ledger.bits_sent(Party::Server, Phase::Search), 10_000);
+        assert_eq!(ledger.bits_sent(Party::Server, Phase::Trapdoor), 0);
+        assert_eq!(ledger.total_bits_sent(Party::User), 96 + 448 + 1024);
+        assert_eq!(ledger.total_bits(), 96 + 1024 + 448 + 10_000 + 1024 + 1024);
+        assert_eq!(ledger.transmissions().len(), 6);
+    }
+
+    #[test]
+    fn table_and_render() {
+        let ledger = CostLedger::new();
+        ledger.record(Party::User, Party::Server, Phase::Search, 448);
+        let table = ledger.table();
+        assert_eq!(table.get(&(Party::User, Phase::Search)), Some(&448));
+        let rendered = ledger.render_table();
+        assert!(rendered.contains("user"));
+        assert!(rendered.contains("448"));
+        assert!(rendered.contains("server"));
+    }
+
+    #[test]
+    fn ledger_handles_are_shared() {
+        let a = CostLedger::new();
+        let b = a.clone();
+        a.record(Party::User, Party::Server, Phase::Search, 10);
+        assert_eq!(b.total_bits(), 10);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(Party::User.to_string(), "user");
+        assert_eq!(Party::DataOwner.to_string(), "data owner");
+        assert_eq!(Party::Server.to_string(), "server");
+        assert_eq!(Phase::Trapdoor.to_string(), "trapdoor");
+        assert_eq!(Phase::Search.to_string(), "search");
+        assert_eq!(Phase::Decrypt.to_string(), "decrypt");
+    }
+}

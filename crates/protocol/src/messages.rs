@@ -1,0 +1,276 @@
+//! Protocol messages and their wire sizes.
+//!
+//! Every message knows its size in bits so the [`crate::CostLedger`] can be fed exactly what
+//! Table 1 accounts for: bin ids are 32-bit integers, indices are `r` bits, RSA values are
+//! `log N` bits, signatures are `log N` bits, and ciphertexts are as long as the documents.
+
+use mkse_core::bins::BinId;
+use mkse_core::bitindex::BitIndex;
+use mkse_crypto::bigint::BigUint;
+use mkse_crypto::rsa::RsaSignature;
+
+/// User → data owner: "send me the keys of these bins" (§4.2), signed by the user.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrapdoorRequest {
+    /// Requesting user (so the owner can look up the verification key).
+    pub user_id: u64,
+    /// The bins covering the user's keywords (deduplicated).
+    pub bin_ids: Vec<BinId>,
+    /// Signature over the bin list (non-impersonation).
+    pub signature: RsaSignature,
+}
+
+impl TrapdoorRequest {
+    /// The canonical byte encoding the signature covers.
+    pub fn signed_payload(user_id: u64, bin_ids: &[BinId]) -> Vec<u8> {
+        let mut payload = user_id.to_be_bytes().to_vec();
+        for b in bin_ids {
+            payload.extend_from_slice(&b.to_be_bytes());
+        }
+        payload
+    }
+
+    /// Size on the wire: 32 bits per bin id plus a `log N`-bit signature (Table 1's
+    /// `32·γ + log N`).
+    pub fn bits(&self, modulus_bits: usize) -> u64 {
+        32 * self.bin_ids.len() as u64 + modulus_bits as u64
+    }
+}
+
+/// Data owner → user: the requested bin keys, encrypted under the user's public key.
+///
+/// Each bin key travels as one RSA ciphertext of `log N` bits (the paper's reply is "encrypted
+/// with the user's public-key, so the size of the result is log N" for a single-bin request).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrapdoorReply {
+    /// `(bin id, RSA encryption of that bin's HMAC key)` pairs.
+    pub encrypted_bin_keys: Vec<(BinId, BigUint)>,
+}
+
+impl TrapdoorReply {
+    /// Size on the wire: `log N` bits per returned bin key.
+    pub fn bits(&self, modulus_bits: usize) -> u64 {
+        self.encrypted_bin_keys.len() as u64 * modulus_bits as u64
+    }
+}
+
+/// User → server: the r-bit query index (§4.2). No identity, no signature — the server does
+/// not need to know who is asking (§7, Theorem 4 discussion).
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryMessage {
+    /// The query index.
+    pub query: BitIndex,
+    /// How many top matches the user wants back (τ of §5); `None` means all matches.
+    pub top: Option<usize>,
+}
+
+impl QueryMessage {
+    /// Size on the wire: `r` bits (independent of the number of search terms).
+    pub fn bits(&self) -> u64 {
+        self.query.serialized_bits() as u64
+    }
+}
+
+/// Server → user: ids and index metadata of the matching documents (§4.3: "the server sends
+/// metadata of the matching documents to the user").
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchReply {
+    /// `(document id, rank, per-level metadata)` for each match, best rank first.
+    pub matches: Vec<SearchResultEntry>,
+}
+
+/// One entry of a [`SearchReply`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct SearchResultEntry {
+    /// The matching document.
+    pub document_id: u64,
+    /// Its rank (highest matching level).
+    pub rank: u32,
+    /// The document's per-level search indices (the "metadata" the user analyses locally).
+    pub metadata: Vec<BitIndex>,
+}
+
+impl SearchReply {
+    /// Size on the wire: the metadata dominates — `α·η·r` bits plus 64 bits of id and 32 bits
+    /// of rank per match (Table 1 counts the dominant `α·r` term).
+    pub fn bits(&self) -> u64 {
+        self.matches
+            .iter()
+            .map(|m| {
+                96 + m
+                    .metadata
+                    .iter()
+                    .map(|idx| idx.serialized_bits() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+}
+
+/// User → server: retrieve these documents (the θ chosen after analyzing the metadata).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DocumentRequest {
+    /// Ids of the documents to fetch.
+    pub document_ids: Vec<u64>,
+}
+
+impl DocumentRequest {
+    /// Size on the wire: 64 bits per requested id.
+    pub fn bits(&self) -> u64 {
+        64 * self.document_ids.len() as u64
+    }
+}
+
+/// Server → user: the encrypted documents and their RSA-encrypted symmetric keys
+/// (`θ·(doc_size + log N)` bits in Table 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DocumentReply {
+    /// One entry per requested document.
+    pub documents: Vec<EncryptedDocumentTransfer>,
+}
+
+/// One encrypted document in transit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EncryptedDocumentTransfer {
+    /// Document id.
+    pub document_id: u64,
+    /// Symmetric-key ciphertext of the document body.
+    pub ciphertext: Vec<u8>,
+    /// RSA encryption of the per-document symmetric key.
+    pub encrypted_key: BigUint,
+}
+
+impl DocumentReply {
+    /// Size on the wire.
+    pub fn bits(&self, modulus_bits: usize) -> u64 {
+        self.documents
+            .iter()
+            .map(|d| 64 + 8 * d.ciphertext.len() as u64 + modulus_bits as u64)
+            .sum()
+    }
+}
+
+/// User → data owner: a blinded RSA ciphertext to decrypt (§4.4), signed by the user.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlindDecryptRequest {
+    /// Requesting user.
+    pub user_id: u64,
+    /// `z = cᵉ·y mod N`.
+    pub blinded_ciphertext: BigUint,
+    /// Signature over the blinded ciphertext.
+    pub signature: RsaSignature,
+}
+
+impl BlindDecryptRequest {
+    /// The canonical byte encoding the signature covers.
+    pub fn signed_payload(user_id: u64, blinded: &BigUint) -> Vec<u8> {
+        let mut payload = user_id.to_be_bytes().to_vec();
+        payload.extend_from_slice(&blinded.to_bytes_be());
+        payload
+    }
+
+    /// Size on the wire: `log N` bits of ciphertext plus a `log N`-bit signature.
+    pub fn bits(&self, modulus_bits: usize) -> u64 {
+        2 * modulus_bits as u64
+    }
+}
+
+/// Data owner → user: the blinded decryption `z̄ = z^d mod N` (`log N` bits).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlindDecryptReply {
+    /// The blinded plaintext.
+    pub blinded_plaintext: BigUint,
+}
+
+impl BlindDecryptReply {
+    /// Size on the wire.
+    pub fn bits(&self, modulus_bits: usize) -> u64 {
+        modulus_bits as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkse_crypto::bigint::BigUint;
+
+    #[test]
+    fn trapdoor_request_bits_match_table1() {
+        let req = TrapdoorRequest {
+            user_id: 1,
+            bin_ids: vec![3, 7, 11],
+            signature: RsaSignature::from_value(BigUint::from_u64(1)),
+        };
+        // 32·γ + log N with γ = 3 bins and a 1024-bit modulus.
+        assert_eq!(req.bits(1024), 32 * 3 + 1024);
+    }
+
+    #[test]
+    fn signed_payload_is_deterministic_and_order_sensitive() {
+        let a = TrapdoorRequest::signed_payload(1, &[1, 2]);
+        let b = TrapdoorRequest::signed_payload(1, &[1, 2]);
+        let c = TrapdoorRequest::signed_payload(1, &[2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trapdoor_reply_bits_scale_with_bins() {
+        let reply = TrapdoorReply {
+            encrypted_bin_keys: vec![(1, BigUint::from_u64(9)), (2, BigUint::from_u64(8))],
+        };
+        assert_eq!(reply.bits(1024), 2048);
+    }
+
+    #[test]
+    fn query_message_is_r_bits() {
+        let q = QueryMessage {
+            query: BitIndex::all_ones(448),
+            top: Some(5),
+        };
+        assert_eq!(q.bits(), 448);
+    }
+
+    #[test]
+    fn search_reply_bits_scale_with_matches_and_levels() {
+        let entry = SearchResultEntry {
+            document_id: 1,
+            rank: 2,
+            metadata: vec![BitIndex::all_ones(448); 3],
+        };
+        let reply = SearchReply {
+            matches: vec![entry.clone(), entry],
+        };
+        assert_eq!(reply.bits(), 2 * (96 + 3 * 448));
+    }
+
+    #[test]
+    fn document_messages_bits() {
+        let req = DocumentRequest { document_ids: vec![5, 9] };
+        assert_eq!(req.bits(), 128);
+        let reply = DocumentReply {
+            documents: vec![EncryptedDocumentTransfer {
+                document_id: 5,
+                ciphertext: vec![0u8; 100],
+                encrypted_key: BigUint::from_u64(3),
+            }],
+        };
+        assert_eq!(reply.bits(1024), 64 + 800 + 1024);
+    }
+
+    #[test]
+    fn blind_decrypt_messages_bits() {
+        let req = BlindDecryptRequest {
+            user_id: 7,
+            blinded_ciphertext: BigUint::from_u64(123),
+            signature: RsaSignature::from_value(BigUint::from_u64(1)),
+        };
+        assert_eq!(req.bits(1024), 2048);
+        let reply = BlindDecryptReply {
+            blinded_plaintext: BigUint::from_u64(5),
+        };
+        assert_eq!(reply.bits(1024), 1024);
+        let payload = BlindDecryptRequest::signed_payload(7, &BigUint::from_u64(123));
+        assert!(payload.len() > 8);
+    }
+}

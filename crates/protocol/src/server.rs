@@ -1,0 +1,202 @@
+//! The cloud server (§3): stores encrypted documents plus searchable indices and answers
+//! queries with pure bit comparisons.
+
+use crate::counters::OperationCounters;
+use crate::messages::{
+    DocumentReply, DocumentRequest, EncryptedDocumentTransfer, QueryMessage, SearchReply,
+    SearchResultEntry,
+};
+use crate::ProtocolError;
+use mkse_core::document_index::RankedDocumentIndex;
+use mkse_core::params::SystemParams;
+use mkse_core::query::QueryIndex;
+use mkse_core::search::CloudIndex;
+use std::collections::BTreeMap;
+
+/// The cloud-server actor.
+pub struct CloudServer {
+    index: CloudIndex,
+    documents: BTreeMap<u64, EncryptedDocumentTransfer>,
+    counters: OperationCounters,
+}
+
+impl CloudServer {
+    /// Create an empty server for the given public parameters.
+    pub fn new(params: SystemParams) -> Self {
+        CloudServer {
+            index: CloudIndex::new(params),
+            documents: BTreeMap::new(),
+            counters: OperationCounters::new(),
+        }
+    }
+
+    /// Accept the data owner's upload: searchable indices and encrypted documents.
+    pub fn upload(
+        &mut self,
+        indices: Vec<RankedDocumentIndex>,
+        documents: Vec<EncryptedDocumentTransfer>,
+    ) {
+        for idx in indices {
+            self.index.insert(idx);
+        }
+        for doc in documents {
+            self.documents.insert(doc.document_id, doc);
+        }
+    }
+
+    /// Number of stored documents (σ).
+    pub fn num_documents(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Handle a query (§4.3 + Algorithm 1): ranked search over every stored index, returning
+    /// matching document ids, ranks and their index metadata.
+    pub fn handle_query(&mut self, message: &QueryMessage) -> SearchReply {
+        let query = QueryIndex::from_bits(message.query.clone());
+        let (matches, stats) = self.index.search_ranked_with_stats(&query);
+        self.counters.binary_comparisons += stats.comparisons;
+        let limit = message.top.unwrap_or(matches.len());
+        let entries = matches
+            .into_iter()
+            .take(limit)
+            .map(|m| {
+                let metadata = self
+                    .index
+                    .document_index(m.document_id)
+                    .map(|idx| idx.levels.clone())
+                    .unwrap_or_default();
+                SearchResultEntry {
+                    document_id: m.document_id,
+                    rank: m.rank,
+                    metadata,
+                }
+            })
+            .collect();
+        SearchReply { matches: entries }
+    }
+
+    /// Handle a document-retrieval request: return the ciphertexts and RSA-encrypted keys of
+    /// the requested documents.
+    pub fn handle_document_request(
+        &mut self,
+        request: &DocumentRequest,
+    ) -> Result<DocumentReply, ProtocolError> {
+        let mut documents = Vec::with_capacity(request.document_ids.len());
+        for &id in &request.document_ids {
+            let doc = self
+                .documents
+                .get(&id)
+                .ok_or(ProtocolError::UnknownDocument(id))?;
+            documents.push(doc.clone());
+        }
+        Ok(DocumentReply { documents })
+    }
+
+    /// Operation counters accumulated so far (binary comparisons only — the server does no
+    /// cryptography, which is the point of the scheme).
+    pub fn counters(&self) -> &OperationCounters {
+        &self.counters
+    }
+
+    /// Reset the counters.
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    /// The public parameters this server runs with.
+    pub fn params(&self) -> &SystemParams {
+        self.index.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data_owner::{DataOwner, OwnerConfig};
+    use mkse_core::query::QueryBuilder;
+    use mkse_textproc::document::Document;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn populated_server() -> (DataOwner, CloudServer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut owner = DataOwner::new(OwnerConfig::fast_for_tests(), &mut rng);
+        let docs = vec![
+            Document::from_text(0, "cloud privacy search encryption"),
+            Document::from_text(1, "weather forecast rain"),
+            Document::from_text(2, "cloud storage pricing"),
+        ];
+        let (indices, encrypted) = owner.prepare_documents(&docs, &mut rng);
+        let mut server = CloudServer::new(owner.params().clone());
+        server.upload(indices, encrypted);
+        (owner, server, rng)
+    }
+
+    fn query_for(owner: &DataOwner, keywords: &[&str], rng: &mut StdRng) -> QueryMessage {
+        let trapdoors = owner.scheme_keys().trapdoors_for(owner.params(), keywords);
+        let pool = owner.random_pool_trapdoors();
+        let q = QueryBuilder::new(owner.params())
+            .add_trapdoors(&trapdoors)
+            .with_randomization(&pool)
+            .build(rng);
+        QueryMessage {
+            query: q.bits().clone(),
+            top: None,
+        }
+    }
+
+    #[test]
+    fn query_returns_matching_documents_with_metadata() {
+        let (owner, mut server, mut rng) = populated_server();
+        assert_eq!(server.num_documents(), 3);
+        // "cloud" is stemmed to "cloud"; documents 0 and 2 contain it.
+        let reply = server.handle_query(&query_for(&owner, &["cloud"], &mut rng));
+        let ids: Vec<u64> = reply.matches.iter().map(|m| m.document_id).collect();
+        assert!(ids.contains(&0));
+        assert!(ids.contains(&2));
+        assert!(!ids.contains(&1));
+        for m in &reply.matches {
+            assert_eq!(m.metadata.len(), owner.params().rank_levels());
+            assert!(m.rank >= 1);
+        }
+        assert!(server.counters().binary_comparisons >= 3);
+    }
+
+    #[test]
+    fn top_limit_truncates_results() {
+        let (owner, mut server, mut rng) = populated_server();
+        let mut msg = query_for(&owner, &["cloud"], &mut rng);
+        msg.top = Some(1);
+        let reply = server.handle_query(&msg);
+        assert_eq!(reply.matches.len(), 1);
+    }
+
+    #[test]
+    fn document_request_returns_ciphertexts() {
+        let (_, mut server, _) = populated_server();
+        let reply = server
+            .handle_document_request(&DocumentRequest { document_ids: vec![0, 2] })
+            .unwrap();
+        assert_eq!(reply.documents.len(), 2);
+        assert_eq!(reply.documents[0].document_id, 0);
+        assert!(!reply.documents[0].ciphertext.is_empty());
+    }
+
+    #[test]
+    fn unknown_document_is_an_error() {
+        let (_, mut server, _) = populated_server();
+        assert_eq!(
+            server.handle_document_request(&DocumentRequest { document_ids: vec![99] }),
+            Err(ProtocolError::UnknownDocument(99))
+        );
+    }
+
+    #[test]
+    fn server_counters_reset() {
+        let (owner, mut server, mut rng) = populated_server();
+        let _ = server.handle_query(&query_for(&owner, &["cloud"], &mut rng));
+        assert!(server.counters().binary_comparisons > 0);
+        server.reset_counters();
+        assert_eq!(server.counters().binary_comparisons, 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! End-to-end protocol sessions (Figure 1) with full cost accounting.
+//!
+//! [`SearchSession::setup`] plays the offline phase: the data owner generates keys, indexes
+//! and encrypts the corpus, and uploads everything to the cloud server; a user is registered
+//! and receives the randomization pool. [`SearchSession::run_query`] then plays the four
+//! online steps of Figure 1 — trapdoor exchange, query, retrieval, blinded key decryption —
+//! recording every transmission in a [`CostLedger`] and every operation in the per-party
+//! counters, which is exactly the data Tables 1 and 2 present.
+
+use crate::channel::{CostLedger, Party, Phase};
+use crate::counters::OperationCounters;
+use crate::data_owner::{DataOwner, OwnerConfig};
+use crate::server::CloudServer;
+use crate::user::User;
+use crate::ProtocolError;
+use mkse_textproc::document::Document;
+use rand::Rng;
+
+/// A complete three-party deployment plus the communication ledger.
+pub struct SearchSession {
+    /// The data owner actor.
+    pub owner: DataOwner,
+    /// The cloud server actor.
+    pub server: CloudServer,
+    /// The (single) user actor; multi-user scenarios construct extra users by hand.
+    pub user: User,
+    /// Ledger of every transmission.
+    pub ledger: CostLedger,
+}
+
+/// What one full query round produced.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// `(document id, rank)` of every match the server returned, best first.
+    pub matches: Vec<(u64, u32)>,
+    /// Decrypted plaintexts of the retrieved documents.
+    pub retrieved: Vec<(u64, Vec<u8>)>,
+    /// Communication costs of this round (Table 1).
+    pub communication: CostLedger,
+    /// The user's operation counts (Table 2, user row).
+    pub user_ops: OperationCounters,
+    /// The data owner's operation counts (Table 2, data-owner row).
+    pub owner_ops: OperationCounters,
+    /// The server's operation counts (Table 2, server row).
+    pub server_ops: OperationCounters,
+}
+
+impl SessionReport {
+    /// Render a compact human-readable summary (used by the examples and experiments).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "matches: {} (top rank {})\n",
+            self.matches.len(),
+            self.matches.first().map(|m| m.1).unwrap_or(0)
+        ));
+        out.push_str(&format!("retrieved documents: {}\n", self.retrieved.len()));
+        out.push_str("\ncommunication (bits sent, per party and phase):\n");
+        out.push_str(&self.communication.render_table());
+        out.push_str("\nuser operations:\n");
+        out.push_str(&self.user_ops.render());
+        out.push_str("data owner operations:\n");
+        out.push_str(&self.owner_ops.render());
+        out.push_str("server operations:\n");
+        out.push_str(&self.server_ops.render());
+        out
+    }
+}
+
+impl SearchSession {
+    /// Offline phase: create the three actors, index and encrypt `documents`, upload to the
+    /// server, register the user and hand it the randomization pool.
+    pub fn setup<R: Rng + ?Sized>(
+        config: OwnerConfig,
+        documents: &[Document],
+        rng: &mut R,
+    ) -> Self {
+        let rsa_bits = config.rsa_modulus_bits;
+        let mut owner = DataOwner::new(config, rng);
+        let (indices, encrypted) = owner.prepare_documents(documents, rng);
+        let mut server = CloudServer::new(owner.params().clone());
+        server.upload(indices, encrypted);
+
+        let mut user = User::new(
+            1,
+            owner.params().clone(),
+            owner.public_key().clone(),
+            rsa_bits,
+            rng,
+        );
+        owner.register_user(user.id(), user.public_key().clone());
+        user.set_random_pool(owner.random_pool_trapdoors());
+
+        SearchSession {
+            owner,
+            server,
+            user,
+            ledger: CostLedger::new(),
+        }
+    }
+
+    /// Online phase: run one complete query for `keywords`, retrieving and decrypting the top
+    /// `theta` matching documents. Counters are reset at the start so the report reflects this
+    /// round only.
+    pub fn run_query<R: Rng + ?Sized>(
+        &mut self,
+        keywords: &[&str],
+        theta: usize,
+        rng: &mut R,
+    ) -> Result<SessionReport, ProtocolError> {
+        self.owner.reset_counters();
+        self.server.reset_counters();
+        self.user.reset_counters();
+        let ledger = CostLedger::new();
+        let modulus_bits = self.owner.public_key().modulus_bits();
+
+        // Step 1 (Figure 1): trapdoor exchange.
+        if let Some(request) = self.user.make_trapdoor_request(keywords) {
+            ledger.record(
+                Party::User,
+                Party::DataOwner,
+                Phase::Trapdoor,
+                request.bits(modulus_bits),
+            );
+            let reply = self.owner.handle_trapdoor_request(&request)?;
+            ledger.record(
+                Party::DataOwner,
+                Party::User,
+                Phase::Trapdoor,
+                reply.bits(modulus_bits),
+            );
+            self.user.ingest_trapdoor_reply(&reply)?;
+        }
+
+        // Step 2: query the server.
+        let query = self.user.build_query(keywords, None, rng)?;
+        ledger.record(Party::User, Party::Server, Phase::Search, query.bits());
+        let search_reply = self.server.handle_query(&query);
+        ledger.record(Party::Server, Party::User, Phase::Search, search_reply.bits());
+
+        // Step 3: retrieve the top θ documents.
+        let theta = theta.min(search_reply.matches.len());
+        let mut retrieved = Vec::with_capacity(theta);
+        if theta > 0 {
+            let doc_request = self.user.choose_documents(&search_reply, theta)?;
+            ledger.record(Party::User, Party::Server, Phase::Search, doc_request.bits());
+            let doc_reply = self.server.handle_document_request(&doc_request)?;
+            ledger.record(
+                Party::Server,
+                Party::User,
+                Phase::Search,
+                doc_reply.bits(modulus_bits),
+            );
+
+            // Step 4: blinded key decryption, one round per retrieved document.
+            for transfer in &doc_reply.documents {
+                let (blind_request, state) =
+                    self.user.begin_blind_decrypt(&transfer.encrypted_key, rng)?;
+                ledger.record(
+                    Party::User,
+                    Party::DataOwner,
+                    Phase::Decrypt,
+                    blind_request.bits(modulus_bits),
+                );
+                let blind_reply = self.owner.handle_blind_decrypt(&blind_request)?;
+                ledger.record(
+                    Party::DataOwner,
+                    Party::User,
+                    Phase::Decrypt,
+                    blind_reply.bits(modulus_bits),
+                );
+                let key = self.user.finish_blind_decrypt(&blind_reply, state)?;
+                let plaintext = self.user.decrypt_document(transfer, &key)?;
+                retrieved.push((transfer.document_id, plaintext));
+            }
+        }
+
+        for t in ledger.transmissions() {
+            self.ledger.record(t.from, t.to, t.phase, t.bits);
+        }
+
+        Ok(SessionReport {
+            matches: search_reply
+                .matches
+                .iter()
+                .map(|m| (m.document_id, m.rank))
+                .collect(),
+            retrieved,
+            communication: ledger,
+            user_ops: *self.user.counters(),
+            owner_ops: *self.owner.counters(),
+            server_ops: *self.server.counters(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn corpus() -> Vec<Document> {
+        vec![
+            Document::from_text(0, "cloud privacy search over encrypted cloud data"),
+            Document::from_text(1, "weather forecast for tomorrow"),
+            Document::from_text(2, "private cloud storage encryption pricing"),
+            Document::from_text(3, "holiday photos from the beach"),
+        ]
+    }
+
+    fn session() -> (SearchSession, StdRng) {
+        let mut rng = StdRng::seed_from_u64(2718);
+        let session = SearchSession::setup(OwnerConfig::fast_for_tests(), &corpus(), &mut rng);
+        (session, rng)
+    }
+
+    #[test]
+    fn full_round_retrieves_and_decrypts_matching_documents() {
+        let (mut session, mut rng) = session();
+        // Query keywords must be normalized (stemmed) the same way document terms were.
+        let cloud = mkse_textproc::normalize_keyword("cloud");
+        let privacy = mkse_textproc::normalize_keyword("privacy");
+        let report = session
+            .run_query(&[cloud.as_str(), privacy.as_str()], 1, &mut rng)
+            .unwrap();
+
+        // Document 0 contains both stems; the retrieved top document decrypts to its
+        // original text.
+        assert!(!report.matches.is_empty());
+        assert_eq!(report.retrieved.len(), 1);
+        let (id, plaintext) = &report.retrieved[0];
+        let original = corpus().iter().find(|d| d.id == *id).unwrap().body.clone();
+        assert_eq!(plaintext, &original);
+    }
+
+    #[test]
+    fn communication_costs_follow_table1_shapes() {
+        let (mut session, mut rng) = session();
+        let report = session.run_query(&["cloud"], 1, &mut rng).unwrap();
+        let ledger = &report.communication;
+        let modulus_bits = session.owner.public_key().modulus_bits();
+
+        // User → server search traffic includes the r-bit query (plus the 64-bit doc request).
+        let user_search = ledger.bits_sent(Party::User, Phase::Search);
+        assert!(user_search >= 448 && user_search <= 448 + 64);
+        // User → owner trapdoor request is 32·γ + log N bits.
+        let user_trapdoor = ledger.bits_sent(Party::User, Phase::Trapdoor);
+        assert_eq!(user_trapdoor, 32 + modulus_bits as u64);
+        // Decrypt phase: user sends 2·log N per retrieved document, owner replies with log N.
+        assert_eq!(
+            ledger.bits_sent(Party::User, Phase::Decrypt),
+            2 * modulus_bits as u64
+        );
+        assert_eq!(
+            ledger.bits_sent(Party::DataOwner, Phase::Decrypt),
+            modulus_bits as u64
+        );
+        // The server never talks to the data owner.
+        assert_eq!(ledger.bits_sent(Party::Server, Phase::Trapdoor), 0);
+        assert_eq!(ledger.bits_sent(Party::Server, Phase::Decrypt), 0);
+    }
+
+    #[test]
+    fn computation_costs_follow_table2_shapes() {
+        let (mut session, mut rng) = session();
+        let report = session.run_query(&["cloud"], 1, &mut rng).unwrap();
+
+        // Server: only binary comparisons, no cryptography at all.
+        assert!(report.server_ops.binary_comparisons >= 4);
+        assert_eq!(report.server_ops.public_key_operations(), 0);
+        assert_eq!(report.server_ops.hashes, 0);
+
+        // User: hash for the trapdoor, a handful of modular exponentiations (sign, decrypt
+        // bin key, blind, sign) and multiplications (blind/unblind), one symmetric decryption.
+        assert!(report.user_ops.hashes >= 1);
+        assert!(report.user_ops.modular_exponentiations >= 3);
+        assert!(report.user_ops.modular_multiplications >= 2);
+        assert_eq!(report.user_ops.symmetric_decryptions, 1);
+
+        // Data owner: about 4 modular exponentiations per search (2 for the trapdoor step,
+        // 2 for the decryption step), as Table 2 states.
+        assert!(report.owner_ops.modular_exponentiations >= 4);
+        assert_eq!(report.owner_ops.symmetric_encryptions, 0);
+    }
+
+    #[test]
+    fn repeated_queries_reuse_cached_trapdoors() {
+        let (mut session, mut rng) = session();
+        let first = session.run_query(&["cloud"], 0, &mut rng).unwrap();
+        assert!(first.communication.bits_sent(Party::User, Phase::Trapdoor) > 0);
+        // Second query for the same keyword: no trapdoor traffic at all (§3: the same trapdoor
+        // serves many queries).
+        let second = session.run_query(&["cloud"], 0, &mut rng).unwrap();
+        assert_eq!(second.communication.bits_sent(Party::User, Phase::Trapdoor), 0);
+        // The global ledger accumulated both rounds.
+        assert!(session.ledger.total_bits() > second.communication.total_bits());
+    }
+
+    #[test]
+    fn theta_is_clamped_to_available_matches() {
+        let (mut session, mut rng) = session();
+        let report = session.run_query(&["weather"], 10, &mut rng).unwrap();
+        assert!(report.retrieved.len() <= report.matches.len());
+        for (id, body) in &report.retrieved {
+            let original = corpus().iter().find(|d| d.id == *id).unwrap().body.clone();
+            assert_eq!(body, &original);
+        }
+    }
+
+    #[test]
+    fn nonexistent_keyword_matches_nothing_or_only_false_accepts() {
+        let (mut session, mut rng) = session();
+        let report = session
+            .run_query(&["zzzznonexistent", "qqqqalsonot"], 0, &mut rng)
+            .unwrap();
+        // With two absent keywords the probability of a false accept is ≈ (279/448)^14 < 0.2%,
+        // so under this fixed seed nothing matches.
+        assert!(report.matches.is_empty());
+        assert!(report.retrieved.is_empty());
+    }
+
+    #[test]
+    fn report_renders_summary() {
+        let (mut session, mut rng) = session();
+        let report = session.run_query(&["cloud"], 1, &mut rng).unwrap();
+        let text = report.render();
+        assert!(text.contains("matches:"));
+        assert!(text.contains("communication"));
+        assert!(text.contains("server operations"));
+    }
+}

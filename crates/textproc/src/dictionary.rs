@@ -1,0 +1,150 @@
+//! Keyword dictionaries.
+//!
+//! Two baselines in this workspace need a global dictionary:
+//!
+//! * The Cao et al. MRSE baseline indexes every document as a binary vector over the whole
+//!   dictionary (one coordinate per keyword), so it needs a stable keyword → position map.
+//! * The brute-force attack of §4.1 enumerates "approximately 25 000 commonly used keywords";
+//!   [`Dictionary::generate`] synthesizes a dictionary of any requested size for that
+//!   experiment.
+//!
+//! The MKSE scheme itself deliberately does **not** need a dictionary — that is one of its
+//! advantages over MRSE that §2 points out.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An ordered keyword dictionary with O(1) keyword → index lookup.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dictionary {
+    words: Vec<String>,
+    positions: BTreeMap<String, usize>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a dictionary from an iterator of words; duplicates are ignored, first
+    /// occurrence wins the position.
+    pub fn from_words<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut dict = Self::new();
+        for w in words {
+            dict.insert(&w.into());
+        }
+        dict
+    }
+
+    /// Synthesize a dictionary of `size` distinct pronounceable-ish keywords (`kw00042`-style
+    /// identifiers). Used by experiments that only care about dictionary *size*.
+    pub fn generate(size: usize) -> Self {
+        Self::from_words((0..size).map(|i| format!("kw{i:05}")))
+    }
+
+    /// Insert a word if absent; returns its position either way.
+    pub fn insert(&mut self, word: &str) -> usize {
+        if let Some(&pos) = self.positions.get(word) {
+            return pos;
+        }
+        let pos = self.words.len();
+        self.words.push(word.to_string());
+        self.positions.insert(word.to_string(), pos);
+        pos
+    }
+
+    /// Position of `word`, if present.
+    pub fn position(&self, word: &str) -> Option<usize> {
+        self.positions.get(word).copied()
+    }
+
+    /// Word at `position`, if in range.
+    pub fn word(&self, position: usize) -> Option<&str> {
+        self.words.get(position).map(|s| s.as_str())
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the dictionary has no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Returns `true` if `word` is present.
+    pub fn contains(&self, word: &str) -> bool {
+        self.positions.contains_key(word)
+    }
+
+    /// Iterate over all words in position order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.words.iter().map(|s| s.as_str())
+    }
+
+    /// Encode a set of keywords as a binary indicator vector over the dictionary (the MRSE
+    /// index/query representation). Unknown keywords are ignored.
+    pub fn indicator_vector(&self, keywords: &[&str]) -> Vec<f64> {
+        let mut v = vec![0.0; self.len()];
+        for kw in keywords {
+            if let Some(pos) = self.position(kw) {
+                v[pos] = 1.0;
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut d = Dictionary::new();
+        assert!(d.is_empty());
+        let p0 = d.insert("cloud");
+        let p1 = d.insert("privacy");
+        let p0_again = d.insert("cloud");
+        assert_eq!(p0, 0);
+        assert_eq!(p1, 1);
+        assert_eq!(p0_again, 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.position("privacy"), Some(1));
+        assert_eq!(d.position("absent"), None);
+        assert_eq!(d.word(0), Some("cloud"));
+        assert_eq!(d.word(9), None);
+        assert!(d.contains("cloud"));
+        assert!(!d.contains("absent"));
+    }
+
+    #[test]
+    fn from_words_ignores_duplicates() {
+        let d = Dictionary::from_words(["a", "b", "a", "c"]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn generate_produces_distinct_words() {
+        let d = Dictionary::generate(1000);
+        assert_eq!(d.len(), 1000);
+        assert!(d.contains("kw00000"));
+        assert!(d.contains("kw00999"));
+        assert!(!d.contains("kw01000"));
+    }
+
+    #[test]
+    fn indicator_vector_marks_known_keywords() {
+        let d = Dictionary::from_words(["alpha", "beta", "gamma"]);
+        let v = d.indicator_vector(&["beta", "unknown", "alpha"]);
+        assert_eq!(v, vec![1.0, 1.0, 0.0]);
+        assert_eq!(d.indicator_vector(&[]), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Porter stemmer (M.F. Porter, "An algorithm for suffix stripping", 1980).
+//!
+//! Stemming maps inflected forms onto a common keyword ("searching", "searched", "searches" →
+//! "search") so that a document mentioning any form matches a query for the stem. The MKSE
+//! scheme itself is agnostic to how keywords are produced; the stemmer lives here so the
+//! example applications index real text the way a deployment would.
+
+/// Returns `true` if the byte at `i` acts as a consonant in `word`.
+fn is_consonant(word: &[u8], i: usize) -> bool {
+    match word[i] {
+        b'a' | b'e' | b'i' | b'o' | b'u' => false,
+        b'y' => {
+            if i == 0 {
+                true
+            } else {
+                !is_consonant(word, i - 1)
+            }
+        }
+        _ => true,
+    }
+}
+
+/// The "measure" m of the stem `word[..=j]`: the number of vowel-consonant sequences.
+fn measure(word: &[u8], j: usize) -> usize {
+    let mut n = 0;
+    let mut i = 0;
+    // Skip initial consonants.
+    loop {
+        if i > j {
+            return n;
+        }
+        if !is_consonant(word, i) {
+            break;
+        }
+        i += 1;
+    }
+    i += 1;
+    loop {
+        // Skip vowels.
+        loop {
+            if i > j {
+                return n;
+            }
+            if is_consonant(word, i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+        n += 1;
+        // Skip consonants.
+        loop {
+            if i > j {
+                return n;
+            }
+            if !is_consonant(word, i) {
+                break;
+            }
+            i += 1;
+        }
+        i += 1;
+    }
+}
+
+/// True if `word[..=j]` contains a vowel.
+fn has_vowel(word: &[u8], j: usize) -> bool {
+    (0..=j).any(|i| !is_consonant(word, i))
+}
+
+/// True if `word[..=j]` ends with a double consonant.
+fn ends_double_consonant(word: &[u8], j: usize) -> bool {
+    j >= 1 && word[j] == word[j - 1] && is_consonant(word, j)
+}
+
+/// True if `word[..=j]` ends consonant-vowel-consonant where the final consonant is not
+/// `w`, `x` or `y` (the *o rule).
+fn cvc(word: &[u8], j: usize) -> bool {
+    if j < 2 || !is_consonant(word, j) || is_consonant(word, j - 1) || !is_consonant(word, j - 2) {
+        return false;
+    }
+    !matches!(word[j], b'w' | b'x' | b'y')
+}
+
+fn ends_with(word: &[u8], end: usize, suffix: &[u8]) -> Option<usize> {
+    // Returns the index of the last byte of the stem if word[..=end] ends with suffix.
+    if suffix.len() > end + 1 {
+        return None;
+    }
+    let start = end + 1 - suffix.len();
+    if &word[start..=end] == suffix {
+        if start == 0 {
+            None // stem would be empty
+        } else {
+            Some(start - 1)
+        }
+    } else {
+        None
+    }
+}
+
+/// Apply the Porter stemming algorithm to a lower-case ASCII word.
+///
+/// Words shorter than three characters are returned unchanged, as in the original algorithm.
+pub fn porter_stem(word: &str) -> String {
+    let w = word.as_bytes();
+    if w.len() <= 2 || !w.iter().all(|b| b.is_ascii_lowercase()) {
+        return word.to_string();
+    }
+    let mut b: Vec<u8> = w.to_vec();
+    let mut k = b.len() - 1;
+
+    // ----- Step 1a -----
+    if b[k] == b's' {
+        if let Some(j) = ends_with(&b, k, b"sses") {
+            k = j + 2; // sses -> ss
+        } else if let Some(j) = ends_with(&b, k, b"ies") {
+            k = j + 1; // ies -> i
+        } else if k >= 1 && b[k - 1] != b's' {
+            k -= 1; // s -> ""
+        }
+    }
+
+    // ----- Step 1b -----
+    let mut extra_e = false;
+    if let Some(j) = ends_with(&b, k, b"eed") {
+        if measure(&b, j) > 0 {
+            k -= 1; // eed -> ee
+        }
+    } else if let Some(j) = ends_with(&b, k, b"ed") {
+        if has_vowel(&b, j) {
+            k = j;
+            extra_e = true;
+        }
+    } else if let Some(j) = ends_with(&b, k, b"ing") {
+        if has_vowel(&b, j) {
+            k = j;
+            extra_e = true;
+        }
+    }
+    if extra_e {
+        if ends_with(&b, k, b"at").is_some()
+            || ends_with(&b, k, b"bl").is_some()
+            || ends_with(&b, k, b"iz").is_some()
+        {
+            k += 1;
+            b[k] = b'e';
+        } else if ends_double_consonant(&b, k) && !matches!(b[k], b'l' | b's' | b'z') {
+            k -= 1;
+        } else if measure(&b, k) == 1 && cvc(&b, k) {
+            k += 1;
+            b[k] = b'e';
+        }
+    }
+
+    // ----- Step 1c -----
+    if b[k] == b'y' && k >= 1 && has_vowel(&b, k - 1) {
+        b[k] = b'i';
+    }
+
+    // ----- Step 2 -----
+    let step2: &[(&[u8], &[u8])] = &[
+        (b"ational", b"ate"),
+        (b"tional", b"tion"),
+        (b"enci", b"ence"),
+        (b"anci", b"ance"),
+        (b"izer", b"ize"),
+        (b"abli", b"able"),
+        (b"alli", b"al"),
+        (b"entli", b"ent"),
+        (b"eli", b"e"),
+        (b"ousli", b"ous"),
+        (b"ization", b"ize"),
+        (b"ation", b"ate"),
+        (b"ator", b"ate"),
+        (b"alism", b"al"),
+        (b"iveness", b"ive"),
+        (b"fulness", b"ful"),
+        (b"ousness", b"ous"),
+        (b"aliti", b"al"),
+        (b"iviti", b"ive"),
+        (b"biliti", b"ble"),
+    ];
+    k = apply_rule_list(&mut b, k, step2, 0);
+
+    // ----- Step 3 -----
+    let step3: &[(&[u8], &[u8])] = &[
+        (b"icate", b"ic"),
+        (b"ative", b""),
+        (b"alize", b"al"),
+        (b"iciti", b"ic"),
+        (b"ical", b"ic"),
+        (b"ful", b""),
+        (b"ness", b""),
+    ];
+    k = apply_rule_list(&mut b, k, step3, 0);
+
+    // ----- Step 4 -----
+    let step4: &[(&[u8], &[u8])] = &[
+        (b"al", b""),
+        (b"ance", b""),
+        (b"ence", b""),
+        (b"er", b""),
+        (b"ic", b""),
+        (b"able", b""),
+        (b"ible", b""),
+        (b"ant", b""),
+        (b"ement", b""),
+        (b"ment", b""),
+        (b"ent", b""),
+        (b"ou", b""),
+        (b"ism", b""),
+        (b"ate", b""),
+        (b"iti", b""),
+        (b"ous", b""),
+        (b"ive", b""),
+        (b"ize", b""),
+    ];
+    // Step 4 requires m > 1; "ion" additionally requires the stem to end in s or t.
+    for (suffix, replacement) in step4 {
+        if let Some(j) = ends_with(&b, k, suffix) {
+            if measure(&b, j) > 1 {
+                k = j;
+                b.truncate(k + 1);
+                b.extend_from_slice(replacement);
+                k = b.len() - 1;
+            }
+            break;
+        }
+    }
+    if let Some(j) = ends_with(&b, k, b"ion") {
+        if measure(&b, j) > 1 && matches!(b[j], b's' | b't') {
+            k = j;
+        }
+    }
+
+    // ----- Step 5a -----
+    if k > 0 && b[k] == b'e' {
+        let m = measure(&b, k - 1);
+        if m > 1 || (m == 1 && !cvc(&b, k - 1)) {
+            k -= 1;
+        }
+    }
+    // ----- Step 5b -----
+    if b[k] == b'l' && ends_double_consonant(&b, k) && measure(&b, k) > 1 {
+        k -= 1;
+    }
+
+    b.truncate(k + 1);
+    String::from_utf8(b).expect("ASCII input remains ASCII")
+}
+
+/// Apply the first matching (suffix → replacement) rule whose stem has measure > `min_measure`.
+fn apply_rule_list(b: &mut Vec<u8>, k: usize, rules: &[(&[u8], &[u8])], min_measure: usize) -> usize {
+    for (suffix, replacement) in rules {
+        if let Some(j) = ends_with(b, k, suffix) {
+            if measure(b, j) > min_measure {
+                b.truncate(j + 1);
+                b.extend_from_slice(replacement);
+                return b.len() - 1;
+            }
+            return k;
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_porter_examples() {
+        // Examples from Porter's paper and the reference vocabulary.
+        let cases = [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formaliti", "formal"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ];
+        for (input, expected) in cases {
+            assert_eq!(porter_stem(input), expected, "stem({input})");
+        }
+    }
+
+    #[test]
+    fn search_related_keywords_share_a_stem() {
+        let stem = porter_stem("search");
+        assert_eq!(porter_stem("searching"), stem);
+        assert_eq!(porter_stem("searched"), stem);
+        assert_eq!(porter_stem("searches"), stem);
+    }
+
+    #[test]
+    fn short_words_are_unchanged() {
+        assert_eq!(porter_stem("a"), "a");
+        assert_eq!(porter_stem("is"), "is");
+        assert_eq!(porter_stem("be"), "be");
+    }
+
+    #[test]
+    fn non_lowercase_input_is_left_alone() {
+        assert_eq!(porter_stem("Cloud"), "Cloud");
+        assert_eq!(porter_stem("rsa1024"), "rsa1024");
+    }
+
+    #[test]
+    fn idempotent_on_common_keywords() {
+        for w in ["cloud", "privaci", "encrypt", "keyword", "server", "databas"] {
+            assert_eq!(porter_stem(&porter_stem(w)), porter_stem(w), "{w}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! English stop-word list.
+//!
+//! Stop words are excluded from search indices: they occur in virtually every document, so
+//! indexing them would both waste index bits (every document index would AND away the same
+//! positions) and inflate false-accept rates.
+
+/// A compact list of the most common English stop words (lower case).
+pub const STOPWORDS: &[&str] = &[
+    "a", "about", "above", "after", "again", "against", "all", "am", "an", "and", "any", "are",
+    "as", "at", "be", "because", "been", "before", "being", "below", "between", "both", "but",
+    "by", "can", "cannot", "could", "did", "do", "does", "doing", "down", "during", "each",
+    "few", "for", "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "herself", "him", "himself", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "itself", "just", "me", "more", "most", "my", "myself", "no", "nor", "not", "now",
+    "of", "off", "on", "once", "only", "or", "other", "our", "ours", "ourselves", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than", "that", "the",
+    "their", "theirs", "them", "themselves", "then", "there", "these", "they", "this",
+    "those", "through", "to", "too", "under", "until", "up", "very", "was", "we", "were",
+    "what", "when", "where", "which", "while", "who", "whom", "why", "will", "with", "would",
+    "you", "your", "yours", "yourself", "yourselves",
+];
+
+/// Returns `true` if `word` (already lower-cased) is an English stop word.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.binary_search(&word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_deduplicated() {
+        // `is_stopword` relies on binary search, so the list must stay sorted and unique.
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn common_stopwords_are_detected() {
+        for w in ["the", "and", "is", "of", "a", "with"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not_stopwords() {
+        for w in ["cloud", "privacy", "keyword", "encryption", "server"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn empty_string_is_not_a_stopword() {
+        assert!(!is_stopword(""));
+    }
+}

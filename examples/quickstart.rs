@@ -1,0 +1,53 @@
+//! Quickstart: index a handful of documents, run a ranked multi-keyword query, print the hits.
+//!
+//! This uses only the scheme layer (`mkse::core`); see `cloud_document_search.rs` for the full
+//! three-party protocol with encryption and blinded key retrieval.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mkse::core::{CloudIndex, DocumentIndexer, QueryBuilder, SchemeKeys, SystemParams};
+use mkse::textproc::{extract_keywords, normalize_keyword};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let params = SystemParams::default(); // r = 448, d = 6, U = 60, V = 30, η = 3
+    let mut rng = StdRng::seed_from_u64(1);
+
+    // --- Data owner: generate secret keys and index the corpus -------------------------------
+    let keys = SchemeKeys::generate(&params, &mut rng);
+    let indexer = DocumentIndexer::new(&params, &keys);
+
+    let corpus = [
+        (0u64, "Privacy preserving ranked keyword search over encrypted cloud data"),
+        (1u64, "Weather forecast: heavy rain and strong winds expected tomorrow"),
+        (2u64, "Cloud storage pricing comparison for enterprise customers"),
+        (3u64, "Encrypted backups and searchable encryption for cloud archives"),
+    ];
+
+    let mut cloud = CloudIndex::new(params.clone());
+    for (id, text) in &corpus {
+        let terms = extract_keywords(text);
+        cloud.insert(indexer.index_terms(*id, &terms));
+        println!("indexed document {id}: {} distinct keywords", terms.distinct_terms());
+    }
+
+    // --- User: obtain trapdoors and query for "encrypted cloud" ------------------------------
+    let query_words = ["encrypted", "cloud"];
+    let normalized: Vec<String> = query_words.iter().map(|w| normalize_keyword(w)).collect();
+    let keyword_refs: Vec<&str> = normalized.iter().map(|s| s.as_str()).collect();
+    let trapdoors = keys.trapdoors_for(&params, &keyword_refs);
+    let pool = keys.random_pool_trapdoors(&params);
+    let query = QueryBuilder::new(&params)
+        .add_trapdoors(&trapdoors)
+        .with_randomization(&pool)
+        .build(&mut rng);
+
+    // --- Server: oblivious ranked search ------------------------------------------------------
+    let hits = cloud.search(&query);
+    println!("\nquery {:?} (normalized {:?}) matched {} document(s):", query_words, normalized, hits.len());
+    for hit in &hits {
+        let text = corpus.iter().find(|(id, _)| *id == hit.document_id).unwrap().1;
+        println!("  doc {:>2}  rank {}  \"{}\"", hit.document_id, hit.rank, text);
+    }
+}

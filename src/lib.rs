@@ -1,0 +1,66 @@
+//! # mkse — Efficient and Secure Ranked Multi-Keyword Search on Encrypted Cloud Data
+//!
+//! This crate is the facade of the `mkse` workspace, a full reproduction of
+//! Örencik & Savaş, *"Efficient and Secure Ranked Multi-Keyword Search on Encrypted Cloud
+//! Data"* (PAIS @ EDBT 2012).
+//!
+//! It re-exports every sub-crate so downstream users (and the examples and integration tests
+//! of this repository) can depend on a single crate:
+//!
+//! * [`crypto`] — from-scratch SHA-2, HMAC, big integers, RSA (with blinding) and AES-CTR.
+//! * [`linalg`] — dense matrices and LU inversion (used by the Cao et al. MRSE baseline).
+//! * [`textproc`] — tokenization, stemming, term frequencies and synthetic corpora.
+//! * [`core`] — the paper's scheme: bit indices, trapdoors, ranked oblivious search,
+//!   query randomization and its analytic model.
+//! * [`baselines`] — Cao et al. MRSE (secure kNN), Wang et al. common secure indices, and the
+//!   plaintext relevance-score ranking of Eq. (4).
+//! * [`protocol`] — the three-party protocol (data owner / user / cloud server) with
+//!   communication- and computation-cost accounting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mkse::core::{SystemParams, SchemeKeys, DocumentIndexer, QueryBuilder, CloudIndex};
+//! use rand::SeedableRng;
+//!
+//! let params = SystemParams::default();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let keys = SchemeKeys::generate(&params, &mut rng);
+//! let indexer = DocumentIndexer::new(&params, &keys);
+//!
+//! // Index two documents.
+//! let idx_a = indexer.index_keywords(0, &["cloud", "privacy", "search"]);
+//! let idx_b = indexer.index_keywords(1, &["weather", "forecast"]);
+//! let mut cloud = CloudIndex::new(params.clone());
+//! cloud.insert(idx_a);
+//! cloud.insert(idx_b);
+//!
+//! // Query for "privacy" AND "search", with query randomization enabled.
+//! let trapdoors = keys.trapdoors_for(&params, &["privacy", "search"]);
+//! let pool = keys.random_pool_trapdoors(&params);
+//! let query = QueryBuilder::new(&params)
+//!     .add_trapdoors(&trapdoors)
+//!     .with_randomization(&pool)
+//!     .build(&mut rng);
+//! let hits = cloud.search(&query);
+//! assert_eq!(hits.len(), 1);
+//! assert_eq!(hits[0].document_id, 0);
+//! ```
+
+pub use mkse_baselines as baselines;
+pub use mkse_core as core;
+pub use mkse_crypto as crypto;
+pub use mkse_linalg as linalg;
+pub use mkse_protocol as protocol;
+pub use mkse_textproc as textproc;
+
+/// Semantic version of the workspace facade.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Integration: the §5 ranking method against the Eq. (4) baseline, and the Cao et al. MRSE
+//! baseline against ground truth — the cross-crate checks behind experiments E1 and E9.
+
+use mkse::baselines::metrics::RankingComparison;
+use mkse::baselines::relevance::RelevanceRanker;
+use mkse::baselines::MrseScheme;
+use mkse::core::{CloudIndex, DocumentIndexer, QueryBuilder, SchemeKeys, SystemParams};
+use mkse::textproc::corpus::RankingWorkload;
+use mkse::textproc::dictionary::Dictionary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn level_ranking_tracks_the_relevance_score_baseline() {
+    // A scaled-down §5 workload: the MKSE ranking must place the reference method's best
+    // document into its top 3 and overlap substantially in the top 5, trial after trial.
+    let params = SystemParams::with_five_levels();
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut comparison = RankingComparison::new();
+
+    for _ in 0..5 {
+        let workload = RankingWorkload::generate_with(&mut rng, 200, 3, 40, 10, (1, 15));
+        let keys = SchemeKeys::generate(&params, &mut rng);
+        let indexer = DocumentIndexer::new(&params, &keys);
+        let mut cloud = CloudIndex::new(params.clone());
+        cloud.insert_all(indexer.index_documents(&workload.corpus.documents));
+
+        let kws: Vec<&str> = workload.query_keywords.iter().map(|s| s.as_str()).collect();
+        let trapdoors = keys.trapdoors_for(&params, &kws);
+        let pool = keys.random_pool_trapdoors(&params);
+        let query = QueryBuilder::new(&params)
+            .add_trapdoors(&trapdoors)
+            .with_randomization(&pool)
+            .build(&mut rng);
+
+        let truth: std::collections::HashSet<u64> = workload.full_match_ids.iter().copied().collect();
+        let mkse_ranking: Vec<u64> = cloud
+            .search(&query)
+            .into_iter()
+            .filter(|m| truth.contains(&m.document_id))
+            .map(|m| m.document_id)
+            .collect();
+        // Completeness: all true full matches are present in the ranked result.
+        assert_eq!(mkse_ranking.len(), workload.full_match_ids.len());
+
+        let full_docs: Vec<_> = workload
+            .corpus
+            .documents
+            .iter()
+            .filter(|d| truth.contains(&d.id))
+            .cloned()
+            .collect();
+        let ranker = RelevanceRanker::from_documents_with_length(
+            &workload.corpus.documents,
+            Some(workload.document_length),
+        );
+        let reference: Vec<u64> = ranker
+            .rank(&kws, &full_docs)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        comparison.record(&reference, &mkse_ranking);
+    }
+
+    // Loose bounds (the paper reports 100% and ~80% on the full-size workload).
+    assert!(comparison.top1_in_top3_rate() >= 0.6, "top1-in-top3 rate {:.2}", comparison.top1_in_top3_rate());
+    assert!(comparison.four_of_top5_rate() >= 0.4, "4-of-top5 rate {:.2}", comparison.four_of_top5_rate());
+}
+
+#[test]
+fn mrse_baseline_ranks_by_number_of_matching_keywords() {
+    // The secure kNN construction must reproduce plaintext inner-product ranking exactly when
+    // the ε noise is disabled — that property is what makes it a fair efficiency baseline.
+    let mut rng = StdRng::seed_from_u64(13);
+    let dictionary = Dictionary::from_words((0..50).map(|i| format!("w{i}")));
+    let scheme = MrseScheme::new(dictionary).with_epsilon(0.0);
+    let key = scheme.generate_key(&mut rng);
+
+    let docs: Vec<(u64, Vec<String>)> = (0..10u64)
+        .map(|id| {
+            let kws: Vec<String> = (0..=id).map(|k| format!("w{k}")).collect();
+            (id, kws)
+        })
+        .collect();
+    let indices: Vec<_> = docs
+        .iter()
+        .map(|(id, kws)| {
+            let refs: Vec<&str> = kws.iter().map(|s| s.as_str()).collect();
+            scheme.build_index(&key, *id, &refs, &mut rng)
+        })
+        .collect();
+
+    // Query for w0..w9: document id i matches exactly i+1 of them, so the ranking must be
+    // 9, 8, 7, … in that order.
+    let query_kws: Vec<String> = (0..10).map(|i| format!("w{i}")).collect();
+    let refs: Vec<&str> = query_kws.iter().map(|s| s.as_str()).collect();
+    let trapdoor = scheme.trapdoor(&key, &refs, &mut rng);
+    let ranked = scheme.search(&indices, &trapdoor, 10);
+    let ids: Vec<u64> = ranked.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, vec![9, 8, 7, 6, 5, 4, 3, 2, 1, 0]);
+}
+
+#[test]
+fn mkse_and_mrse_agree_on_which_documents_are_relevant() {
+    // Cross-validation of the two schemes over the same corpus: the documents MKSE returns for
+    // a conjunctive query are exactly the documents MRSE scores highest (they contain all the
+    // queried keywords).
+    let mut rng = StdRng::seed_from_u64(17);
+    let params = SystemParams::default();
+    let keys = SchemeKeys::generate(&params, &mut rng);
+    let indexer = DocumentIndexer::new(&params, &keys);
+
+    let vocabulary: Vec<String> = (0..60).map(|i| format!("word{i:02}")).collect();
+    let dictionary = Dictionary::from_words(vocabulary.iter().cloned());
+    let mrse = MrseScheme::new(dictionary).with_epsilon(0.0);
+    let mrse_key = mrse.generate_key(&mut rng);
+
+    // Ten documents with known keyword sets; documents 3 and 7 contain both query keywords.
+    let mut cloud = CloudIndex::new(params.clone());
+    let mut mrse_indices = Vec::new();
+    for id in 0..10u64 {
+        let mut kws: Vec<&str> = vec![vocabulary[(id as usize * 3) % 60].as_str()];
+        if id == 3 || id == 7 {
+            kws = vec!["word10", "word20"];
+        }
+        cloud.insert(indexer.index_keywords(id, &kws));
+        mrse_indices.push(mrse.build_index(&mrse_key, id, &kws, &mut rng));
+    }
+
+    let query_kws = ["word10", "word20"];
+    let trapdoors = keys.trapdoors_for(&params, &query_kws);
+    let query = QueryBuilder::new(&params).add_trapdoors(&trapdoors).build(&mut rng);
+    let mut mkse_hits = cloud.search_unranked(&query);
+    mkse_hits.sort_unstable();
+
+    let mrse_trapdoor = mrse.trapdoor(&mrse_key, &query_kws, &mut rng);
+    let mut mrse_top: Vec<u64> = mrse
+        .search(&mrse_indices, &mrse_trapdoor, 2)
+        .into_iter()
+        .map(|(id, _)| id)
+        .collect();
+    mrse_top.sort_unstable();
+
+    assert_eq!(mkse_hits, vec![3, 7]);
+    assert_eq!(mrse_top, vec![3, 7]);
+}

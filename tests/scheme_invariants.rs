@@ -1,0 +1,107 @@
+//! Integration: property-based invariants of the scheme exercised through the public facade
+//! (completeness, randomization-neutrality, trapdoor consistency between owner and user).
+
+use mkse::core::{
+    get_bin, trapdoor_from_bin_key, CloudIndex, DocumentIndexer, QueryBuilder, SchemeKeys,
+    SystemParams,
+};
+use mkse::textproc::document::TermFrequencies;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_params() -> SystemParams {
+    // Smaller index keeps the property tests fast while preserving every structural property.
+    SystemParams::new(128, 4, 16, 10, 5, vec![1, 4, 8]).expect("valid parameters")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every document containing all query keywords matches, no matter how keywords are drawn.
+    #[test]
+    fn no_false_negatives(
+        seed in 0u64..u64::MAX,
+        doc_keywords in proptest::collection::vec(0u32..40, 1..12),
+        query_pick in proptest::collection::vec(any::<proptest::sample::Index>(), 1..4),
+    ) {
+        let params = small_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = SchemeKeys::generate(&params, &mut rng);
+        let indexer = DocumentIndexer::new(&params, &keys);
+
+        let kw_strings: Vec<String> = doc_keywords.iter().map(|k| format!("kw{k}")).collect();
+        let kw_refs: Vec<&str> = kw_strings.iter().map(|s| s.as_str()).collect();
+        let mut cloud = CloudIndex::new(params.clone());
+        cloud.insert(indexer.index_keywords(0, &kw_refs));
+
+        // Query keywords are a subset of the document's keywords.
+        let query_kws: Vec<&str> = query_pick.iter().map(|ix| *ix.get(&kw_refs)).collect();
+        let trapdoors = keys.trapdoors_for(&params, &query_kws);
+        let pool = keys.random_pool_trapdoors(&params);
+        let query = QueryBuilder::new(&params)
+            .add_trapdoors(&trapdoors)
+            .with_randomization(&pool)
+            .build(&mut rng);
+        prop_assert!(cloud.search_unranked(&query).contains(&0));
+    }
+
+    /// Randomizing a query never changes the result set.
+    #[test]
+    fn randomization_is_result_neutral(seed in 0u64..u64::MAX) {
+        let params = small_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = SchemeKeys::generate(&params, &mut rng);
+        let indexer = DocumentIndexer::new(&params, &keys);
+        let mut cloud = CloudIndex::new(params.clone());
+        for id in 0..12u64 {
+            let kws: Vec<String> = (0..4).map(|k| format!("kw{}", (id + k) % 9)).collect();
+            let refs: Vec<&str> = kws.iter().map(|s| s.as_str()).collect();
+            cloud.insert(indexer.index_keywords(id, &refs));
+        }
+        let trapdoors = keys.trapdoors_for(&params, &["kw3", "kw4"]);
+        let pool = keys.random_pool_trapdoors(&params);
+        let plain = QueryBuilder::new(&params).add_trapdoors(&trapdoors).build(&mut rng);
+        let randomized = QueryBuilder::new(&params)
+            .add_trapdoors(&trapdoors)
+            .with_randomization(&pool)
+            .build(&mut rng);
+        prop_assert_eq!(cloud.search_unranked(&plain), cloud.search_unranked(&randomized));
+    }
+
+    /// The trapdoor a user derives from a received bin key always equals the one the data
+    /// owner embeds in document indices.
+    #[test]
+    fn user_and_owner_trapdoors_agree(seed in 0u64..u64::MAX, kw_id in 0u32..10_000) {
+        let params = small_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = SchemeKeys::generate(&params, &mut rng);
+        let keyword = format!("kw{kw_id}");
+        let bin = get_bin(&params, &keyword);
+        let user_side = trapdoor_from_bin_key(&params, keys.bin_key(bin), &keyword);
+        prop_assert_eq!(user_side, keys.trapdoor_for(&params, &keyword));
+    }
+
+    /// Higher ranking levels never match a query that a lower level already rejected, so
+    /// Algorithm 1's early exit is sound.
+    #[test]
+    fn rank_levels_are_monotone(seed in 0u64..u64::MAX, tf in 1u32..20) {
+        let params = small_params();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keys = SchemeKeys::generate(&params, &mut rng);
+        let indexer = DocumentIndexer::new(&params, &keys);
+        let terms = TermFrequencies::from_pairs([("topic".to_string(), tf), ("filler".to_string(), 1)]);
+        let index = indexer.index_terms(0, &terms);
+        let trapdoors = keys.trapdoors_for(&params, &["topic"]);
+        let query = QueryBuilder::new(&params).add_trapdoors(&trapdoors).build(&mut rng);
+
+        let mut previous_matched = true;
+        for level in &index.levels {
+            let matched = level.matches_query(query.bits());
+            if !previous_matched {
+                prop_assert!(!matched, "a higher level matched after a lower level failed");
+            }
+            previous_matched = matched;
+        }
+    }
+}

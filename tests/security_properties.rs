@@ -1,0 +1,184 @@
+//! Integration: the privacy requirements of §3.1, exercised across crates.
+//!
+//! These are behavioural checks, not proofs — they test the mechanisms the §7 proofs rest on:
+//! index privacy needs the per-bin secret keys (Theorem 2), trapdoor forgery needs zero-bit
+//! positions the adversary cannot identify (Theorem 3), data privacy needs the blinding to hide
+//! which key is decrypted (Theorem 1), and non-impersonation needs signatures (Theorem 4).
+
+use mkse::baselines::wang::{BruteForceAttack, SharedHashScheme};
+use mkse::core::{QueryBuilder, SchemeKeys, SystemParams};
+use mkse::crypto::rsa::RsaKeyPair;
+use mkse::protocol::{BlindDecryptRequest, DataOwner, OwnerConfig, TrapdoorRequest};
+use mkse::textproc::dictionary::Dictionary;
+use mkse::textproc::Document;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn index_privacy_requires_the_bin_keys() {
+    // An adversary that knows the public parameters, the GetBin function and even a candidate
+    // keyword list cannot reproduce MKSE indices without the owner's bin keys — the same
+    // brute-force enumeration that breaks the shared-hash baseline finds nothing.
+    let params = SystemParams::default().without_randomization();
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys = SchemeKeys::generate(&params, &mut rng);
+    let dictionary = Dictionary::generate(2000);
+    let shared = SharedHashScheme::new(params.clone());
+    let attack = BruteForceAttack::new(&shared, &dictionary);
+
+    // Against the baseline the attack recovers the exact keyword…
+    let baseline_query = shared.query_index(&["kw01234"]);
+    let baseline_outcome = attack.recover(&baseline_query, 1);
+    assert!(baseline_outcome.is_unique_recovery());
+
+    // …against MKSE, nothing.
+    let mkse_query = keys.trapdoor_for(&params, "kw01234").index().clone();
+    let mkse_outcome = attack.recover(&mkse_query, 1);
+    assert!(mkse_outcome.candidates.is_empty());
+}
+
+#[test]
+fn search_pattern_is_hidden_by_randomization() {
+    // Two queries for the same keywords are never bit-identical once randomization is on, and
+    // their Hamming distance lies in the same range as unrelated queries' distances.
+    let params = SystemParams::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    let keys = SchemeKeys::generate(&params, &mut rng);
+    let pool = keys.random_pool_trapdoors(&params);
+    let tds = keys.trapdoors_for(&params, &["invoice", "fraud"]);
+
+    let mut same_distances = Vec::new();
+    let mut diff_distances = Vec::new();
+    for i in 0..40 {
+        let q1 = QueryBuilder::new(&params)
+            .add_trapdoors(&tds)
+            .with_randomization(&pool)
+            .build(&mut rng);
+        let q2 = QueryBuilder::new(&params)
+            .add_trapdoors(&tds)
+            .with_randomization(&pool)
+            .build(&mut rng);
+        assert_ne!(q1.bits(), q2.bits(), "identical randomized queries at iteration {i}");
+        same_distances.push(q1.bits().hamming_distance(q2.bits()));
+
+        let other = keys.trapdoors_for(&params, &[&format!("other-{i}"), &format!("topic-{i}")]);
+        let q3 = QueryBuilder::new(&params)
+            .add_trapdoors(&other)
+            .with_randomization(&pool)
+            .build(&mut rng);
+        diff_distances.push(q1.bits().hamming_distance(q3.bits()));
+    }
+    let same_mean: f64 = same_distances.iter().sum::<usize>() as f64 / same_distances.len() as f64;
+    let diff_mean: f64 = diff_distances.iter().sum::<usize>() as f64 / diff_distances.len() as f64;
+    // Both populations live in the same 448-bit range, far from zero: repeated queries do not
+    // collapse to small distances that would trivially link them.
+    assert!(same_mean > 60.0, "same-query mean distance too small: {same_mean}");
+    assert!(diff_mean > same_mean, "unrelated queries should be at least as far apart");
+    assert!(same_mean > 0.4 * diff_mean, "distributions separated too cleanly: {same_mean} vs {diff_mean}");
+}
+
+#[test]
+fn trapdoor_does_not_reveal_its_keyword_and_subsets_are_not_derivable() {
+    // Theorem 3's setting: from a two-keyword query index the server should not be able to
+    // carve out a valid single-keyword trapdoor. We check the combinatorial core: the
+    // two-keyword index has strictly more zeros than either constituent, and the constituent
+    // zero sets are not identifiable from the combined index alone (multiple decompositions
+    // exist — here we simply check that neither constituent equals the combination).
+    let params = SystemParams::default().without_randomization();
+    let mut rng = StdRng::seed_from_u64(3);
+    let keys = SchemeKeys::generate(&params, &mut rng);
+    let a = keys.trapdoor_for(&params, "alpha");
+    let b = keys.trapdoor_for(&params, "beta");
+    let combined = a.index().bitwise_product(b.index());
+    assert_ne!(&combined, a.index());
+    assert_ne!(&combined, b.index());
+    assert!(combined.count_zeros() > a.index().count_zeros());
+    assert!(combined.count_zeros() > b.index().count_zeros());
+}
+
+#[test]
+fn data_privacy_blinded_values_are_unlinkable_to_ciphertexts() {
+    // The data owner sees only z = c^e·y; for two different documents and fresh blinding
+    // factors the owner-visible values carry no repetition that would link them to the stored
+    // ciphertexts y1, y2.
+    let mut rng = StdRng::seed_from_u64(4);
+    let owner_rsa = RsaKeyPair::generate(256, &mut rng);
+    let y1 = owner_rsa.public_key().encrypt_bytes(&[1u8; 16]).unwrap();
+    let y2 = owner_rsa.public_key().encrypt_bytes(&[2u8; 16]).unwrap();
+
+    let c1 = owner_rsa.public_key().random_blinding(&mut rng);
+    let c2 = owner_rsa.public_key().random_blinding(&mut rng);
+    let z1 = owner_rsa.public_key().blind(&y1, &c1).unwrap();
+    let z2 = owner_rsa.public_key().blind(&y2, &c2).unwrap();
+    let z1_again = owner_rsa
+        .public_key()
+        .blind(&y1, &owner_rsa.public_key().random_blinding(&mut rng))
+        .unwrap();
+
+    assert_ne!(z1, y1);
+    assert_ne!(z2, y2);
+    // Re-blinding the same ciphertext produces a completely different owner-visible value.
+    assert_ne!(z1, z1_again);
+}
+
+#[test]
+fn non_impersonation_unregistered_or_forged_requests_are_rejected() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut owner = DataOwner::new(OwnerConfig::fast_for_tests(), &mut rng);
+    let honest = RsaKeyPair::generate(256, &mut rng);
+    let attacker = RsaKeyPair::generate(256, &mut rng);
+    owner.register_user(1, honest.public_key().clone());
+
+    // The attacker tries to impersonate user 1 with its own signature.
+    let bins = vec![4u32, 9];
+    let payload = TrapdoorRequest::signed_payload(1, &bins);
+    let forged = TrapdoorRequest {
+        user_id: 1,
+        bin_ids: bins.clone(),
+        signature: attacker.sign(&payload),
+    };
+    assert!(owner.handle_trapdoor_request(&forged).is_err());
+
+    // A well-signed request from the honest user goes through.
+    let genuine = TrapdoorRequest {
+        user_id: 1,
+        bin_ids: bins.clone(),
+        signature: honest.sign(&payload),
+    };
+    assert!(owner.handle_trapdoor_request(&genuine).is_ok());
+
+    // Same for blinded decryption requests.
+    let z = mkse::crypto::BigUint::from_u64(123456789);
+    let blind_payload = BlindDecryptRequest::signed_payload(1, &z);
+    let forged_blind = BlindDecryptRequest {
+        user_id: 1,
+        blinded_ciphertext: z.clone(),
+        signature: attacker.sign(&blind_payload),
+    };
+    assert!(owner.handle_blind_decrypt(&forged_blind).is_err());
+}
+
+#[test]
+fn owner_learns_only_bin_ids_not_keywords() {
+    // The trapdoor request carries bin ids; many keywords map to each bin, so the request is
+    // consistent with a large set of candidate keywords (the ϖ obfuscation parameter).
+    let params = SystemParams::default();
+    let universe: Vec<String> = (0..5_000).map(|i| format!("kw{i:05}")).collect();
+    let occupancy = mkse::core::BinOccupancy::measure(&params, universe.iter().map(|s| s.as_str()));
+    // Every bin the user could possibly reveal hides at least ϖ = 20 candidate keywords.
+    assert!(occupancy.satisfies_security_parameter(20), "min occupancy {}", occupancy.min_occupancy());
+}
+
+#[test]
+fn different_owners_produce_incompatible_indices() {
+    // Index privacy across deployments: the same corpus indexed under two different key sets
+    // yields unrelated indices, so a server hosting two tenants cannot cross-link them.
+    let params = SystemParams::default().without_randomization();
+    let mut rng = StdRng::seed_from_u64(6);
+    let keys_a = SchemeKeys::generate(&params, &mut rng);
+    let keys_b = SchemeKeys::generate(&params, &mut rng);
+    let doc = Document::from_text(0, "confidential merger plan");
+    let idx_a = mkse::core::DocumentIndexer::new(&params, &keys_a).index_document(&doc);
+    let idx_b = mkse::core::DocumentIndexer::new(&params, &keys_b).index_document(&doc);
+    assert_ne!(idx_a.base_level(), idx_b.base_level());
+}
