@@ -123,7 +123,11 @@ impl MrseScheme {
     }
 
     /// Build the extended query vector `q̃ = (r·q, r, t)`.
-    fn extend_query_vector<R: Rng + ?Sized>(&self, keywords: &[&str], rng: &mut R) -> (Vec<f64>, f64, f64) {
+    fn extend_query_vector<R: Rng + ?Sized>(
+        &self,
+        keywords: &[&str],
+        rng: &mut R,
+    ) -> (Vec<f64>, f64, f64) {
         let q = self.dictionary.indicator_vector(keywords);
         let r: f64 = rng.gen_range(0.5..2.0);
         let t: f64 = rng.gen_range(-1.0..1.0);
@@ -200,7 +204,12 @@ impl MrseScheme {
 
     /// Rank all documents by score (descending) and return the top `k` as
     /// `(document_id, score)` pairs.
-    pub fn search(&self, indices: &[MrseIndex], trapdoor: &MrseTrapdoor, k: usize) -> Vec<(u64, f64)> {
+    pub fn search(
+        &self,
+        indices: &[MrseIndex],
+        trapdoor: &MrseTrapdoor,
+        k: usize,
+    ) -> Vec<(u64, f64)> {
         let mut scored: Vec<(u64, f64)> = indices
             .iter()
             .map(|idx| (idx.document_id, self.score(idx, trapdoor)))

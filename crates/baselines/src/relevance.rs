@@ -195,9 +195,7 @@ mod tests {
 
     #[test]
     fn top_k_returns_k_ids_in_order() {
-        let docs: Vec<Document> = (0..10)
-            .map(|i| doc(i, &[("kw", (i + 1) as u32)]))
-            .collect();
+        let docs: Vec<Document> = (0..10).map(|i| doc(i, &[("kw", (i + 1) as u32)])).collect();
         let ranker = RelevanceRanker::from_documents_with_length(&docs, Some(20));
         let top3 = ranker.top_k(&["kw"], &docs, 3);
         assert_eq!(top3, vec![9, 8, 7]);

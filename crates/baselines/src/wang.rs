@@ -166,7 +166,11 @@ mod tests {
         let secret_query = s.query_index(&["kw00123"]);
         let attack = BruteForceAttack::new(&s, &dict);
         let outcome = attack.recover(&secret_query, 1);
-        assert!(outcome.is_unique_recovery(), "candidates: {:?}", outcome.candidates);
+        assert!(
+            outcome.is_unique_recovery(),
+            "candidates: {:?}",
+            outcome.candidates
+        );
         assert_eq!(outcome.candidates[0], vec!["kw00123".to_string()]);
         assert_eq!(outcome.trials, 500);
     }

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mkse_baselines::MrseScheme;
 use mkse_bench::BenchFixture;
-use mkse_core::{CloudIndex, QueryBuilder};
+use mkse_core::{QueryBuilder, SearchEngine};
 use mkse_textproc::dictionary::Dictionary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,11 +46,13 @@ fn bench_search_over_store(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(NUM_DOCS as u64));
 
-    // MKSE store.
+    // MKSE store on the layered engine (4 scan shards).
     let fixture = BenchFixture::new(NUM_DOCS, 5, 37);
     let indexer = fixture.indexer();
-    let mut cloud = CloudIndex::new(fixture.params.clone());
-    cloud.insert_all(indexer.index_documents(&fixture.corpus.documents));
+    let mut cloud = SearchEngine::sharded(fixture.params.clone(), 4);
+    cloud
+        .insert_all(indexer.index_documents(&fixture.corpus.documents))
+        .expect("upload");
     let mut rng = StdRng::seed_from_u64(41);
     let kws = fixture.query_keywords();
     let kw_refs: Vec<&str> = kws.iter().map(|s| s.as_str()).collect();

@@ -1,14 +1,35 @@
-//! Figure 4(b): server-side search time per query.
+//! Figure 4(b): server-side search time per query, on the layered engine.
 //!
-//! Benchmarks ranked search over stores of 2000–10000 documents at ranking depths 1, 3 and 5.
-//! The store is built once per configuration (with keyword-index memoization — only the search
-//! is timed); the query carries 2 genuine keywords plus the V = 30 random keywords.
+//! Two sweeps over the shard-parallel [`SearchEngine`]:
+//!
+//! * the paper's figure — ranked search over stores of 2000–10000 documents at
+//!   ranking depths 1, 3 and 5, on a single shard (the sequential reference);
+//! * the scaling dimension the paper leaves to "highly parallelized nature" remarks —
+//!   the same query on a 50000-document store sharded 1/2/4/8 ways, plus a
+//!   16-query batch to show the one-pass-per-shard batching path.
+//!
+//! The store is built once per configuration (with keyword-index memoization — only
+//! the search is timed); queries carry 2 genuine keywords plus the V = 30 random
+//! keywords. Shard counts change wall-clock time only: results are bit-for-bit
+//! identical across all configurations (asserted before timing).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mkse_bench::BenchFixture;
-use mkse_core::{CloudIndex, QueryBuilder};
+use mkse_core::{QueryBuilder, QueryIndex, SearchEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+fn build_query(fixture: &BenchFixture, seed: u64) -> QueryIndex {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kws = fixture.query_keywords();
+    let kw_refs: Vec<&str> = kws.iter().map(|s| s.as_str()).collect();
+    let trapdoors = fixture.keys.trapdoors_for(&fixture.params, &kw_refs);
+    let pool = fixture.keys.random_pool_trapdoors(&fixture.params);
+    QueryBuilder::new(&fixture.params)
+        .add_trapdoors(&trapdoors)
+        .with_randomization(&pool)
+        .build(&mut rng)
+}
 
 fn bench_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4b_search");
@@ -18,27 +39,62 @@ fn bench_search(c: &mut Criterion) {
         for &levels in &[1usize, 3, 5] {
             let fixture = BenchFixture::new(num_docs, levels, 11);
             let indexer = fixture.indexer();
-            let mut cloud = CloudIndex::new(fixture.params.clone());
-            cloud.insert_all(indexer.index_documents(&fixture.corpus.documents));
-
-            let mut rng = StdRng::seed_from_u64(13);
-            let kws = fixture.query_keywords();
-            let kw_refs: Vec<&str> = kws.iter().map(|s| s.as_str()).collect();
-            let trapdoors = fixture.keys.trapdoors_for(&fixture.params, &kw_refs);
-            let pool = fixture.keys.random_pool_trapdoors(&fixture.params);
-            let query = QueryBuilder::new(&fixture.params)
-                .add_trapdoors(&trapdoors)
-                .with_randomization(&pool)
-                .build(&mut rng);
+            let mut engine = SearchEngine::sharded(fixture.params.clone(), 1);
+            engine
+                .insert_all(indexer.index_documents(&fixture.corpus.documents))
+                .expect("upload");
+            let query = build_query(&fixture, 13);
 
             group.throughput(Throughput::Elements(num_docs as u64));
             group.bench_with_input(
                 BenchmarkId::new(format!("eta{levels}"), num_docs),
-                &(cloud, query),
-                |b, (cloud, query)| b.iter(|| cloud.search(query)),
+                &(engine, query),
+                |b, (engine, query)| b.iter(|| engine.search(query)),
             );
         }
     }
+    group.finish();
+
+    // Shard-scaling sweep: same store content, same query, 1/2/4/8 scan lanes.
+    // 50k documents — the scan has to dominate per-query coordination for the
+    // sweep to say anything about scaling.
+    let mut group = c.benchmark_group("fig4b_search_sharded");
+    group.sample_size(20);
+    const SWEEP_DOCS: usize = 50_000;
+    let fixture = BenchFixture::new(SWEEP_DOCS, 3, 11);
+    let indexer = fixture.indexer();
+    let indices = indexer.index_documents(&fixture.corpus.documents);
+    let query = build_query(&fixture, 13);
+
+    let reference = {
+        let mut engine = SearchEngine::sharded(fixture.params.clone(), 1);
+        engine.insert_all(indices.iter().cloned()).expect("upload");
+        engine.search(&query)
+    };
+    for &shards in &[1usize, 2, 4, 8] {
+        let mut engine = SearchEngine::sharded(fixture.params.clone(), shards);
+        engine.insert_all(indices.iter().cloned()).expect("upload");
+        // Exact equivalence before timing: sharding must never change results.
+        assert_eq!(engine.search(&query), reference);
+
+        group.throughput(Throughput::Elements(SWEEP_DOCS as u64));
+        group.bench_with_input(
+            BenchmarkId::new("shards", shards),
+            &(engine, query.clone()),
+            |b, (engine, query)| b.iter(|| engine.search(query)),
+        );
+    }
+
+    // Batched execution: 16 queries answered in one pass over each shard.
+    let mut engine = SearchEngine::sharded(fixture.params.clone(), 4);
+    engine.insert_all(indices).expect("upload");
+    let batch: Vec<QueryIndex> = (0..16).map(|i| build_query(&fixture, 100 + i)).collect();
+    group.throughput(Throughput::Elements(16 * SWEEP_DOCS as u64));
+    group.bench_with_input(
+        BenchmarkId::new("batch16_shards", 4),
+        &(engine, batch),
+        |b, (engine, batch)| b.iter(|| engine.search_batch(batch)),
+    );
     group.finish();
 }
 

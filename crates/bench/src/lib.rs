@@ -50,7 +50,11 @@ impl BenchFixture {
             },
             &mut rng,
         );
-        BenchFixture { params, keys, corpus }
+        BenchFixture {
+            params,
+            keys,
+            corpus,
+        }
     }
 
     /// An indexer borrowing this fixture's parameters and keys.

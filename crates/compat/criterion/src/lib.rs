@@ -1,0 +1,290 @@
+//! A lightweight, dependency-free benchmark harness exposing the subset of the
+//! Criterion API this workspace's benches use: `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function, bench_with_input,
+//! finish}`, `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurements are wall-clock means over an adaptively chosen iteration count —
+//! much cheaper than Criterion's full statistical machinery, but sufficient for the
+//! relative comparisons (e.g. shard-count speedups) the benches report. Each
+//! benchmark prints `<group>/<id>  time: <mean>` to stdout.
+//!
+//! Passing `--test` (as `cargo test` does for bench targets) runs each benchmark
+//! once, so benches double as smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (best-effort without inline asm).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation; recorded and echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, Criterion's composite id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just a parameter (Criterion's `from_parameter`).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            full: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs and times the workload.
+pub struct Bencher<'a> {
+    mean_ns: &'a mut f64,
+    quick: bool,
+}
+
+impl<'a> Bencher<'a> {
+    /// Measure `routine`, storing the mean wall-clock time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.quick {
+            black_box(routine());
+            *self.mean_ns = 0.0;
+            return;
+        }
+        // Warm-up and calibration: find an iteration count that runs ≥ ~50 ms.
+        let mut iters: u64 = 1;
+        let budget = Duration::from_millis(50);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget || iters >= 1 << 20 {
+                *self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            let scale = (budget.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64).ceil();
+            iters = (iters as f64 * scale.clamp(2.0, 100.0)) as u64;
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    quick: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Criterion compatibility; the sample count is ignored (timing is adaptive).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut mean_ns = 0.0;
+        f(&mut Bencher {
+            mean_ns: &mut mean_ns,
+            quick: self.quick,
+        });
+        self.report(&id.full, mean_ns);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let id = id.into();
+        let mut mean_ns = 0.0;
+        f(
+            &mut Bencher {
+                mean_ns: &mut mean_ns,
+                quick: self.quick,
+            },
+            input,
+        );
+        self.report(&id.full, mean_ns);
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(&mut self) {
+        if !self.quick {
+            println!();
+        }
+    }
+
+    fn report(&self, id: &str, mean_ns: f64) {
+        if self.quick {
+            println!("{}/{id}  ok (smoke run)", self.name);
+            return;
+        }
+        let time = format_ns(mean_ns);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 * 1e9 / mean_ns;
+                println!(
+                    "{}/{id}  time: {time}  thrpt: {per_sec:.0} elem/s",
+                    self.name
+                );
+            }
+            Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+                let per_sec = n as f64 * 1e9 / mean_ns;
+                println!(
+                    "{}/{id}  time: {time}  thrpt: {:.1} MiB/s",
+                    self.name,
+                    per_sec / (1024.0 * 1024.0)
+                );
+            }
+            _ => println!("{}/{id}  time: {time}", self.name),
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` runs bench targets with `--test`: run every benchmark once as
+        // a smoke test instead of timing it.
+        let quick = std::env::args().any(|a| a == "--test");
+        Criterion { quick }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            quick: self.quick,
+            _criterion: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        self.benchmark_group(id.full.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Declare a benchmark group function (Criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main` (Criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut mean = 0.0;
+        let mut b = Bencher {
+            mean_ns: &mut mean,
+            quick: false,
+        };
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 10).full, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").full, "x");
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(format_ns(5.0).contains("ns"));
+        assert!(format_ns(5e3).contains("µs"));
+        assert!(format_ns(5e6).contains("ms"));
+        assert!(format_ns(5e9).contains('s'));
+    }
+}

@@ -1,0 +1,87 @@
+//! A `std::thread::scope`-backed subset of the `crossbeam` API.
+//!
+//! Only `crossbeam::thread::scope` / `Scope::spawn` / `ScopedJoinHandle::join` are
+//! provided — exactly the surface the parallel indexing path uses. Since Rust 1.63
+//! the standard library's scoped threads cover this, so the shim is a thin adapter
+//! that keeps crossbeam's `Result`-returning signatures.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Error payload of a panicked scope or thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope in which borrowed-data threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its result or panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope itself so
+        /// nested spawns are possible (crossbeam's signature).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before returning.
+    ///
+    /// Unlike a bare `std::thread::scope`, panics from threads whose handles were
+    /// joined inside `f` do not tear down the caller — they surface through each
+    /// handle's `join` result, and `scope` itself only errors if `f` panics are
+    /// propagated by std (which this adapter converts into `Err`).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn panics_surface_as_errors() {
+        let result = crate::thread::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join()
+        })
+        .unwrap();
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Sampling helpers (`proptest::sample::Index`).
+
+use crate::Arbitrary;
+use rand::rngs::StdRng;
+use rand::RandomValue;
+
+/// An arbitrary index into a sequence whose length is only known at use time.
+///
+/// Generated via `any::<Index>()`; resolved against a concrete slice with
+/// [`Index::get`] or [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Resolve against a slice, returning a reference to the selected element.
+    ///
+    /// Panics on an empty slice (no valid index exists).
+    pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+        &slice[self.index(slice.len())]
+    }
+
+    /// Resolve against a collection of `len` elements.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index into an empty collection");
+        self.0 % len
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        Index(usize::random_from(rng))
+    }
+}

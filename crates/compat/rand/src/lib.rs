@@ -1,0 +1,224 @@
+//! A self-contained, dependency-free subset of the `rand` crate API.
+//!
+//! This workspace builds in fully offline environments, so the handful of `rand`
+//! entry points the codebase uses are provided here: [`Rng`], [`SeedableRng`],
+//! [`rngs::StdRng`] (xoshiro256++ seeded via SplitMix64), [`seq::SliceRandom`] and
+//! [`seq::index::sample`]. Distribution quality is more than adequate for the
+//! deterministic simulations and statistical experiments in this repository, but this
+//! is **not** a cryptographic RNG — the scheme's key material security rests on the
+//! HMAC/RSA layers, not on this generator.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of `next_u64` by default).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A type that can be produced uniformly at random (the `Standard` distribution).
+pub trait RandomValue {
+    /// Draw one uniform value from `rng`.
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl RandomValue for $t {
+            fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                // 128-bit types take two draws; everything else truncates one draw.
+                const BITS: u32 = <$t>::BITS;
+                if BITS > 64 {
+                    let hi = rng.next_u64() as u128;
+                    let lo = rng.next_u64() as u128;
+                    ((hi << 64) | lo) as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl RandomValue for bool {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl RandomValue for f64 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl RandomValue for f32 {
+    fn random_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// A range that can be sampled uniformly (`Range` / `RangeInclusive` of primitives).
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u128;
+                let offset = (rng.next_u64() as u128 | ((rng.next_u64() as u128) << 64)) % span;
+                ((self.start as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u128 + 1;
+                if span == 0 {
+                    // Full-width 128-bit range: any draw is uniform.
+                    return u128::random_from(rng) as $t;
+                }
+                let offset = (rng.next_u64() as u128 | ((rng.next_u64() as u128) << 64)) % span;
+                ((start as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(
+    u8 => u128, u16 => u128, u32 => u128, u64 => u128, u128 => u128, usize => u128,
+    i8 => i128, i16 => i128, i32 => i128, i64 => i128, i128 => i128, isize => i128
+);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::random_from(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        start + f64::random_from(rng) * (end - start)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f32::random_from(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform value of type `T`.
+    fn gen<T: RandomValue>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// A uniform value drawn from `range`.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::random_from(self) < p
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Expand `state` into a full generator state (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.gen::<u128>(), b.gen::<u128>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(5..17);
+            assert!((5..17).contains(&v));
+            let w: u32 = rng.gen_range(3..=3);
+            assert_eq!(w, 3);
+            let f: f64 = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,162 @@
+//! Sequence helpers: in-place shuffling, element choice and distinct index sampling.
+
+use crate::Rng;
+
+/// Slice extension methods (`shuffle`, `choose`).
+pub trait SliceRandom {
+    /// Element type of the slice.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly chosen element, or `None` when empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements chosen uniformly without replacement (fewer when
+    /// the slice is shorter than `amount`).
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[(rng.next_u64() % self.len() as u64) as usize])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        let amount = amount.min(self.len());
+        index::sample(rng, self.len(), amount)
+            .into_iter()
+            .map(|i| &self[i])
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+}
+
+/// Distinct-index sampling (`rand::seq::index`).
+pub mod index {
+    use super::*;
+
+    /// A set of distinct indices into a sequence of a known length.
+    #[derive(Clone, Debug)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// The sampled indices in selection order.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Iterate over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// `true` when no index was sampled.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+    }
+
+    impl IntoIterator for IndexVec {
+        type Item = usize;
+        type IntoIter = std::vec::IntoIter<usize>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Sample `amount` distinct indices from `0..length`.
+    ///
+    /// Uses rejection sampling when `amount` is small relative to `length` (no
+    /// `O(length)` pool allocation) and partial Fisher–Yates otherwise.
+    ///
+    /// Panics if `amount > length`, mirroring the upstream API.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(
+            amount <= length,
+            "cannot sample {amount} distinct indices from 0..{length}"
+        );
+        if amount * 8 <= length {
+            let mut seen = std::collections::HashSet::with_capacity(amount);
+            let mut picked = Vec::with_capacity(amount);
+            while picked.len() < amount {
+                let candidate = (rng.next_u64() % length as u64) as usize;
+                if seen.insert(candidate) {
+                    picked.push(candidate);
+                }
+            }
+            return IndexVec(picked);
+        }
+        let mut pool: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() % (length - i) as u64) as usize;
+            pool.swap(i, j);
+        }
+        pool.truncate(amount);
+        IndexVec(pool)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_returns_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let picked = index::sample(&mut rng, 60, 30);
+        assert_eq!(picked.len(), 30);
+        let mut v = picked.into_vec();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), 30);
+        assert!(v.iter().all(|&i| i < 60));
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        assert_eq!([9u8].choose(&mut rng), Some(&9));
+    }
+}

@@ -1,0 +1,18 @@
+//! Marker-trait subset of `serde` for offline builds.
+//!
+//! Every serialized format in this workspace is hand-rolled binary (the `MKSE` store
+//! format, the protocol wire-size accounting), so `Serialize`/`Deserialize` act purely
+//! as derive markers on types that are *conceptually* wire-safe. The traits are
+//! blanket-implemented and the derive macros (re-exported from `serde_derive`) emit
+//! nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker: the type has a well-defined serialized form.
+pub trait Serialize {}
+
+/// Marker: the type can be reconstructed from its serialized form.
+pub trait Deserialize {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<T: ?Sized> Deserialize for T {}

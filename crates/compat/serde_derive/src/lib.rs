@@ -1,0 +1,19 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The workspace uses serde derives purely as interface markers — every on-disk and
+//! on-wire format in this repository is hand-rolled (see `mkse_core::persistence` and
+//! `mkse_protocol::messages`), so the derives don't need to generate code. The sibling
+//! `serde` stub provides blanket trait impls; these macros only have to accept the
+//! derive syntax (including `#[serde(...)]` field attributes) and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -48,7 +48,10 @@ pub fn expected_common_zeros(params: &SystemParams, num_keywords: usize) -> f64 
 /// `Δ(Q₁, Q₂)` of Eq. (5): expected Hamming distance between two query indices with `x`
 /// keywords each, `x_common` of which are shared.
 pub fn expected_hamming_distance(params: &SystemParams, x: usize, x_common: usize) -> f64 {
-    assert!(x_common <= x, "common keywords cannot exceed total keywords");
+    assert!(
+        x_common <= x,
+        "common keywords cannot exceed total keywords"
+    );
     let r = params.index_bits as f64;
     let fx = expected_zeros(params, x);
     let fbar = expected_zeros(params, x_common);
@@ -144,16 +147,18 @@ impl Histogram {
     /// the two distributions are indistinguishable from these samples; values near 1 are what
     /// Figure 2(a) demonstrates for same-keyword vs different-keyword query pairs.
     pub fn overlap_coefficient(&self, other: &Histogram) -> f64 {
-        assert_eq!(self.counts.len(), other.counts.len(), "bucket count mismatch");
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "bucket count mismatch"
+        );
         if self.total == 0 || other.total == 0 {
             return 0.0;
         }
         self.counts
             .iter()
             .zip(other.counts.iter())
-            .map(|(&a, &b)| {
-                (a as f64 / self.total as f64).min(b as f64 / other.total as f64)
-            })
+            .map(|(&a, &b)| (a as f64 / self.total as f64).min(b as f64 / other.total as f64))
             .sum()
     }
 }

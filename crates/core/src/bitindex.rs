@@ -98,12 +98,19 @@ impl BitIndex {
 
     /// The matching predicate of Eq. (3): `self` (a document index) matches `query` iff every
     /// zero bit of `query` is also zero in `self`, i.e. `self AND NOT query == 0`.
+    ///
+    /// This is the innermost loop of every server-side scan. The explicit loop makes
+    /// the block-level short-circuit visible: evaluation stops at the first 64-bit
+    /// block that violates the predicate, so on random non-matching indices the
+    /// expected number of block comparisons is barely above one.
     pub fn matches_query(&self, query: &BitIndex) -> bool {
         assert_eq!(self.len, query.len, "length mismatch");
-        self.blocks
-            .iter()
-            .zip(query.blocks.iter())
-            .all(|(doc, q)| doc & !q == 0)
+        for (doc, q) in self.blocks.iter().zip(query.blocks.iter()) {
+            if doc & !q != 0 {
+                return false; // block-level early exit
+            }
+        }
+        true
     }
 
     /// Number of set bits.
@@ -188,7 +195,12 @@ impl BitIndex {
 
 impl std::fmt::Debug for BitIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "BitIndex({} bits, {} zeros)", self.len, self.count_zeros())
+        write!(
+            f,
+            "BitIndex({} bits, {} zeros)",
+            self.len,
+            self.count_zeros()
+        )
     }
 }
 
@@ -236,6 +248,90 @@ mod tests {
     fn get_out_of_range_panics() {
         let idx = BitIndex::all_zeros(10);
         let _ = idx.get(10);
+    }
+
+    /// For every length that is not a multiple of 64, the bits beyond `len` in the
+    /// last block must stay zero — `count_ones`, `common_zeros` and serialization
+    /// all rely on it.
+    fn assert_tail_is_masked(idx: &BitIndex) {
+        let tail = idx.len() % 64;
+        if tail != 0 {
+            let last = *idx.blocks.last().unwrap();
+            assert_eq!(last >> tail, 0, "tail bits set beyond len {}", idx.len());
+        }
+    }
+
+    #[test]
+    fn non_multiple_of_64_lengths_keep_tail_invariants() {
+        for len in [1usize, 63, 64, 65, 127, 129, 448, 449] {
+            let ones = BitIndex::all_ones(len);
+            assert_eq!(ones.count_ones(), len, "all_ones({len})");
+            assert_tail_is_masked(&ones);
+
+            let from_bits = BitIndex::from_bits(&vec![true; len]);
+            assert_eq!(from_bits, ones, "from_bits({len})");
+            assert_tail_is_masked(&from_bits);
+
+            // Setting the last valid bit must not touch the tail.
+            let mut idx = BitIndex::all_zeros(len);
+            idx.set(len - 1, true);
+            assert_tail_is_masked(&idx);
+            assert_eq!(idx.count_ones(), 1);
+            idx.set(len - 1, false);
+            assert_eq!(idx.count_ones(), 0);
+
+            // Byte round-trips preserve the masked tail.
+            let round = BitIndex::from_bytes(&ones.to_bytes(), len);
+            assert_eq!(round, ones);
+            assert_tail_is_masked(&round);
+
+            // count_zeros/common_zeros must not count phantom tail positions.
+            let zeros = BitIndex::all_zeros(len);
+            assert_eq!(zeros.count_zeros(), len);
+            assert_eq!(zeros.common_zeros(&zeros), len);
+            assert_eq!(ones.common_zeros(&zeros), 0);
+            assert_eq!(ones.hamming_distance(&zeros), len);
+        }
+    }
+
+    #[test]
+    fn from_bytes_masks_stray_tail_bits() {
+        // A corrupt (or adversarial) byte buffer with bits beyond `len` set must be
+        // normalized on load, or equality and zero-counts would diverge.
+        let bytes = vec![0xffu8; 9]; // 72 bits of ones
+        let idx = BitIndex::from_bytes(&bytes, 70);
+        assert_eq!(idx.count_ones(), 70);
+        assert_eq!(idx, BitIndex::all_ones(70));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bitwise_product_length_mismatch_panics() {
+        let a = BitIndex::all_ones(64);
+        let b = BitIndex::all_ones(65);
+        let _ = a.bitwise_product(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bitwise_product_assign_length_mismatch_panics() {
+        let mut a = BitIndex::all_ones(448);
+        let b = BitIndex::all_ones(447);
+        a.bitwise_product_assign(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn matches_query_length_mismatch_panics() {
+        let doc = BitIndex::all_ones(128);
+        let query = BitIndex::all_ones(64);
+        let _ = doc.matches_query(&query);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn from_bytes_wrong_buffer_size_panics() {
+        let _ = BitIndex::from_bytes(&[0u8; 8], 70); // 70 bits need 9 bytes
     }
 
     #[test]

@@ -262,18 +262,16 @@ mod tests {
         // keywords, and AND only adds zeros).
         let (params, keys) = setup(SystemParams::with_five_levels());
         let indexer = DocumentIndexer::new(&params, &keys);
-        let terms = TermFrequencies::from_pairs([
-            ("a", 1u32),
-            ("b", 3),
-            ("c", 5),
-            ("d", 8),
-            ("e", 12),
-        ]);
+        let terms =
+            TermFrequencies::from_pairs([("a", 1u32), ("b", 3), ("c", 5), ("d", 8), ("e", 12)]);
         let idx = indexer.index_terms(0, &terms);
         for i in 0..idx.num_levels() - 1 {
             // levels[i] has more (or equal) keywords folded in than levels[i+1], so
             // levels[i] AND levels[i+1] == levels[i].
-            assert_eq!(idx.levels[i].bitwise_product(&idx.levels[i + 1]), idx.levels[i]);
+            assert_eq!(
+                idx.levels[i].bitwise_product(&idx.levels[i + 1]),
+                idx.levels[i]
+            );
         }
     }
 
@@ -292,10 +290,7 @@ mod tests {
         let indexer = DocumentIndexer::new(&params, &keys);
         assert_eq!(indexer.random_mask().count_zeros(), 0);
         let idx = indexer.index_keywords(0, &["only"]);
-        assert_eq!(
-            idx.base_level(),
-            keys.trapdoor_for(&params, "only").index()
-        );
+        assert_eq!(idx.base_level(), keys.trapdoor_for(&params, "only").index());
     }
 
     #[test]

@@ -1,0 +1,412 @@
+//! The server-side **query-execution layer**: parallel ranked search over any
+//! [`IndexStore`].
+//!
+//! [`SearchEngine`] executes the paper's oblivious matching (Eq. 3 + Algorithm 1)
+//! shard-by-shard, scanning shards on parallel lanes (a persistent worker pool plus
+//! the calling thread) when the store has more than one. Semantics are **bit-for-bit
+//! identical** to the sequential reference scan ([`crate::search::CloudIndex`]):
+//!
+//! * per-shard scans run the exact same comparison loop (shared with the sequential
+//!   path via [`crate::search::scan_ranked`]);
+//! * merged ranked results are sorted by descending rank, ties broken by ascending
+//!   document id — a total order, so the merged list is unique and equals the
+//!   sequential sort;
+//! * merged unranked results and metadata are re-ordered by insertion ordinal,
+//!   reproducing the sequential "storage order" exactly;
+//! * merged [`SearchStats`] are the field-wise sums of per-shard stats, which equal
+//!   the sequential counts.
+//!
+//! Batched execution ([`SearchEngine::search_batch_with_stats`]) evaluates many
+//! queries per shard-scan pass, so a multi-query round trip pays the thread fan-out
+//! once instead of once per query.
+
+use crate::bitindex::BitIndex;
+use crate::document_index::RankedDocumentIndex;
+use crate::params::SystemParams;
+use crate::query::QueryIndex;
+use crate::search::{scan_ranked, sort_matches, SearchMatch, SearchStats};
+use crate::storage::{IndexStore, ShardedStore, StoreError, VecStore};
+
+mod pool;
+use pool::WorkerPool;
+
+/// A pluggable, shard-parallel search engine over an [`IndexStore`].
+///
+/// Multi-shard engines keep a persistent [`WorkerPool`] (one parked thread per
+/// scan lane, capped at the host's parallelism) for their whole lifetime: spawning
+/// threads per query would cost more than scanning a 10⁴-document shard on some
+/// hosts. Single-shard engines scan inline and carry no pool.
+#[derive(Debug)]
+pub struct SearchEngine<S: IndexStore> {
+    store: S,
+    pool: Option<WorkerPool>,
+}
+
+impl<S: IndexStore + Clone> Clone for SearchEngine<S> {
+    fn clone(&self) -> Self {
+        SearchEngine::new(self.store.clone())
+    }
+}
+
+impl<S: IndexStore + Default> Default for SearchEngine<S> {
+    fn default() -> Self {
+        SearchEngine::new(S::default())
+    }
+}
+
+impl SearchEngine<VecStore> {
+    /// A sequential engine over a fresh single-shard store.
+    pub fn sequential(params: SystemParams) -> Self {
+        SearchEngine::new(VecStore::new(params))
+    }
+}
+
+impl SearchEngine<ShardedStore> {
+    /// A parallel engine over a fresh round-robin store with `num_shards` shards.
+    pub fn sharded(params: SystemParams, num_shards: usize) -> Self {
+        SearchEngine::new(ShardedStore::new(params, num_shards))
+    }
+}
+
+impl<S: IndexStore> SearchEngine<S> {
+    /// Run queries on an existing store. Stores with more than one shard get a
+    /// persistent scan pool sized so that scan lanes (pool workers plus the calling
+    /// thread, which always takes one lane) never exceed the host's cores — more
+    /// busy threads than cores only adds scheduler thrash to a CPU-bound scan.
+    pub fn new(store: S) -> Self {
+        let shards = store.num_shards();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let lanes = shards.min(cores);
+        let pool = if lanes > 1 {
+            Some(WorkerPool::new(lanes - 1))
+        } else {
+            None
+        };
+        SearchEngine { store, pool }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutable access to the underlying store.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consume the engine, returning the store.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    /// The store's parameters.
+    pub fn params(&self) -> &SystemParams {
+        self.store.params()
+    }
+
+    /// Number of stored documents (σ).
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True if no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Upload one document index.
+    pub fn insert(&mut self, index: RankedDocumentIndex) -> Result<(), StoreError> {
+        self.store.insert(index)
+    }
+
+    /// Upload many document indices, stopping at the first invalid one.
+    pub fn insert_all<I: IntoIterator<Item = RankedDocumentIndex>>(
+        &mut self,
+        indices: I,
+    ) -> Result<(), StoreError> {
+        self.store.insert_all(indices)
+    }
+
+    /// The stored index of one document (O(1) on map-backed stores).
+    pub fn document_index(&self, document_id: u64) -> Option<&RankedDocumentIndex> {
+        self.store.document_index(document_id)
+    }
+
+    /// Run `scan` once per shard — inline for single-shard stores, on the persistent
+    /// worker pool otherwise. Results come back in shard order.
+    fn map_shards<T, F>(&self, scan: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let shards = self.store.num_shards();
+        let Some(pool) = &self.pool else {
+            return (0..shards).map(scan).collect();
+        };
+        let lanes = (pool.workers() + 1).min(shards);
+        let mut lane_results: Vec<Vec<(usize, T)>> = (0..lanes).map(|_| Vec::new()).collect();
+        {
+            let scan = &scan;
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = lane_results
+                .iter_mut()
+                .enumerate()
+                .map(|(lane, out)| {
+                    Box::new(move || {
+                        let mut shard = lane;
+                        while shard < shards {
+                            out.push((shard, scan(shard)));
+                            shard += lanes;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(jobs);
+        }
+        let mut results: Vec<Option<T>> = (0..shards).map(|_| None).collect();
+        for (shard, value) in lane_results.into_iter().flatten() {
+            results[shard] = Some(value);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every shard was scanned"))
+            .collect()
+    }
+
+    /// Scan every shard for documents whose level-1 index matches `query`, extract a
+    /// value per match, and merge across shards in storage (insertion-ordinal)
+    /// order. The single home of the ordinal-merge logic that makes parallel
+    /// unranked results and metadata reproduce the sequential scan's order exactly.
+    fn matching_in_storage_order<T, F>(&self, query: &QueryIndex, extract: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&RankedDocumentIndex) -> T + Sync,
+    {
+        let per_shard = self.map_shards(|shard| {
+            self.store
+                .shard_documents(shard)
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.base_level().matches_query(query.bits()))
+                .map(|(slot, d)| (self.store.ordinal(shard, slot), extract(d)))
+                .collect::<Vec<_>>()
+        });
+        let mut merged: Vec<(u64, T)> = per_shard.into_iter().flatten().collect();
+        merged.sort_unstable_by_key(|(ordinal, _)| *ordinal);
+        merged.into_iter().map(|(_, value)| value).collect()
+    }
+
+    /// Plain (unranked) oblivious search: ids of every document whose level-1 index
+    /// matches, in storage (insertion) order — Eq. (3) across the database.
+    pub fn search_unranked(&self, query: &QueryIndex) -> Vec<u64> {
+        self.matching_in_storage_order(query, |d| d.document_id)
+    }
+
+    /// Ranked search (Algorithm 1) with execution statistics, merged across shards.
+    pub fn search_ranked_with_stats(&self, query: &QueryIndex) -> (Vec<SearchMatch>, SearchStats) {
+        let per_shard =
+            self.map_shards(|shard| scan_ranked(self.store.shard_documents(shard), query));
+        let mut matches = Vec::new();
+        let mut stats = SearchStats::default();
+        for (shard_matches, shard_stats) in per_shard {
+            matches.extend(shard_matches);
+            stats.merge(&shard_stats);
+        }
+        sort_matches(&mut matches);
+        (matches, stats)
+    }
+
+    /// Ranked search without statistics.
+    pub fn search(&self, query: &QueryIndex) -> Vec<SearchMatch> {
+        self.search_ranked_with_stats(query).0
+    }
+
+    /// Ranked search returning only the top `tau` matches (§5).
+    pub fn search_top(&self, query: &QueryIndex, tau: usize) -> Vec<SearchMatch> {
+        let mut all = self.search(query);
+        all.truncate(tau);
+        all
+    }
+
+    /// Execute many queries in one pass: each shard is scanned once for the whole
+    /// batch, and per-query results are merged exactly as in the single-query path.
+    pub fn search_batch_with_stats(
+        &self,
+        queries: &[QueryIndex],
+    ) -> Vec<(Vec<SearchMatch>, SearchStats)> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        // per_shard[shard][query] = (matches, stats)
+        let per_shard = self.map_shards(|shard| {
+            let docs = self.store.shard_documents(shard);
+            queries
+                .iter()
+                .map(|q| scan_ranked(docs, q))
+                .collect::<Vec<_>>()
+        });
+        let mut merged: Vec<(Vec<SearchMatch>, SearchStats)> =
+            (0..queries.len()).map(|_| Default::default()).collect();
+        for shard_results in per_shard {
+            for (q, (shard_matches, shard_stats)) in shard_results.into_iter().enumerate() {
+                merged[q].0.extend(shard_matches);
+                merged[q].1.merge(&shard_stats);
+            }
+        }
+        for (matches, _) in &mut merged {
+            sort_matches(matches);
+        }
+        merged
+    }
+
+    /// Batched ranked search without statistics.
+    pub fn search_batch(&self, queries: &[QueryIndex]) -> Vec<Vec<SearchMatch>> {
+        self.search_batch_with_stats(queries)
+            .into_iter()
+            .map(|(matches, _)| matches)
+            .collect()
+    }
+
+    /// The per-level metadata of matching documents, in storage order (§4.3).
+    pub fn matching_metadata(&self, query: &QueryIndex) -> Vec<(u64, Vec<BitIndex>)> {
+        self.matching_in_storage_order(query, |d| (d.document_id, d.levels.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document_index::DocumentIndexer;
+    use crate::keys::SchemeKeys;
+    use crate::query::QueryBuilder;
+    use crate::search::CloudIndex;
+    use mkse_textproc::document::TermFrequencies;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        params: SystemParams,
+        keys: SchemeKeys,
+        rng: StdRng,
+    }
+
+    fn fixture() -> Fixture {
+        let params = SystemParams::default();
+        let mut rng = StdRng::seed_from_u64(123);
+        let keys = SchemeKeys::generate(&params, &mut rng);
+        Fixture { params, keys, rng }
+    }
+
+    fn corpus_indices(fx: &Fixture, n: u64) -> Vec<RankedDocumentIndex> {
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        (0..n)
+            .map(|id| {
+                let tf = TermFrequencies::from_pairs([
+                    (format!("kw{}", id % 7), 1 + (id as u32 % 12)),
+                    ("shared".to_string(), 1 + (id as u32 % 11)),
+                ]);
+                indexer.index_terms(id, &tf)
+            })
+            .collect()
+    }
+
+    fn query(fx: &mut Fixture, keywords: &[&str]) -> QueryIndex {
+        let tds = fx.keys.trapdoors_for(&fx.params, keywords);
+        QueryBuilder::new(&fx.params)
+            .add_trapdoors(&tds)
+            .build(&mut fx.rng)
+    }
+
+    #[test]
+    fn sharded_engine_matches_sequential_reference() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 40);
+        let mut reference = CloudIndex::new(fx.params.clone());
+        reference.insert_all(indices.iter().cloned()).unwrap();
+        let q = query(&mut fx, &["shared"]);
+        let (seq_matches, seq_stats) = reference.search_ranked_with_stats(&q);
+
+        for shards in [1usize, 2, 3, 8] {
+            let mut engine = SearchEngine::sharded(fx.params.clone(), shards);
+            engine.insert_all(indices.iter().cloned()).unwrap();
+            let (matches, stats) = engine.search_ranked_with_stats(&q);
+            assert_eq!(matches, seq_matches, "ranked mismatch at {shards} shards");
+            assert_eq!(stats, seq_stats, "stats mismatch at {shards} shards");
+            assert_eq!(
+                engine.search_unranked(&q),
+                reference.search_unranked(&q),
+                "unranked mismatch at {shards} shards"
+            );
+            assert_eq!(
+                engine.matching_metadata(&q),
+                reference.matching_metadata(&q),
+                "metadata mismatch at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_results_equal_single_query_results() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 30);
+        let mut engine = SearchEngine::sharded(fx.params.clone(), 4);
+        engine.insert_all(indices).unwrap();
+        let queries = vec![
+            query(&mut fx, &["shared"]),
+            query(&mut fx, &["kw3"]),
+            query(&mut fx, &["kw5", "shared"]),
+        ];
+        let batched = engine.search_batch_with_stats(&queries);
+        assert_eq!(batched.len(), 3);
+        for (q, (matches, stats)) in queries.iter().zip(batched.iter()) {
+            let (single_matches, single_stats) = engine.search_ranked_with_stats(q);
+            assert_eq!(matches, &single_matches);
+            assert_eq!(stats, &single_stats);
+        }
+        assert!(engine.search_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn top_k_truncates_merged_ranking() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 25);
+        let mut engine = SearchEngine::sharded(fx.params.clone(), 3);
+        engine.insert_all(indices).unwrap();
+        let q = query(&mut fx, &["shared"]);
+        let all = engine.search(&q);
+        let top = engine.search_top(&q, 4);
+        assert_eq!(top.len(), 4.min(all.len()));
+        assert_eq!(&all[..top.len()], &top[..]);
+        for w in all.windows(2) {
+            assert!(
+                w[0].rank > w[1].rank
+                    || (w[0].rank == w[1].rank && w[0].document_id < w[1].document_id)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_engine_returns_nothing() {
+        let mut fx = fixture();
+        let engine = SearchEngine::sharded(fx.params.clone(), 4);
+        assert!(engine.is_empty());
+        assert_eq!(engine.len(), 0);
+        let q = query(&mut fx, &["anything"]);
+        assert!(engine.search(&q).is_empty());
+        assert!(engine.search_unranked(&q).is_empty());
+        assert!(engine.document_index(0).is_none());
+    }
+
+    #[test]
+    fn sequential_constructor_runs_on_vec_store() {
+        let mut fx = fixture();
+        let mut engine = SearchEngine::sequential(fx.params.clone());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        engine.insert(indexer.index_keywords(0, &["kw0"])).unwrap();
+        assert_eq!(engine.store().num_shards(), 1);
+        let q = query(&mut fx, &["kw0"]);
+        assert_eq!(engine.search_unranked(&q), vec![0]);
+        assert_eq!(engine.params().index_bits, 448);
+        assert_eq!(engine.into_store().len(), 1);
+    }
+}

@@ -166,7 +166,10 @@ impl std::fmt::Display for ParamError {
             ParamError::InvalidDigitBits(d) => write!(f, "digit size d={d} must be in 1..=32"),
             ParamError::ZeroBins => write!(f, "number of bins must be positive"),
             ParamError::QueryRandomExceedsPool { query, pool } => {
-                write!(f, "V={query} random query keywords exceed the pool U={pool}")
+                write!(
+                    f,
+                    "V={query} random query keywords exceed the pool U={pool}"
+                )
             }
             ParamError::NoLevels => write!(f, "at least one ranking level is required"),
             ParamError::FirstLevelMustBeOne(t) => {
@@ -230,7 +233,10 @@ mod tests {
         );
         assert_eq!(
             SystemParams::new(448, 6, 10, 10, 20, vec![1]).unwrap_err(),
-            ParamError::QueryRandomExceedsPool { query: 20, pool: 10 }
+            ParamError::QueryRandomExceedsPool {
+                query: 20,
+                pool: 10
+            }
         );
         assert_eq!(
             SystemParams::new(448, 6, 10, 0, 0, vec![]).unwrap_err(),

@@ -17,6 +17,7 @@
 use crate::bitindex::BitIndex;
 use crate::document_index::RankedDocumentIndex;
 use crate::params::SystemParams;
+use crate::storage::{IndexStore, StoreError};
 
 const MAGIC: &[u8; 4] = b"MKSE";
 const VERSION: u16 = 1;
@@ -31,7 +32,14 @@ pub enum PersistenceError {
     /// The buffer ended before the declared content.
     Truncated,
     /// The declared geometry does not match the supplied parameters.
-    ParameterMismatch { expected_r: usize, found_r: usize, expected_eta: usize, found_eta: usize },
+    ParameterMismatch {
+        expected_r: usize,
+        found_r: usize,
+        expected_eta: usize,
+        found_eta: usize,
+    },
+    /// A decoded index was rejected by the destination store (e.g. duplicate id).
+    Store(StoreError),
 }
 
 impl std::fmt::Display for PersistenceError {
@@ -40,17 +48,29 @@ impl std::fmt::Display for PersistenceError {
             PersistenceError::BadMagic => write!(f, "not an MKSE index store"),
             PersistenceError::UnsupportedVersion(v) => write!(f, "unsupported store version {v}"),
             PersistenceError::Truncated => write!(f, "store is truncated"),
-            PersistenceError::ParameterMismatch { expected_r, found_r, expected_eta, found_eta } => {
+            PersistenceError::ParameterMismatch {
+                expected_r,
+                found_r,
+                expected_eta,
+                found_eta,
+            } => {
                 write!(
                     f,
                     "parameter mismatch: store has r={found_r}, eta={found_eta}; expected r={expected_r}, eta={expected_eta}"
                 )
             }
+            PersistenceError::Store(e) => write!(f, "store rejected decoded index: {e}"),
         }
     }
 }
 
 impl std::error::Error for PersistenceError {}
+
+impl From<StoreError> for PersistenceError {
+    fn from(e: StoreError) -> Self {
+        PersistenceError::Store(e)
+    }
+}
 
 /// Serialize a collection of document indices into the binary store format.
 ///
@@ -108,9 +128,42 @@ pub fn deserialize_store(
         for _ in 0..eta {
             levels.push(BitIndex::from_bytes(cursor.take(r_bytes)?, r));
         }
-        indices.push(RankedDocumentIndex { document_id, levels });
+        indices.push(RankedDocumentIndex {
+            document_id,
+            levels,
+        });
     }
     Ok(indices)
+}
+
+/// Snapshot any [`IndexStore`] into the binary store format, in insertion order.
+///
+/// The byte output is **layout-independent**: a sharded store and the sequential
+/// reference store holding the same uploads serialize identically, so snapshots can
+/// be restored into a store with any shard count.
+pub fn serialize_index_store<S: IndexStore>(store: &S) -> Vec<u8> {
+    let ordered: Vec<RankedDocumentIndex> = store
+        .documents_in_insertion_order()
+        .into_iter()
+        .cloned()
+        .collect();
+    serialize_store(store.params(), &ordered)
+}
+
+/// Restore a snapshot produced by [`serialize_index_store`] (or [`serialize_store`])
+/// into `store`, appending the decoded indices in their original insertion order.
+///
+/// Returns the number of restored documents.
+pub fn deserialize_into<S: IndexStore>(
+    store: &mut S,
+    bytes: &[u8],
+) -> Result<usize, PersistenceError> {
+    let indices = deserialize_store(store.params(), bytes)?;
+    let count = indices.len();
+    for idx in indices {
+        store.insert(idx)?;
+    }
+    Ok(count)
 }
 
 struct Cursor<'a> {
@@ -169,7 +222,10 @@ mod tests {
         let params = SystemParams::default();
         let mut bytes = serialize_store(&params, &sample_indices(&params, 1));
         bytes[0] = b'X';
-        assert_eq!(deserialize_store(&params, &bytes), Err(PersistenceError::BadMagic));
+        assert_eq!(
+            deserialize_store(&params, &bytes),
+            Err(PersistenceError::BadMagic)
+        );
 
         let mut bytes = serialize_store(&params, &sample_indices(&params, 1));
         bytes[4] = 0xff;
@@ -208,6 +264,46 @@ mod tests {
         assert!(!format!("{}", PersistenceError::BadMagic).is_empty());
         assert!(format!("{}", PersistenceError::UnsupportedVersion(9)).contains('9'));
         assert!(!format!("{}", PersistenceError::Truncated).is_empty());
+    }
+
+    #[test]
+    fn sharded_snapshot_equals_sequential_snapshot() {
+        use crate::storage::{IndexStore, ShardedStore, VecStore};
+        let params = SystemParams::default();
+        let indices = sample_indices(&params, 11);
+        let mut sequential = VecStore::new(params.clone());
+        sequential.insert_all(indices.iter().cloned()).unwrap();
+        let mut sharded = ShardedStore::new(params.clone(), 4);
+        sharded.insert_all(indices.iter().cloned()).unwrap();
+        // Layout independence: both snapshots are byte-identical.
+        let bytes = serialize_index_store(&sequential);
+        assert_eq!(bytes, serialize_index_store(&sharded));
+        assert_eq!(bytes, serialize_store(&params, &indices));
+        // Restoring into a store with a different shard count preserves content.
+        let mut restored = ShardedStore::new(params.clone(), 7);
+        assert_eq!(deserialize_into(&mut restored, &bytes).unwrap(), 11);
+        assert_eq!(
+            restored
+                .documents_in_insertion_order()
+                .into_iter()
+                .cloned()
+                .collect::<Vec<_>>(),
+            indices
+        );
+    }
+
+    #[test]
+    fn restoring_into_a_populated_store_rejects_duplicates() {
+        use crate::storage::{IndexStore, ShardedStore};
+        let params = SystemParams::default();
+        let indices = sample_indices(&params, 3);
+        let bytes = serialize_store(&params, &indices);
+        let mut store = ShardedStore::new(params.clone(), 2);
+        store.insert(indices[1].clone()).unwrap();
+        assert!(matches!(
+            deserialize_into(&mut store, &bytes),
+            Err(PersistenceError::Store(_))
+        ));
     }
 
     proptest! {

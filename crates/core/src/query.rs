@@ -161,7 +161,9 @@ mod tests {
     fn unrandomized_query_is_product_of_trapdoors() {
         let (params, keys, mut rng) = setup();
         let tds = keys.trapdoors_for(&params, &["alpha", "beta"]);
-        let q = QueryBuilder::new(&params).add_trapdoors(&tds).build(&mut rng);
+        let q = QueryBuilder::new(&params)
+            .add_trapdoors(&tds)
+            .build(&mut rng);
         let expected = tds[0].index().bitwise_product(tds[1].index());
         assert_eq!(q.bits(), &expected);
         assert_eq!(q.genuine_terms(), 2);
@@ -176,7 +178,9 @@ mod tests {
             .add_trapdoor(&tds[0])
             .add_trapdoor(&tds[1])
             .build(&mut rng);
-        let q2 = QueryBuilder::new(&params).add_trapdoors(&tds).build(&mut rng);
+        let q2 = QueryBuilder::new(&params)
+            .add_trapdoors(&tds)
+            .build(&mut rng);
         assert_eq!(q1.bits(), q2.bits());
     }
 
@@ -203,7 +207,9 @@ mod tests {
         let (params, keys, mut rng) = setup();
         let tds = keys.trapdoors_for(&params, &["cloud"]);
         let pool = keys.random_pool_trapdoors(&params);
-        let plain = QueryBuilder::new(&params).add_trapdoors(&tds).build(&mut rng);
+        let plain = QueryBuilder::new(&params)
+            .add_trapdoors(&tds)
+            .build(&mut rng);
         let randomized = QueryBuilder::new(&params)
             .add_trapdoors(&tds)
             .with_randomization(&pool)

@@ -115,7 +115,10 @@ mod tests {
 
     fn corpus() -> Vec<Document> {
         vec![
-            Document::from_terms(0, TermFrequencies::from_pairs([("alpha", 3u32), ("beta", 1)])),
+            Document::from_terms(
+                0,
+                TermFrequencies::from_pairs([("alpha", 3u32), ("beta", 1)]),
+            ),
             Document::from_terms(1, TermFrequencies::from_pairs([("gamma", 2u32)])),
         ]
     }
@@ -155,7 +158,7 @@ mod tests {
 
         // Epoch 0: index, query, match.
         let mut cloud = CloudIndex::new(params.clone());
-        cloud.insert_all(rotating.reindex(&docs));
+        cloud.insert_all(rotating.reindex(&docs)).unwrap();
         let old_td = rotating.issue_trapdoor("alpha");
         let old_query = QueryBuilder::new(&params)
             .add_trapdoor(&old_td.trapdoor)
@@ -165,7 +168,7 @@ mod tests {
         // Rotate and re-index.
         rotating.rotate(&mut rng);
         let mut cloud = CloudIndex::new(params.clone());
-        cloud.insert_all(rotating.reindex(&docs));
+        cloud.insert_all(rotating.reindex(&docs)).unwrap();
 
         // The stale trapdoor no longer matches (overwhelmingly likely: its zero positions are
         // unrelated to the new index), while a freshly issued one does.

@@ -5,11 +5,18 @@
 //! enabled, Algorithm 1 walks the levels of each matching document upward; the document's rank
 //! is the highest level that still matches. The server never learns anything beyond which
 //! stored indices matched at which level.
+//!
+//! [`CloudIndex`] is the **sequential reference implementation** over a single
+//! contiguous [`VecStore`]. The production read path is the shard-parallel
+//! [`crate::engine::SearchEngine`], which reuses this module's [`scan_ranked`] loop
+//! per shard and is therefore match-for-match, rank-for-rank and count-for-count
+//! equivalent to the reference (see `tests/sharded_engine_equivalence.rs`).
 
 use crate::bitindex::BitIndex;
 use crate::document_index::RankedDocumentIndex;
 use crate::params::SystemParams;
 use crate::query::QueryIndex;
+use crate::storage::{IndexStore, StoreError, VecStore};
 use serde::{Deserialize, Serialize};
 
 /// One search hit: a document id and its relevance rank (1 ≤ rank ≤ η).
@@ -32,65 +39,112 @@ pub struct SearchStats {
     pub matches: u64,
 }
 
-/// The server-side index store.
+impl SearchStats {
+    /// Accumulate another execution's counts (used when merging per-shard scans; the
+    /// sums equal the sequential scan's counts exactly).
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.comparisons += other.comparisons;
+        self.matches += other.matches;
+    }
+}
+
+/// The ranked scan of Algorithm 1 over one contiguous run of documents.
+///
+/// This is *the* comparison loop of the scheme: both the sequential [`CloudIndex`]
+/// and each shard of the parallel engine execute it, which makes their per-document
+/// behavior identical by construction. Matches are returned in scan order; callers
+/// sort with [`sort_matches`].
+pub fn scan_ranked(
+    documents: &[RankedDocumentIndex],
+    query: &QueryIndex,
+) -> (Vec<SearchMatch>, SearchStats) {
+    let mut stats = SearchStats::default();
+    let mut matches = Vec::new();
+    for doc in documents {
+        stats.comparisons += 1;
+        if !doc.base_level().matches_query(query.bits()) {
+            continue;
+        }
+        stats.matches += 1;
+        // Walk upward while the higher levels still match.
+        let mut rank = 1u32;
+        for level in doc.levels.iter().skip(1) {
+            stats.comparisons += 1;
+            if level.matches_query(query.bits()) {
+                rank += 1;
+            } else {
+                break;
+            }
+        }
+        matches.push(SearchMatch {
+            document_id: doc.document_id,
+            rank,
+        });
+    }
+    (matches, stats)
+}
+
+/// Canonical result order: descending rank, ties broken by ascending document id.
+///
+/// Document ids are unique, so this comparator is a total order — sorting any
+/// permutation of the same match set (e.g. a shard-merged one) yields one unique
+/// sequence, which is what makes parallel execution deterministic.
+pub fn sort_matches(matches: &mut [SearchMatch]) {
+    matches.sort_by(|a, b| b.rank.cmp(&a.rank).then(a.document_id.cmp(&b.document_id)));
+}
+
+/// The sequential server-side index store — the paper's single-threaded scan, kept as
+/// the reference the parallel engine is tested against.
 #[derive(Clone, Debug, Default)]
 pub struct CloudIndex {
-    params: SystemParams,
-    documents: Vec<RankedDocumentIndex>,
+    store: VecStore,
 }
 
 impl CloudIndex {
     /// Create an empty store for the given parameters.
     pub fn new(params: SystemParams) -> Self {
         CloudIndex {
-            params,
-            documents: Vec::new(),
+            store: VecStore::new(params),
         }
     }
 
     /// Upload one document index.
     ///
-    /// Panics if the index was built with a different number of levels or a different index
-    /// size than this store's parameters — mixing parameter sets is a protocol violation.
-    pub fn insert(&mut self, index: RankedDocumentIndex) {
-        assert_eq!(
-            index.num_levels(),
-            self.params.rank_levels(),
-            "level count mismatch"
-        );
-        assert!(
-            index.levels.iter().all(|l| l.len() == self.params.index_bits),
-            "index size mismatch"
-        );
-        self.documents.push(index);
+    /// Fails if the index was built with a different number of levels or a different
+    /// index size than this store's parameters (mixing parameter sets is a protocol
+    /// violation), or if the document id is already stored.
+    pub fn insert(&mut self, index: RankedDocumentIndex) -> Result<(), StoreError> {
+        self.store.insert(index)
     }
 
-    /// Upload many document indices.
-    pub fn insert_all<I: IntoIterator<Item = RankedDocumentIndex>>(&mut self, indices: I) {
-        for idx in indices {
-            self.insert(idx);
-        }
+    /// Upload many document indices, stopping at the first invalid one.
+    pub fn insert_all<I: IntoIterator<Item = RankedDocumentIndex>>(
+        &mut self,
+        indices: I,
+    ) -> Result<(), StoreError> {
+        self.store.insert_all(indices)
     }
 
     /// Number of stored documents (σ).
     pub fn len(&self) -> usize {
-        self.documents.len()
+        self.store.len()
     }
 
     /// True if no documents are stored.
     pub fn is_empty(&self) -> bool {
-        self.documents.is_empty()
+        self.store.is_empty()
     }
 
-    /// The stored indices (the "metadata" the server returns for matching documents).
+    /// The stored index of one document (O(1) via the store's id map).
     pub fn document_index(&self, document_id: u64) -> Option<&RankedDocumentIndex> {
-        self.documents.iter().find(|d| d.document_id == document_id)
+        self.store.document_index(document_id)
     }
 
     /// Plain (unranked) oblivious search: every document whose level-1 index matches the
     /// query, in storage order. This is Eq. (3) applied across the database.
     pub fn search_unranked(&self, query: &QueryIndex) -> Vec<u64> {
-        self.documents
+        self.store
+            .documents()
             .iter()
             .filter(|d| d.base_level().matches_query(query.bits()))
             .map(|d| d.document_id)
@@ -100,30 +154,8 @@ impl CloudIndex {
     /// Ranked search (Algorithm 1): returns matches sorted by descending rank (ties broken by
     /// document id) together with execution statistics.
     pub fn search_ranked_with_stats(&self, query: &QueryIndex) -> (Vec<SearchMatch>, SearchStats) {
-        let mut stats = SearchStats::default();
-        let mut matches = Vec::new();
-        for doc in &self.documents {
-            stats.comparisons += 1;
-            if !doc.base_level().matches_query(query.bits()) {
-                continue;
-            }
-            stats.matches += 1;
-            // Walk upward while the higher levels still match.
-            let mut rank = 1u32;
-            for level in doc.levels.iter().skip(1) {
-                stats.comparisons += 1;
-                if level.matches_query(query.bits()) {
-                    rank += 1;
-                } else {
-                    break;
-                }
-            }
-            matches.push(SearchMatch {
-                document_id: doc.document_id,
-                rank,
-            });
-        }
-        matches.sort_by(|a, b| b.rank.cmp(&a.rank).then(a.document_id.cmp(&b.document_id)));
+        let (mut matches, stats) = scan_ranked(self.store.documents(), query);
+        sort_matches(&mut matches);
         (matches, stats)
     }
 
@@ -143,7 +175,8 @@ impl CloudIndex {
     /// The metadata (per-level indices) of the matching documents, which the server sends back
     /// so the user can assess relevance before retrieving ciphertexts (§4.3).
     pub fn matching_metadata(&self, query: &QueryIndex) -> Vec<(u64, Vec<BitIndex>)> {
-        self.documents
+        self.store
+            .documents()
             .iter()
             .filter(|d| d.base_level().matches_query(query.bits()))
             .map(|d| (d.document_id, d.levels.clone()))
@@ -152,7 +185,18 @@ impl CloudIndex {
 
     /// The parameters of this store.
     pub fn params(&self) -> &SystemParams {
-        &self.params
+        self.store.params()
+    }
+
+    /// The underlying single-shard store.
+    pub fn store(&self) -> &VecStore {
+        &self.store
+    }
+
+    /// Consume the index, returning the underlying store (e.g. to hand it to a
+    /// [`crate::engine::SearchEngine`]).
+    pub fn into_store(self) -> VecStore {
+        self.store
     }
 }
 
@@ -190,9 +234,15 @@ mod tests {
         let mut fx = fixture(SystemParams::default());
         let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
         let mut cloud = CloudIndex::new(fx.params.clone());
-        cloud.insert(indexer.index_keywords(0, &["cloud", "privacy", "search"]));
-        cloud.insert(indexer.index_keywords(1, &["cloud", "weather"]));
-        cloud.insert(indexer.index_keywords(2, &["privacy", "search", "ranking"]));
+        cloud
+            .insert(indexer.index_keywords(0, &["cloud", "privacy", "search"]))
+            .unwrap();
+        cloud
+            .insert(indexer.index_keywords(1, &["cloud", "weather"]))
+            .unwrap();
+        cloud
+            .insert(indexer.index_keywords(2, &["privacy", "search", "ranking"]))
+            .unwrap();
         assert_eq!(cloud.len(), 3);
 
         let q = query(&mut fx, &["privacy", "search"]);
@@ -212,7 +262,7 @@ mod tests {
             (1, vec!["alpha"]),
             (2, vec!["gamma"]),
         ] {
-            cloud.insert(indexer.index_keywords(id, &kws.iter().map(|s| *s).collect::<Vec<_>>()));
+            cloud.insert(indexer.index_keywords(id, &kws)).unwrap();
         }
         let q = query(&mut fx, &["alpha"]);
         let hits = cloud.search_unranked(&q);
@@ -226,13 +276,21 @@ mod tests {
         let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
         let mut cloud = CloudIndex::new(fx.params.clone());
         // doc 0: keyword occurs 12 times → should reach level 3.
-        cloud.insert(indexer.index_terms(0, &TermFrequencies::from_pairs([("topic", 12u32)])));
+        cloud
+            .insert(indexer.index_terms(0, &TermFrequencies::from_pairs([("topic", 12u32)])))
+            .unwrap();
         // doc 1: keyword occurs 6 times → level 2.
-        cloud.insert(indexer.index_terms(1, &TermFrequencies::from_pairs([("topic", 6u32)])));
+        cloud
+            .insert(indexer.index_terms(1, &TermFrequencies::from_pairs([("topic", 6u32)])))
+            .unwrap();
         // doc 2: keyword occurs once → level 1.
-        cloud.insert(indexer.index_terms(2, &TermFrequencies::from_pairs([("topic", 1u32)])));
+        cloud
+            .insert(indexer.index_terms(2, &TermFrequencies::from_pairs([("topic", 1u32)])))
+            .unwrap();
         // doc 3: unrelated.
-        cloud.insert(indexer.index_terms(3, &TermFrequencies::from_pairs([("other", 9u32)])));
+        cloud
+            .insert(indexer.index_terms(3, &TermFrequencies::from_pairs([("other", 9u32)])))
+            .unwrap();
 
         let q = query(&mut fx, &["topic"]);
         let (hits, stats) = cloud.search_ranked_with_stats(&q);
@@ -251,10 +309,12 @@ mod tests {
         let mut fx = fixture(SystemParams::default());
         let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
         let mut cloud = CloudIndex::new(fx.params.clone());
-        cloud.insert(indexer.index_terms(
-            0,
-            &TermFrequencies::from_pairs([("hot", 12u32), ("rare", 1u32)]),
-        ));
+        cloud
+            .insert(indexer.index_terms(
+                0,
+                &TermFrequencies::from_pairs([("hot", 12u32), ("rare", 1u32)]),
+            ))
+            .unwrap();
         let q = query(&mut fx, &["hot", "rare"]);
         let hits = cloud.search(&q);
         assert_eq!(hits.len(), 1);
@@ -271,7 +331,7 @@ mod tests {
         let mut cloud = CloudIndex::new(fx.params.clone());
         for id in 0..10u64 {
             let tf = TermFrequencies::from_pairs([("shared", 1 + (id as u32 % 11))]);
-            cloud.insert(indexer.index_terms(id, &tf));
+            cloud.insert(indexer.index_terms(id, &tf)).unwrap();
         }
         let q = query(&mut fx, &["shared"]);
         let top3 = cloud.search_top(&q, 3);
@@ -290,8 +350,12 @@ mod tests {
         let mut fx = fixture(SystemParams::default());
         let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
         let mut cloud = CloudIndex::new(fx.params.clone());
-        cloud.insert(indexer.index_keywords(0, &["cloud", "privacy"]));
-        cloud.insert(indexer.index_keywords(1, &["weather"]));
+        cloud
+            .insert(indexer.index_keywords(0, &["cloud", "privacy"]))
+            .unwrap();
+        cloud
+            .insert(indexer.index_keywords(1, &["weather"]))
+            .unwrap();
 
         let tds = fx.keys.trapdoors_for(&fx.params, &["cloud"]);
         let pool = fx.keys.random_pool_trapdoors(&fx.params);
@@ -313,8 +377,8 @@ mod tests {
         let mut fx = fixture(SystemParams::default());
         let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
         let mut cloud = CloudIndex::new(fx.params.clone());
-        cloud.insert(indexer.index_keywords(0, &["match"]));
-        cloud.insert(indexer.index_keywords(1, &["other"]));
+        cloud.insert(indexer.index_keywords(0, &["match"])).unwrap();
+        cloud.insert(indexer.index_keywords(1, &["other"])).unwrap();
         let q = query(&mut fx, &["match"]);
         let metadata = cloud.matching_metadata(&q);
         assert_eq!(metadata.len(), 1);
@@ -339,29 +403,59 @@ mod tests {
         let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
         let mut cloud = CloudIndex::new(fx.params.clone());
         let idx = indexer.index_keywords(42, &["kw"]);
-        cloud.insert(idx.clone());
+        cloud.insert(idx.clone()).unwrap();
         assert_eq!(cloud.document_index(42), Some(&idx));
         assert!(cloud.document_index(43).is_none());
     }
 
     #[test]
-    #[should_panic(expected = "level count mismatch")]
-    fn inserting_index_with_wrong_level_count_panics() {
+    fn inserting_index_with_wrong_level_count_is_rejected() {
         let fx = fixture(SystemParams::default());
         let other_params = SystemParams::without_ranking();
         let other_keys = SchemeKeys::generate(&other_params, &mut StdRng::seed_from_u64(5));
         let other_indexer = DocumentIndexer::new(&other_params, &other_keys);
         let mut cloud = CloudIndex::new(fx.params.clone());
-        cloud.insert(other_indexer.index_keywords(0, &["kw"]));
+        assert_eq!(
+            cloud.insert(other_indexer.index_keywords(0, &["kw"])),
+            Err(StoreError::LevelCountMismatch {
+                expected: 3,
+                found: 1
+            })
+        );
+        assert!(cloud.is_empty(), "rejected insert must not be stored");
     }
 
     #[test]
-    fn insert_all_accepts_an_iterator() {
+    fn inserting_duplicate_document_id_is_rejected() {
         let fx = fixture(SystemParams::default());
         let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
         let mut cloud = CloudIndex::new(fx.params.clone());
-        cloud.insert_all((0..5u64).map(|id| indexer.index_keywords(id, &["kw"])));
+        cloud.insert(indexer.index_keywords(7, &["kw"])).unwrap();
+        assert_eq!(
+            cloud.insert(indexer.index_keywords(7, &["kw2"])),
+            Err(StoreError::DuplicateDocument(7))
+        );
+        assert_eq!(cloud.len(), 1);
+    }
+
+    #[test]
+    fn insert_all_accepts_an_iterator_and_stops_on_error() {
+        let fx = fixture(SystemParams::default());
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        let mut cloud = CloudIndex::new(fx.params.clone());
+        cloud
+            .insert_all((0..5u64).map(|id| indexer.index_keywords(id, &["kw"])))
+            .unwrap();
         assert_eq!(cloud.len(), 5);
+        // A duplicate in the middle aborts the remaining inserts.
+        let result = cloud.insert_all([
+            indexer.index_keywords(10, &["kw"]),
+            indexer.index_keywords(3, &["kw"]),
+            indexer.index_keywords(11, &["kw"]),
+        ]);
+        assert_eq!(result, Err(StoreError::DuplicateDocument(3)));
+        assert_eq!(cloud.len(), 6);
+        assert!(cloud.document_index(11).is_none());
     }
 
     #[test]
@@ -369,7 +463,7 @@ mod tests {
         let mut fx = fixture(SystemParams::without_ranking());
         let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
         let mut cloud = CloudIndex::new(fx.params.clone());
-        cloud.insert(indexer.index_keywords(0, &["kw"]));
+        cloud.insert(indexer.index_keywords(0, &["kw"])).unwrap();
         let q = query(&mut fx, &["kw"]);
         let (hits, stats) = cloud.search_ranked_with_stats(&q);
         assert_eq!(hits.len(), 1);

@@ -113,7 +113,7 @@ impl BigUint {
 
     /// True iff the value is even (0 is even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for the value 0).
@@ -157,8 +157,8 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
-            let sum = long[i] as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
+        for (i, &limb) in long.iter().enumerate() {
+            let sum = limb as u64 + short.get(i).copied().unwrap_or(0) as u64 + carry;
             out.push(sum as u32);
             carry = sum >> 32;
         }
@@ -176,7 +176,8 @@ impl BigUint {
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0i64;
         for i in 0..self.limbs.len() {
-            let diff = self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
+            let diff =
+                self.limbs[i] as i64 - other.limbs.get(i).copied().unwrap_or(0) as i64 - borrow;
             if diff < 0 {
                 out.push((diff + (1i64 << 32)) as u32);
                 borrow = 1;
@@ -257,7 +258,7 @@ impl BigUint {
             let mut carry = 0u32;
             for &l in &self.limbs {
                 out.push((l << bit_shift) | carry);
-                carry = (l >> (32 - bit_shift)) as u32;
+                carry = l >> (32 - bit_shift);
             }
             if carry > 0 {
                 out.push(carry);
@@ -441,7 +442,11 @@ impl BigUint {
         }
         // Mask off excess bits and force the top bit.
         let top_bits = bits - (limbs_needed - 1) * 32;
-        let mask: u32 = if top_bits == 32 { u32::MAX } else { (1u32 << top_bits) - 1 };
+        let mask: u32 = if top_bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << top_bits) - 1
+        };
         let last = limbs_needed - 1;
         limbs[last] &= mask;
         limbs[last] |= 1 << (top_bits - 1);
@@ -461,7 +466,11 @@ impl BigUint {
                 limbs.push(rng.gen::<u32>());
             }
             let top_bits = bits - (limbs_needed - 1) * 32;
-            let mask: u32 = if top_bits == 32 { u32::MAX } else { (1u32 << top_bits) - 1 };
+            let mask: u32 = if top_bits == 32 {
+                u32::MAX
+            } else {
+                (1u32 << top_bits) - 1
+            };
             let last = limbs_needed - 1;
             limbs[last] &= mask;
             let mut candidate = BigUint { limbs };
@@ -602,8 +611,10 @@ impl MontgomeryCtx {
         limbs
     }
 
-    fn from_limbs(&self, mut limbs: Vec<u32>) -> BigUint {
-        let mut n = BigUint { limbs: std::mem::take(&mut limbs) };
+    fn limbs_into_biguint(&self, mut limbs: Vec<u32>) -> BigUint {
+        let mut n = BigUint {
+            limbs: std::mem::take(&mut limbs),
+        };
         n.normalize();
         n
     }
@@ -613,11 +624,11 @@ impl MontgomeryCtx {
     fn mont_mul(&self, a: &[u32], b: &[u32]) -> Vec<u32> {
         let k = self.n_limbs;
         let mut t = vec![0u64; k + 2];
-        for i in 0..k {
-            // t += a[i] * b
+        for &ai in a.iter().take(k) {
+            // t += ai * b
             let mut carry = 0u64;
             for j in 0..k {
-                let cur = t[j] + a[i] as u64 * b[j] as u64 + carry;
+                let cur = t[j] + ai as u64 * b[j] as u64 + carry;
                 t[j] = cur & 0xffff_ffff;
                 carry = cur >> 32;
             }
@@ -656,13 +667,13 @@ impl MontgomeryCtx {
     }
 
     /// Convert out of the Montgomery domain.
-    fn from_mont(&self, v: &[u32]) -> BigUint {
+    fn mont_into_biguint(&self, v: &[u32]) -> BigUint {
         let one = {
             let mut l = vec![0u32; self.n_limbs];
             l[0] = 1;
             l
         };
-        self.from_limbs(self.mont_mul(v, &one))
+        self.limbs_into_biguint(self.mont_mul(v, &one))
     }
 
     /// `base^exponent mod n` using left-to-right square-and-multiply in the Montgomery domain.
@@ -678,7 +689,7 @@ impl MontgomeryCtx {
                 acc = self.mont_mul(&acc, &base_m);
             }
         }
-        self.from_mont(&acc)
+        self.mont_into_biguint(&acc)
     }
 }
 
@@ -736,7 +747,10 @@ mod tests {
     #[test]
     fn byte_round_trip() {
         let n = BigUint::from_bytes_be(&[0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
-        assert_eq!(n.to_bytes_be(), vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]);
+        assert_eq!(
+            n.to_bytes_be(),
+            vec![0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09]
+        );
         assert_eq!(n.to_bytes_be_padded(12)[..3], [0, 0, 0]);
     }
 
@@ -822,7 +836,11 @@ mod tests {
     fn modpow_large_operands() {
         let mut rng = StdRng::seed_from_u64(1);
         let m = BigUint::random_bits(&mut rng, 256);
-        let m = if m.is_even() { m.add(&BigUint::one()) } else { m };
+        let m = if m.is_even() {
+            m.add(&BigUint::one())
+        } else {
+            m
+        };
         let a = BigUint::random_bits(&mut rng, 200);
         // a^1 = a mod m
         assert_eq!(a.modpow(&BigUint::one(), &m), a.rem(&m));
@@ -838,7 +856,10 @@ mod tests {
         let inv = big(3).modinv(&big(11)).unwrap();
         assert_eq!(inv.to_u64(), Some(4)); // 3*4 = 12 ≡ 1 mod 11
         let inv = big(65537).modinv(&big(1_000_000_007)).unwrap();
-        assert_eq!(big(65537).mul(&inv).rem(&big(1_000_000_007)).to_u64(), Some(1));
+        assert_eq!(
+            big(65537).mul(&inv).rem(&big(1_000_000_007)).to_u64(),
+            Some(1)
+        );
         // Not invertible.
         assert!(big(6).modinv(&big(9)).is_none());
         assert!(BigUint::zero().modinv(&big(7)).is_none());
@@ -866,7 +887,10 @@ mod tests {
     #[test]
     fn display_decimal_and_hex() {
         assert_eq!(format!("{}", BigUint::zero()), "0");
-        assert_eq!(format!("{}", big(1234567890123456789)), "1234567890123456789");
+        assert_eq!(
+            format!("{}", big(1234567890123456789)),
+            "1234567890123456789"
+        );
         assert_eq!(format!("{:x}", big(0xdeadbeef)), "deadbeef");
         let big_num = big(10).modpow(&big(0), &big(7)); // 1
         assert_eq!(format!("{big_num}"), "1");
@@ -881,7 +905,11 @@ mod tests {
         for _ in 0..20 {
             let m = {
                 let n = BigUint::random_bits(&mut rng, 128);
-                if n.is_even() { n.add(&BigUint::one()) } else { n }
+                if n.is_even() {
+                    n.add(&BigUint::one())
+                } else {
+                    n
+                }
             };
             let a = BigUint::random_bits(&mut rng, 120);
             let e = BigUint::random_bits(&mut rng, 40);

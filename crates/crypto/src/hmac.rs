@@ -70,8 +70,18 @@ macro_rules! define_hmac {
     };
 }
 
-define_hmac!(HmacSha256, Sha256, sha256, "HMAC-SHA-256 (RFC 2104 / RFC 4231).");
-define_hmac!(HmacSha512, Sha512, sha512, "HMAC-SHA-512 (RFC 2104 / RFC 4231).");
+define_hmac!(
+    HmacSha256,
+    Sha256,
+    sha256,
+    "HMAC-SHA-256 (RFC 2104 / RFC 4231)."
+);
+define_hmac!(
+    HmacSha512,
+    Sha512,
+    sha512,
+    "HMAC-SHA-512 (RFC 2104 / RFC 4231)."
+);
 
 #[cfg(test)]
 mod tests {

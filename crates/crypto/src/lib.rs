@@ -72,7 +72,10 @@ impl std::fmt::Display for CryptoError {
             CryptoError::NotInvertible => write!(f, "modular inverse does not exist"),
             CryptoError::InvalidSignature => write!(f, "signature verification failed"),
             CryptoError::InvalidKeyLength { expected, actual } => {
-                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "invalid key length: expected {expected} bytes, got {actual}"
+                )
             }
             CryptoError::MalformedCiphertext => write!(f, "malformed ciphertext"),
         }
@@ -115,7 +118,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = CryptoError::InvalidKeyLength { expected: 16, actual: 3 };
+        let e = CryptoError::InvalidKeyLength {
+            expected: 16,
+            actual: 3,
+        };
         let s = format!("{e}");
         assert!(s.contains("16"));
         assert!(s.contains("3"));

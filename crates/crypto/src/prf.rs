@@ -48,7 +48,7 @@ impl LongPrf {
             let mut msg = Vec::with_capacity(4 + input.len());
             msg.extend_from_slice(&counter.to_be_bytes());
             msg.extend_from_slice(input);
-            if counter % 2 == 0 {
+            if counter.is_multiple_of(2) {
                 out.extend_from_slice(&HmacSha512::mac(&self.key, &msg));
             } else {
                 out.extend_from_slice(&HmacSha256::mac(&self.key, &msg));

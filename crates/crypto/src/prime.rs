@@ -9,9 +9,9 @@ use rand::Rng;
 
 /// Small primes used for trial division before the (much more expensive) Miller–Rabin rounds.
 const SMALL_PRIMES: [u32; 60] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
 ];
 
 /// Number of Miller–Rabin rounds. 32 rounds push the error probability below 2⁻⁶⁴ for the
@@ -114,8 +114,13 @@ mod tests {
     #[test]
     fn small_composites_are_rejected() {
         let mut rng = StdRng::seed_from_u64(2);
-        for c in [0u64, 1, 4, 6, 9, 15, 21, 25, 91, 561, 1105, 6601, 65536, 100000] {
-            assert!(!is_probable_prime(&big(c), &mut rng), "{c} should be composite");
+        for c in [
+            0u64, 1, 4, 6, 9, 15, 21, 25, 91, 561, 1105, 6601, 65536, 100000,
+        ] {
+            assert!(
+                !is_probable_prime(&big(c), &mut rng),
+                "{c} should be composite"
+            );
         }
     }
 
@@ -123,7 +128,9 @@ mod tests {
     fn carmichael_numbers_are_rejected() {
         // Carmichael numbers fool the Fermat test but not Miller–Rabin.
         let mut rng = StdRng::seed_from_u64(3);
-        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341] {
+        for c in [
+            561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341,
+        ] {
             assert!(!is_probable_prime(&big(c), &mut rng), "{c} is Carmichael");
         }
     }

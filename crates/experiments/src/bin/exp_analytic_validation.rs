@@ -71,10 +71,14 @@ fn main() {
     let pool = keys.random_pool();
     let mut total_overlap = 0usize;
     for _ in 0..trials {
-        let a: std::collections::HashSet<usize> =
-            pool.choose_subset(params.query_random_keywords, &mut rng).into_iter().collect();
-        let b: std::collections::HashSet<usize> =
-            pool.choose_subset(params.query_random_keywords, &mut rng).into_iter().collect();
+        let a: std::collections::HashSet<usize> = pool
+            .choose_subset(params.query_random_keywords, &mut rng)
+            .into_iter()
+            .collect();
+        let b: std::collections::HashSet<usize> = pool
+            .choose_subset(params.query_random_keywords, &mut rng)
+            .into_iter()
+            .collect();
         total_overlap += a.intersection(&b).count();
     }
     println!(

@@ -39,13 +39,19 @@ fn main() {
     println!("\n  shared-hash baseline, 1-keyword query for {single_kw:?}:");
     println!(
         "    recovered: {:?}  after {} trials in {} ms (unique: {})",
-        outcome.candidates, outcome.trials, ms(elapsed), outcome.is_unique_recovery()
+        outcome.candidates,
+        outcome.trials,
+        ms(elapsed),
+        outcome.is_unique_recovery()
     );
 
     // Two-keyword query against the shared-hash baseline.
     let secret_pair = scheme.query_index(&[&pair_kw.0, &pair_kw.1]);
     let (outcome2, elapsed2) = timed(|| attack.recover(&secret_pair, 2));
-    println!("\n  shared-hash baseline, 2-keyword query for ({:?}, {:?}):", pair_kw.0, pair_kw.1);
+    println!(
+        "\n  shared-hash baseline, 2-keyword query for ({:?}, {:?}):",
+        pair_kw.0, pair_kw.1
+    );
     println!(
         "    candidate combinations: {} (the true pair is among them: {})",
         outcome2.candidates.len(),

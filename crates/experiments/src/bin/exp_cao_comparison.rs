@@ -49,10 +49,14 @@ fn main() {
     let keys = SchemeKeys::generate(&params, &mut rng);
     let indexer = DocumentIndexer::new(&params, &keys);
     let (mkse_indices, mkse_index_time) = timed(|| {
-        corpus.documents.iter().map(|d| indexer.index_document(d)).collect::<Vec<_>>()
+        corpus
+            .documents
+            .iter()
+            .map(|d| indexer.index_document(d))
+            .collect::<Vec<_>>()
     });
     let mut cloud = CloudIndex::new(params.clone());
-    cloud.insert_all(mkse_indices);
+    cloud.insert_all(mkse_indices).expect("upload");
     let trapdoors = keys.trapdoors_for(&params, &query_keywords);
     let pool = keys.random_pool_trapdoors(&params);
     let query = QueryBuilder::new(&params)

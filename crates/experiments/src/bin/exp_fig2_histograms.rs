@@ -33,7 +33,9 @@ fn build_query(
 }
 
 fn keyword_set(tag: &str, count: usize, rng: &mut StdRng) -> Vec<String> {
-    (0..count).map(|i| format!("{tag}-{i}-{}", rng.gen::<u32>())).collect()
+    (0..count)
+        .map(|i| format!("{tag}-{i}-{}", rng.gen::<u32>()))
+        .collect()
 }
 
 fn print_histogram(label: &str, hist: &Histogram) {
@@ -71,8 +73,9 @@ fn main() {
         }
     }
     // Latter set: one index per keyword count 2..=6 (fresh keywords → "different query").
-    let latter: Vec<(usize, Vec<String>)> =
-        (2..=6usize).map(|c| (c, keyword_set("latter", c, &mut rng))).collect();
+    let latter: Vec<(usize, Vec<String>)> = (2..=6usize)
+        .map(|c| (c, keyword_set("latter", c, &mut rng)))
+        .collect();
 
     let mut different_hist = Histogram::new(100.0, 200.0, 10);
     for (_, kws_a) in &former {
@@ -98,7 +101,10 @@ fn main() {
         &different_hist,
     );
     print_histogram(
-        &format!("same genuine keywords, fresh randomization ({} distances)", same_hist.total()),
+        &format!(
+            "same genuine keywords, fresh randomization ({} distances)",
+            same_hist.total()
+        ),
         &same_hist,
     );
     println!(

@@ -36,7 +36,9 @@ fn main() {
         planted_fraction * 100.0
     ));
 
-    println!("\n  keywords/doc | 2-kw query | 3-kw query | 4-kw query | 5-kw query   (mean FAR, %)");
+    println!(
+        "\n  keywords/doc | 2-kw query | 3-kw query | 4-kw query | 5-kw query   (mean FAR, %)"
+    );
     let mut rng = StdRng::seed_from_u64(args.seed);
     for keywords_per_doc in [10usize, 20, 30, 40] {
         let mut row = format!("  {keywords_per_doc:>10}+60 |");
@@ -52,8 +54,9 @@ fn main() {
                     frequency_model: FrequencyModel::Constant,
                 };
                 let mut corpus = SyntheticCorpus::generate(&spec, &mut rng);
-                let query_kws: Vec<String> =
-                    (0..query_keywords).map(|i| format!("probe-{q}-{i}")).collect();
+                let query_kws: Vec<String> = (0..query_keywords)
+                    .map(|i| format!("probe-{q}-{i}"))
+                    .collect();
                 // Plant the query keywords together into a random 20% of the documents (on top
                 // of their `keywords_per_doc` vocabulary keywords).
                 for doc in corpus.documents.iter_mut() {
@@ -69,7 +72,9 @@ fn main() {
                 let keys = SchemeKeys::generate(&params, &mut rng);
                 let indexer = DocumentIndexer::new(&params, &keys);
                 let mut cloud = CloudIndex::new(params.clone());
-                cloud.insert_all(indexer.index_documents(&corpus.documents));
+                cloud
+                    .insert_all(indexer.index_documents(&corpus.documents))
+                    .expect("upload");
                 let pool = keys.random_pool_trapdoors(&params);
 
                 let trapdoors = keys.trapdoors_for(&params, &kw_refs);
@@ -83,7 +88,11 @@ fn main() {
                     far_count += 1;
                 }
             }
-            let mean_far = if far_count > 0 { far_sum / far_count as f64 } else { 0.0 };
+            let mean_far = if far_count > 0 {
+                far_sum / far_count as f64
+            } else {
+                0.0
+            };
             row.push_str(&format!(" {:>9.2}% |", 100.0 * mean_far));
         }
         println!("{row}");

@@ -31,14 +31,23 @@ fn main() {
 
     let (_, total) = timed(|| {
         for trial in 0..trials {
-            let workload = RankingWorkload::generate_with(&mut rng, num_docs, 3, 200.min(num_docs / 5).max(25), 20.min(num_docs / 50).max(5), (1, 15));
+            let workload = RankingWorkload::generate_with(
+                &mut rng,
+                num_docs,
+                3,
+                200.min(num_docs / 5).max(25),
+                20.min(num_docs / 50).max(5),
+                (1, 15),
+            );
             let keys = SchemeKeys::generate(&params, &mut rng);
             let indexer = DocumentIndexer::new(&params, &keys);
 
             // Index only the full-match documents' competition: the whole corpus goes to the
             // server, exactly as in a deployment.
             let mut cloud = CloudIndex::new(params.clone());
-            cloud.insert_all(indexer.index_documents(&workload.corpus.documents));
+            cloud
+                .insert_all(indexer.index_documents(&workload.corpus.documents))
+                .expect("upload");
 
             let query_keywords: Vec<&str> =
                 workload.query_keywords.iter().map(|s| s.as_str()).collect();
@@ -92,7 +101,10 @@ fn main() {
         }
     });
 
-    println!("\nresults over {trials} trials ({:.1}s total):", total.as_secs_f64());
+    println!(
+        "\nresults over {trials} trials ({:.1}s total):",
+        total.as_secs_f64()
+    );
     println!(
         "  reference top-1 is MKSE top-1            : {:>5.1}%   (paper: ~40%)",
         100.0 * comparison.top1_agreement_rate()

@@ -36,7 +36,7 @@ fn main() {
     );
 
     let config = OwnerConfig::default(); // paper parameters: r = 448, 1024-bit RSA
-    let mut session = SearchSession::setup(config, &corpus.documents, &mut rng);
+    let mut session = SearchSession::setup(config, &corpus.documents, &mut rng).expect("setup");
 
     // Query two keywords that co-occur in at least one document.
     let kws: Vec<&str> = corpus.documents[3].keywords().into_iter().take(2).collect();
@@ -72,12 +72,16 @@ fn main() {
     println!(
         "  owner, trapdoor: log N (per bin)       = {} (measured {})",
         gamma_bins * modulus_bits,
-        report.communication.bits_sent(Party::DataOwner, Phase::Trapdoor)
+        report
+            .communication
+            .bits_sent(Party::DataOwner, Phase::Trapdoor)
     );
     println!(
         "  owner, decrypt : θ·log N               = {} (measured {})",
         theta as u64 * modulus_bits,
-        report.communication.bits_sent(Party::DataOwner, Phase::Decrypt)
+        report
+            .communication
+            .bits_sent(Party::DataOwner, Phase::Decrypt)
     );
     println!(
         "  server, search : α·η·r + θ·(doc+log N) ≈ {} + retrieved-document bytes (measured {})",

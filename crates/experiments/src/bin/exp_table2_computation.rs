@@ -33,7 +33,8 @@ fn main() {
         &mut rng,
     );
 
-    let mut session = SearchSession::setup(OwnerConfig::default(), &corpus.documents, &mut rng);
+    let mut session =
+        SearchSession::setup(OwnerConfig::default(), &corpus.documents, &mut rng).expect("setup");
     let kws: Vec<&str> = corpus.documents[5].keywords().into_iter().take(1).collect();
     let report = session
         .run_query(&kws, 1, &mut rng)

@@ -33,7 +33,10 @@ pub struct ExpArgs {
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        ExpArgs { scale: 1.0, seed: 42 }
+        ExpArgs {
+            scale: 1.0,
+            seed: 42,
+        }
     }
 }
 
@@ -119,9 +122,15 @@ mod tests {
 
     #[test]
     fn scaled_respects_minimum() {
-        let args = ExpArgs { scale: 0.001, seed: 1 };
+        let args = ExpArgs {
+            scale: 0.001,
+            seed: 1,
+        };
         assert_eq!(args.scaled(1000, 10), 10);
-        let args = ExpArgs { scale: 2.0, seed: 1 };
+        let args = ExpArgs {
+            scale: 2.0,
+            seed: 1,
+        };
         assert_eq!(args.scaled(1000, 10), 2000);
     }
 

@@ -69,7 +69,11 @@ impl LuDecomposition {
 
     /// Determinant of the original matrix.
     pub fn determinant(&self) -> f64 {
-        let mut det = if self.swaps % 2 == 0 { 1.0 } else { -1.0 };
+        let mut det = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         for i in 0..self.dim() {
             det *= self.lu[(i, i)];
         }
@@ -89,8 +93,8 @@ impl LuDecomposition {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[self.perm[i]];
-            for j in 0..i {
-                sum -= self.lu[(i, j)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                sum -= self.lu[(i, j)] * yj;
             }
             y[i] = sum;
         }
@@ -98,8 +102,8 @@ impl LuDecomposition {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for j in i + 1..n {
-                sum -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.lu[(i, j)] * xj;
             }
             x[i] = sum / self.lu[(i, i)];
         }
@@ -150,7 +154,10 @@ mod tests {
     fn solve_known_system() {
         // x + 2y = 5 ; 3x - y = 1  =>  x = 1, y = 2
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0]]);
-        let x = LuDecomposition::new(&a).unwrap().solve(&[5.0, 1.0]).unwrap();
+        let x = LuDecomposition::new(&a)
+            .unwrap()
+            .solve(&[5.0, 1.0])
+            .unwrap();
         assert!((x[0] - 1.0).abs() < 1e-10);
         assert!((x[1] - 2.0).abs() < 1e-10);
     }
@@ -159,7 +166,10 @@ mod tests {
     fn solve_requires_pivoting() {
         // A zero in the top-left forces a row swap.
         let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
-        let x = LuDecomposition::new(&a).unwrap().solve(&[3.0, 4.0]).unwrap();
+        let x = LuDecomposition::new(&a)
+            .unwrap()
+            .solve(&[3.0, 4.0])
+            .unwrap();
         assert!((x[0] - 4.0).abs() < 1e-12);
         assert!((x[1] - 3.0).abs() < 1e-12);
     }
@@ -167,9 +177,15 @@ mod tests {
     #[test]
     fn singular_matrices_are_rejected() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
-        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::Singular)));
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular)
+        ));
         let z = Matrix::zeros(3, 3);
-        assert!(matches!(LuDecomposition::new(&z), Err(LinalgError::Singular)));
+        assert!(matches!(
+            LuDecomposition::new(&z),
+            Err(LinalgError::Singular)
+        ));
     }
 
     #[test]

@@ -141,9 +141,9 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let row = self.row(i);
-            out[i] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+            *slot = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }
@@ -157,9 +157,8 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &vi) in v.iter().enumerate() {
             let row = self.row(i);
-            let vi = v[i];
             for j in 0..self.cols {
                 out[j] += row[j] * vi;
             }
@@ -242,7 +241,10 @@ mod tests {
     fn dimension_mismatch_is_reported() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
         assert!(a.matvec(&[1.0, 2.0]).is_err());
         assert!(a.transpose_matvec(&[1.0, 2.0, 3.0]).is_err());
     }

@@ -80,7 +80,12 @@ impl CostLedger {
 
     /// Record one transmission.
     pub fn record(&self, from: Party, to: Party, phase: Phase, bits: u64) {
-        self.inner.lock().push(Transmission { from, to, phase, bits });
+        self.inner.lock().push(Transmission {
+            from,
+            to,
+            phase,
+            bits,
+        });
     }
 
     /// All transmissions recorded so far.
@@ -125,7 +130,8 @@ impl CostLedger {
     /// Render the grid as alignment-friendly text rows (used by the experiment binaries).
     pub fn render_table(&self) -> String {
         let table = self.table();
-        let mut out = String::from("party        | trapdoor (bits) | search (bits) | decrypt (bits)\n");
+        let mut out =
+            String::from("party        | trapdoor (bits) | search (bits) | decrypt (bits)\n");
         for party in [Party::User, Party::DataOwner, Party::Server] {
             let cell = |phase| table.get(&(party, phase)).copied().unwrap_or(0);
             out.push_str(&format!(

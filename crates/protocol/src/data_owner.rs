@@ -103,8 +103,7 @@ impl DataOwner {
 
     /// The random-keyword-pool trapdoors shared with every authorized user (§6).
     pub fn random_pool_trapdoors(&self) -> Vec<Trapdoor> {
-        self.scheme_keys
-            .random_pool_trapdoors(&self.config.params)
+        self.scheme_keys.random_pool_trapdoors(&self.config.params)
     }
 
     /// Offline phase (§3, Figure 1): index every document and encrypt it under a fresh
@@ -124,11 +123,8 @@ impl DataOwner {
             // Searchable index: one keyword-index PRF evaluation per (level, keyword) pair.
             let index = indexer.index_document(doc);
             for (level_idx, &threshold) in self.config.params.level_thresholds.iter().enumerate() {
-                let keywords_at_level = doc
-                    .terms
-                    .iter()
-                    .filter(|(_, c)| *c >= threshold)
-                    .count() as u64;
+                let keywords_at_level =
+                    doc.terms.iter().filter(|(_, c)| *c >= threshold).count() as u64;
                 let _ = level_idx;
                 self.counters.hashes += keywords_at_level;
                 self.counters.bitwise_products +=

@@ -43,6 +43,9 @@ pub enum ProtocolError {
     Crypto(String),
     /// The user asked for more documents than matched.
     NotEnoughMatches { requested: usize, available: usize },
+    /// An uploaded index was rejected by the server's store (wraps the storage
+    /// layer's error: geometry mismatch or duplicate document id).
+    Store(mkse_core::storage::StoreError),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -51,9 +54,16 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::BadSignature => write!(f, "signature verification failed"),
             ProtocolError::UnknownDocument(id) => write!(f, "unknown document {id}"),
             ProtocolError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
-            ProtocolError::NotEnoughMatches { requested, available } => {
-                write!(f, "requested {requested} documents but only {available} matched")
+            ProtocolError::NotEnoughMatches {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} documents but only {available} matched"
+                )
             }
+            ProtocolError::Store(e) => write!(f, "upload rejected: {e}"),
         }
     }
 }
@@ -66,6 +76,12 @@ impl From<mkse_crypto::CryptoError> for ProtocolError {
     }
 }
 
+impl From<mkse_core::storage::StoreError> for ProtocolError {
+    fn from(e: mkse_core::storage::StoreError) -> Self {
+        ProtocolError::Store(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -75,15 +91,26 @@ mod tests {
         assert!(!format!("{}", ProtocolError::BadSignature).is_empty());
         assert!(format!("{}", ProtocolError::UnknownDocument(9)).contains('9'));
         assert!(format!("{}", ProtocolError::Crypto("x".into())).contains('x'));
-        assert!(
-            format!("{}", ProtocolError::NotEnoughMatches { requested: 5, available: 2 })
-                .contains('5')
-        );
+        assert!(format!(
+            "{}",
+            ProtocolError::NotEnoughMatches {
+                requested: 5,
+                available: 2
+            }
+        )
+        .contains('5'));
     }
 
     #[test]
     fn crypto_error_converts() {
         let e: ProtocolError = mkse_crypto::CryptoError::MessageTooLarge.into();
         assert!(matches!(e, ProtocolError::Crypto(_)));
+    }
+
+    #[test]
+    fn store_error_converts_and_displays() {
+        let e: ProtocolError = mkse_core::storage::StoreError::DuplicateDocument(3).into();
+        assert!(matches!(e, ProtocolError::Store(_)));
+        assert!(format!("{e}").contains('3'));
     }
 }

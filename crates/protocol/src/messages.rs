@@ -71,6 +71,57 @@ impl QueryMessage {
     }
 }
 
+/// User → server: **many** query indices in one round trip.
+///
+/// The paper's protocol sends one `r`-bit query per round trip; under heavy
+/// multi-query traffic (one user searching several keyword sets, or a gateway
+/// multiplexing users) batching amortizes the transport round trip and lets the
+/// server evaluate the whole batch in a single pass over each index shard. The
+/// on-wire cost is exactly the sum of the individual queries — `b·r` bits for a
+/// batch of `b` — so a batch of one costs the same as a [`QueryMessage`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchQueryMessage {
+    /// The query indices, one per logical search.
+    pub queries: Vec<BitIndex>,
+    /// How many top matches the user wants back *per query*; `None` means all.
+    pub top: Option<usize>,
+}
+
+impl BatchQueryMessage {
+    /// Size on the wire: `r` bits per query, independent of term counts (Table 1).
+    pub fn bits(&self) -> u64 {
+        self.queries
+            .iter()
+            .map(|q| q.serialized_bits() as u64)
+            .sum()
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if the batch carries no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// Server → user: one [`SearchReply`] per query of a [`BatchQueryMessage`], in the
+/// batch's order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchSearchReply {
+    /// Per-query replies, aligned with the request's `queries`.
+    pub replies: Vec<SearchReply>,
+}
+
+impl BatchSearchReply {
+    /// Size on the wire: the sum of the per-query reply sizes.
+    pub fn bits(&self) -> u64 {
+        self.replies.iter().map(|r| r.bits()).sum()
+    }
+}
+
 /// Server → user: ids and index metadata of the matching documents (§4.3: "the server sends
 /// metadata of the matching documents to the user").
 #[derive(Clone, Debug, PartialEq)]
@@ -232,6 +283,43 @@ mod tests {
     }
 
     #[test]
+    fn batch_query_bits_are_the_sum_of_member_queries() {
+        let single = QueryMessage {
+            query: BitIndex::all_ones(448),
+            top: None,
+        };
+        let batch = BatchQueryMessage {
+            queries: vec![BitIndex::all_ones(448); 5],
+            top: None,
+        };
+        assert_eq!(batch.len(), 5);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.bits(), 5 * single.bits());
+        // A batch of one costs exactly one QueryMessage.
+        let batch1 = BatchQueryMessage {
+            queries: vec![BitIndex::all_ones(448)],
+            top: Some(3),
+        };
+        assert_eq!(batch1.bits(), single.bits());
+    }
+
+    #[test]
+    fn batch_reply_bits_sum_member_replies() {
+        let entry = SearchResultEntry {
+            document_id: 1,
+            rank: 2,
+            metadata: vec![BitIndex::all_ones(448); 3],
+        };
+        let reply = SearchReply {
+            matches: vec![entry],
+        };
+        let batch = BatchSearchReply {
+            replies: vec![reply.clone(), reply.clone(), reply.clone()],
+        };
+        assert_eq!(batch.bits(), 3 * reply.bits());
+    }
+
+    #[test]
     fn search_reply_bits_scale_with_matches_and_levels() {
         let entry = SearchResultEntry {
             document_id: 1,
@@ -246,7 +334,9 @@ mod tests {
 
     #[test]
     fn document_messages_bits() {
-        let req = DocumentRequest { document_ids: vec![5, 9] };
+        let req = DocumentRequest {
+            document_ids: vec![5, 9],
+        };
         assert_eq!(req.bits(), 128);
         let reply = DocumentReply {
             documents: vec![EncryptedDocumentTransfer {

@@ -1,67 +1,85 @@
 //! The cloud server (§3): stores encrypted documents plus searchable indices and answers
 //! queries with pure bit comparisons.
+//!
+//! The server runs on the layered read path of `mkse-core`: a [`ShardedStore`]
+//! partitions the indices round-robin across shards, and a [`SearchEngine`] scans the
+//! shards in parallel. Results are bit-for-bit identical to the paper's sequential
+//! scan (deterministic rank-then-id order); only the wall-clock time changes.
 
 use crate::counters::OperationCounters;
 use crate::messages::{
-    DocumentReply, DocumentRequest, EncryptedDocumentTransfer, QueryMessage, SearchReply,
-    SearchResultEntry,
+    BatchQueryMessage, BatchSearchReply, DocumentReply, DocumentRequest, EncryptedDocumentTransfer,
+    QueryMessage, SearchReply, SearchResultEntry,
 };
 use crate::ProtocolError;
 use mkse_core::document_index::RankedDocumentIndex;
+use mkse_core::engine::SearchEngine;
 use mkse_core::params::SystemParams;
 use mkse_core::query::QueryIndex;
-use mkse_core::search::CloudIndex;
+use mkse_core::search::SearchMatch;
+use mkse_core::storage::{IndexStore, ShardedStore};
 use std::collections::BTreeMap;
 
 /// The cloud-server actor.
 pub struct CloudServer {
-    index: CloudIndex,
+    engine: SearchEngine<ShardedStore>,
     documents: BTreeMap<u64, EncryptedDocumentTransfer>,
     counters: OperationCounters,
 }
 
 impl CloudServer {
-    /// Create an empty server for the given public parameters.
+    /// Create an empty server for the given public parameters, sharding the index
+    /// across the host's available cores (capped at 8 — beyond that the per-query
+    /// merge overhead outweighs extra scan threads for realistic store sizes).
     pub fn new(params: SystemParams) -> Self {
+        let shards = std::thread::available_parallelism().map_or(1, |n| n.get().min(8));
+        Self::with_shards(params, shards)
+    }
+
+    /// Create an empty server with an explicit shard count (e.g. 1 to reproduce the
+    /// paper's sequential timings).
+    pub fn with_shards(params: SystemParams, shards: usize) -> Self {
         CloudServer {
-            index: CloudIndex::new(params),
+            engine: SearchEngine::sharded(params, shards),
             documents: BTreeMap::new(),
             counters: OperationCounters::new(),
         }
     }
 
+    /// Number of index shards this server scans in parallel.
+    pub fn num_shards(&self) -> usize {
+        self.engine.store().num_shards()
+    }
+
     /// Accept the data owner's upload: searchable indices and encrypted documents.
+    ///
+    /// Rejects (without partial effect on the document bodies) uploads whose indices
+    /// do not match the server's parameters or collide with stored document ids.
     pub fn upload(
         &mut self,
         indices: Vec<RankedDocumentIndex>,
         documents: Vec<EncryptedDocumentTransfer>,
-    ) {
-        for idx in indices {
-            self.index.insert(idx);
-        }
+    ) -> Result<(), ProtocolError> {
+        self.engine.insert_all(indices)?;
         for doc in documents {
             self.documents.insert(doc.document_id, doc);
         }
+        Ok(())
     }
 
     /// Number of stored documents (σ).
     pub fn num_documents(&self) -> usize {
-        self.index.len()
+        self.engine.len()
     }
 
-    /// Handle a query (§4.3 + Algorithm 1): ranked search over every stored index, returning
-    /// matching document ids, ranks and their index metadata.
-    pub fn handle_query(&mut self, message: &QueryMessage) -> SearchReply {
-        let query = QueryIndex::from_bits(message.query.clone());
-        let (matches, stats) = self.index.search_ranked_with_stats(&query);
-        self.counters.binary_comparisons += stats.comparisons;
-        let limit = message.top.unwrap_or(matches.len());
+    fn reply_entries(&self, matches: Vec<SearchMatch>, top: Option<usize>) -> SearchReply {
+        let limit = top.unwrap_or(matches.len());
         let entries = matches
             .into_iter()
             .take(limit)
             .map(|m| {
                 let metadata = self
-                    .index
+                    .engine
                     .document_index(m.document_id)
                     .map(|idx| idx.levels.clone())
                     .unwrap_or_default();
@@ -73,6 +91,36 @@ impl CloudServer {
             })
             .collect();
         SearchReply { matches: entries }
+    }
+
+    /// Handle a query (§4.3 + Algorithm 1): ranked search over every stored index, returning
+    /// matching document ids, ranks and their index metadata.
+    pub fn handle_query(&mut self, message: &QueryMessage) -> SearchReply {
+        let query = QueryIndex::from_bits(message.query.clone());
+        let (matches, stats) = self.engine.search_ranked_with_stats(&query);
+        self.counters.binary_comparisons += stats.comparisons;
+        self.reply_entries(matches, message.top)
+    }
+
+    /// Handle a batched query: every query of the batch is evaluated in a single
+    /// pass over each shard, and the reply carries one [`SearchReply`] per query in
+    /// request order. Comparison counts accumulate exactly as if the queries had
+    /// been sent individually.
+    pub fn handle_batch_query(&mut self, message: &BatchQueryMessage) -> BatchSearchReply {
+        let queries: Vec<QueryIndex> = message
+            .queries
+            .iter()
+            .map(|bits| QueryIndex::from_bits(bits.clone()))
+            .collect();
+        let results = self.engine.search_batch_with_stats(&queries);
+        let replies = results
+            .into_iter()
+            .map(|(matches, stats)| {
+                self.counters.binary_comparisons += stats.comparisons;
+                self.reply_entries(matches, message.top)
+            })
+            .collect();
+        BatchSearchReply { replies }
     }
 
     /// Handle a document-retrieval request: return the ciphertexts and RSA-encrypted keys of
@@ -105,7 +153,7 @@ impl CloudServer {
 
     /// The public parameters this server runs with.
     pub fn params(&self) -> &SystemParams {
-        self.index.params()
+        self.engine.params()
     }
 }
 
@@ -128,7 +176,7 @@ mod tests {
         ];
         let (indices, encrypted) = owner.prepare_documents(&docs, &mut rng);
         let mut server = CloudServer::new(owner.params().clone());
-        server.upload(indices, encrypted);
+        server.upload(indices, encrypted).unwrap();
         (owner, server, rng)
     }
 
@@ -175,7 +223,9 @@ mod tests {
     fn document_request_returns_ciphertexts() {
         let (_, mut server, _) = populated_server();
         let reply = server
-            .handle_document_request(&DocumentRequest { document_ids: vec![0, 2] })
+            .handle_document_request(&DocumentRequest {
+                document_ids: vec![0, 2],
+            })
             .unwrap();
         assert_eq!(reply.documents.len(), 2);
         assert_eq!(reply.documents[0].document_id, 0);
@@ -186,9 +236,64 @@ mod tests {
     fn unknown_document_is_an_error() {
         let (_, mut server, _) = populated_server();
         assert_eq!(
-            server.handle_document_request(&DocumentRequest { document_ids: vec![99] }),
+            server.handle_document_request(&DocumentRequest {
+                document_ids: vec![99]
+            }),
             Err(ProtocolError::UnknownDocument(99))
         );
+    }
+
+    #[test]
+    fn batched_queries_match_individual_queries() {
+        let (owner, mut server, mut rng) = populated_server();
+        let q1 = query_for(&owner, &["cloud"], &mut rng);
+        let q2 = query_for(&owner, &["weather"], &mut rng);
+        let individual = vec![server.handle_query(&q1), server.handle_query(&q2)];
+        let singles_comparisons = server.counters().binary_comparisons;
+        server.reset_counters();
+
+        let batch = BatchQueryMessage {
+            queries: vec![q1.query.clone(), q2.query.clone()],
+            top: None,
+        };
+        let batched = server.handle_batch_query(&batch);
+        assert_eq!(batched.replies, individual);
+        // Comparison accounting is identical to sending the queries one by one.
+        assert_eq!(server.counters().binary_comparisons, singles_comparisons);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut owner = DataOwner::new(OwnerConfig::fast_for_tests(), &mut rng);
+        let docs: Vec<Document> = (0..9u64)
+            .map(|id| Document::from_text(id, "cloud storage privacy search"))
+            .collect();
+        let (indices, encrypted) = owner.prepare_documents(&docs, &mut rng);
+        let mut sequential = CloudServer::with_shards(owner.params().clone(), 1);
+        sequential
+            .upload(indices.clone(), encrypted.clone())
+            .unwrap();
+        let mut sharded = CloudServer::with_shards(owner.params().clone(), 4);
+        sharded.upload(indices, encrypted).unwrap();
+        assert_eq!(sequential.num_shards(), 1);
+        assert_eq!(sharded.num_shards(), 4);
+
+        let msg = query_for(&owner, &["privacy"], &mut rng);
+        assert_eq!(sequential.handle_query(&msg), sharded.handle_query(&msg));
+    }
+
+    #[test]
+    fn duplicate_upload_is_rejected() {
+        let (_, mut server, mut rng) = populated_server();
+        let mut owner2 = DataOwner::new(OwnerConfig::fast_for_tests(), &mut rng);
+        let docs = vec![Document::from_text(0, "colliding document id")];
+        let (indices, encrypted) = owner2.prepare_documents(&docs, &mut rng);
+        assert!(matches!(
+            server.upload(indices, encrypted),
+            Err(ProtocolError::Store(_))
+        ));
+        assert_eq!(server.num_documents(), 3);
     }
 
     #[test]

@@ -74,12 +74,12 @@ impl SearchSession {
         config: OwnerConfig,
         documents: &[Document],
         rng: &mut R,
-    ) -> Self {
+    ) -> Result<Self, ProtocolError> {
         let rsa_bits = config.rsa_modulus_bits;
         let mut owner = DataOwner::new(config, rng);
         let (indices, encrypted) = owner.prepare_documents(documents, rng);
         let mut server = CloudServer::new(owner.params().clone());
-        server.upload(indices, encrypted);
+        server.upload(indices, encrypted)?;
 
         let mut user = User::new(
             1,
@@ -91,12 +91,12 @@ impl SearchSession {
         owner.register_user(user.id(), user.public_key().clone());
         user.set_random_pool(owner.random_pool_trapdoors());
 
-        SearchSession {
+        Ok(SearchSession {
             owner,
             server,
             user,
             ledger: CostLedger::new(),
-        }
+        })
     }
 
     /// Online phase: run one complete query for `keywords`, retrieving and decrypting the top
@@ -136,14 +136,24 @@ impl SearchSession {
         let query = self.user.build_query(keywords, None, rng)?;
         ledger.record(Party::User, Party::Server, Phase::Search, query.bits());
         let search_reply = self.server.handle_query(&query);
-        ledger.record(Party::Server, Party::User, Phase::Search, search_reply.bits());
+        ledger.record(
+            Party::Server,
+            Party::User,
+            Phase::Search,
+            search_reply.bits(),
+        );
 
         // Step 3: retrieve the top θ documents.
         let theta = theta.min(search_reply.matches.len());
         let mut retrieved = Vec::with_capacity(theta);
         if theta > 0 {
             let doc_request = self.user.choose_documents(&search_reply, theta)?;
-            ledger.record(Party::User, Party::Server, Phase::Search, doc_request.bits());
+            ledger.record(
+                Party::User,
+                Party::Server,
+                Phase::Search,
+                doc_request.bits(),
+            );
             let doc_reply = self.server.handle_document_request(&doc_request)?;
             ledger.record(
                 Party::Server,
@@ -154,8 +164,9 @@ impl SearchSession {
 
             // Step 4: blinded key decryption, one round per retrieved document.
             for transfer in &doc_reply.documents {
-                let (blind_request, state) =
-                    self.user.begin_blind_decrypt(&transfer.encrypted_key, rng)?;
+                let (blind_request, state) = self
+                    .user
+                    .begin_blind_decrypt(&transfer.encrypted_key, rng)?;
                 ledger.record(
                     Party::User,
                     Party::DataOwner,
@@ -192,6 +203,57 @@ impl SearchSession {
             server_ops: *self.server.counters(),
         })
     }
+
+    /// Run many searches in **one round trip** (the batched-query message): the
+    /// trapdoor exchange covers the union of all keyword sets, then a single
+    /// [`crate::messages::BatchQueryMessage`] carries every query and a single
+    /// [`crate::messages::BatchSearchReply`] carries every answer. Returns the
+    /// `(document id, rank)` matches per keyword set, in request order.
+    ///
+    /// Compared to calling [`SearchSession::run_query`] per set, the results and
+    /// the ledger's Table 1 bit counts are identical — batching changes round
+    /// trips, not bits — while the server evaluates the whole batch in one pass
+    /// over each index shard.
+    pub fn run_batch<R: Rng + ?Sized>(
+        &mut self,
+        keyword_sets: &[Vec<&str>],
+        rng: &mut R,
+    ) -> Result<Vec<Vec<(u64, u32)>>, ProtocolError> {
+        let modulus_bits = self.owner.public_key().modulus_bits();
+
+        // Step 1 (Figure 1): one trapdoor exchange for the union of all keywords.
+        let union: Vec<&str> = keyword_sets.iter().flatten().copied().collect();
+        if let Some(request) = self.user.make_trapdoor_request(&union) {
+            self.ledger.record(
+                Party::User,
+                Party::DataOwner,
+                Phase::Trapdoor,
+                request.bits(modulus_bits),
+            );
+            let reply = self.owner.handle_trapdoor_request(&request)?;
+            self.ledger.record(
+                Party::DataOwner,
+                Party::User,
+                Phase::Trapdoor,
+                reply.bits(modulus_bits),
+            );
+            self.user.ingest_trapdoor_reply(&reply)?;
+        }
+
+        // Step 2: every query in one batched round trip.
+        let batch = self.user.build_batch_query(keyword_sets, None, rng)?;
+        self.ledger
+            .record(Party::User, Party::Server, Phase::Search, batch.bits());
+        let reply = self.server.handle_batch_query(&batch);
+        self.ledger
+            .record(Party::Server, Party::User, Phase::Search, reply.bits());
+
+        Ok(reply
+            .replies
+            .iter()
+            .map(|r| r.matches.iter().map(|m| (m.document_id, m.rank)).collect())
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +273,8 @@ mod tests {
 
     fn session() -> (SearchSession, StdRng) {
         let mut rng = StdRng::seed_from_u64(2718);
-        let session = SearchSession::setup(OwnerConfig::fast_for_tests(), &corpus(), &mut rng);
+        let session = SearchSession::setup(OwnerConfig::fast_for_tests(), &corpus(), &mut rng)
+            .expect("setup succeeds");
         (session, rng)
     }
 
@@ -243,7 +306,7 @@ mod tests {
 
         // User → server search traffic includes the r-bit query (plus the 64-bit doc request).
         let user_search = ledger.bits_sent(Party::User, Phase::Search);
-        assert!(user_search >= 448 && user_search <= 448 + 64);
+        assert!((448..=448 + 64).contains(&user_search));
         // User → owner trapdoor request is 32·γ + log N bits.
         let user_trapdoor = ledger.bits_sent(Party::User, Phase::Trapdoor);
         assert_eq!(user_trapdoor, 32 + modulus_bits as u64);
@@ -292,7 +355,10 @@ mod tests {
         // Second query for the same keyword: no trapdoor traffic at all (§3: the same trapdoor
         // serves many queries).
         let second = session.run_query(&["cloud"], 0, &mut rng).unwrap();
-        assert_eq!(second.communication.bits_sent(Party::User, Phase::Trapdoor), 0);
+        assert_eq!(
+            second.communication.bits_sent(Party::User, Phase::Trapdoor),
+            0
+        );
         // The global ledger accumulated both rounds.
         assert!(session.ledger.total_bits() > second.communication.total_bits());
     }
@@ -318,6 +384,38 @@ mod tests {
         // so under this fixed seed nothing matches.
         assert!(report.matches.is_empty());
         assert!(report.retrieved.is_empty());
+    }
+
+    #[test]
+    fn batched_round_matches_individual_rounds() {
+        let cloud = mkse_textproc::normalize_keyword("cloud");
+        let weather = mkse_textproc::normalize_keyword("weather");
+        let sets: Vec<Vec<&str>> = vec![vec![cloud.as_str()], vec![weather.as_str()]];
+
+        let (mut batched_session, mut rng1) = session();
+        let batched = batched_session.run_batch(&sets, &mut rng1).unwrap();
+
+        let (mut single_session, mut rng2) = session();
+        let individual: Vec<Vec<(u64, u32)>> = sets
+            .iter()
+            .map(|kws| single_session.run_query(kws, 0, &mut rng2).unwrap().matches)
+            .collect();
+
+        // Same matches per keyword set (randomization never changes results), and
+        // the same search-phase bit totals — batching saves round trips, not bits.
+        assert_eq!(batched, individual);
+        assert!(batched[0].iter().any(|(id, _)| *id == 0 || *id == 2));
+        assert_eq!(
+            batched_session.ledger.bits_sent(Party::User, Phase::Search),
+            single_session.ledger.bits_sent(Party::User, Phase::Search),
+        );
+        // One trapdoor exchange covered both keyword sets.
+        assert!(
+            batched_session
+                .ledger
+                .bits_sent(Party::User, Phase::Trapdoor)
+                > 0
+        );
     }
 
     #[test]

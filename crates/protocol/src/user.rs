@@ -3,8 +3,8 @@
 
 use crate::counters::OperationCounters;
 use crate::messages::{
-    BlindDecryptReply, BlindDecryptRequest, DocumentRequest, EncryptedDocumentTransfer,
-    QueryMessage, SearchReply, TrapdoorReply, TrapdoorRequest,
+    BatchQueryMessage, BlindDecryptReply, BlindDecryptRequest, DocumentRequest,
+    EncryptedDocumentTransfer, QueryMessage, SearchReply, TrapdoorReply, TrapdoorRequest,
 };
 use crate::ProtocolError;
 use mkse_core::bins::{bins_for_keywords, get_bin, BinId};
@@ -103,7 +103,8 @@ impl User {
         for (bin, ciphertext) in &reply.encrypted_bin_keys {
             let key = self.rsa.decrypt_value(ciphertext)?;
             self.counters.modular_exponentiations += 1;
-            self.bin_keys.insert(*bin, key.to_bytes_be_padded(BIN_KEY_LEN));
+            self.bin_keys
+                .insert(*bin, key.to_bytes_be_padded(BIN_KEY_LEN));
         }
         Ok(())
     }
@@ -145,6 +146,23 @@ impl User {
         })
     }
 
+    /// Build one batched message carrying a query index per keyword set, so several
+    /// logical searches travel in a single round trip. Every member query is built
+    /// exactly like [`User::build_query`] builds it (randomization included), so the
+    /// server's per-query answers are indistinguishable from individually sent ones.
+    pub fn build_batch_query<R: Rng + ?Sized>(
+        &mut self,
+        keyword_sets: &[Vec<&str>],
+        top: Option<usize>,
+        rng: &mut R,
+    ) -> Result<BatchQueryMessage, ProtocolError> {
+        let mut queries = Vec::with_capacity(keyword_sets.len());
+        for keywords in keyword_sets {
+            queries.push(self.build_query(keywords, top, rng)?.query);
+        }
+        Ok(BatchQueryMessage { queries, top })
+    }
+
     /// Pick the `theta` best-ranked documents out of a search reply.
     pub fn choose_documents(
         &self,
@@ -158,7 +176,12 @@ impl User {
             });
         }
         Ok(DocumentRequest {
-            document_ids: reply.matches.iter().take(theta).map(|m| m.document_id).collect(),
+            document_ids: reply
+                .matches
+                .iter()
+                .take(theta)
+                .map(|m| m.document_id)
+                .collect(),
         })
     }
 
@@ -302,6 +325,28 @@ mod tests {
     }
 
     #[test]
+    fn batch_query_carries_one_index_per_keyword_set() {
+        let (mut owner, mut user, mut rng) = setup();
+        let request = user.make_trapdoor_request(&["privacy", "cloud"]).unwrap();
+        let reply = owner.handle_trapdoor_request(&request).unwrap();
+        user.ingest_trapdoor_reply(&reply).unwrap();
+
+        let sets = vec![vec!["privacy"], vec!["cloud"], vec!["privacy", "cloud"]];
+        let batch = user.build_batch_query(&sets, Some(5), &mut rng).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.top, Some(5));
+        // Each member query is r bits; the batch costs their sum.
+        assert_eq!(
+            batch.bits(),
+            3 * u64::from(batch.queries[0].serialized_bits() as u32)
+        );
+        // A set with no obtainable trapdoor fails the whole batch.
+        assert!(user
+            .build_batch_query(&[vec!["privacy"], vec!["unknown"]], None, &mut rng)
+            .is_err());
+    }
+
+    #[test]
     fn blind_decryption_recovers_document_key() {
         let (mut owner, mut user, mut rng) = setup();
         let sk = [0xabu8; KEY_SIZE];
@@ -345,15 +390,26 @@ mod tests {
         let (_, user, _) = setup();
         let reply = SearchReply {
             matches: vec![
-                crate::messages::SearchResultEntry { document_id: 5, rank: 3, metadata: vec![] },
-                crate::messages::SearchResultEntry { document_id: 9, rank: 1, metadata: vec![] },
+                crate::messages::SearchResultEntry {
+                    document_id: 5,
+                    rank: 3,
+                    metadata: vec![],
+                },
+                crate::messages::SearchResultEntry {
+                    document_id: 9,
+                    rank: 1,
+                    metadata: vec![],
+                },
             ],
         };
         let req = user.choose_documents(&reply, 1).unwrap();
         assert_eq!(req.document_ids, vec![5]);
         assert!(matches!(
             user.choose_documents(&reply, 3),
-            Err(ProtocolError::NotEnoughMatches { requested: 3, available: 2 })
+            Err(ProtocolError::NotEnoughMatches {
+                requested: 3,
+                available: 2
+            })
         ));
     }
 

@@ -294,7 +294,10 @@ mod tests {
 
     #[test]
     fn zipf_model_is_heavy_tailed() {
-        let model = FrequencyModel::Zipf { scale: 50.0, exponent: 1.0 };
+        let model = FrequencyModel::Zipf {
+            scale: 50.0,
+            exponent: 1.0,
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let first = model.sample(0, &mut rng);
         let tenth = model.sample(9, &mut rng);
@@ -345,7 +348,10 @@ mod tests {
         corpus.documents[1].terms.add("special");
         corpus.documents[1].terms.add("other");
         corpus.documents[3].terms.add("special");
-        assert_eq!(corpus.documents_containing_all(&["special", "other"]), vec![1]);
+        assert_eq!(
+            corpus.documents_containing_all(&["special", "other"]),
+            vec![1]
+        );
         assert_eq!(corpus.documents_containing_all(&["special"]), vec![1, 3]);
         assert!(corpus.documents_containing_all(&["missing"]).is_empty());
     }
@@ -392,7 +398,12 @@ mod tests {
         assert_eq!(wl.corpus.len(), 100);
         assert_eq!(wl.full_match_ids.len(), 5);
         for kw in &wl.query_keywords {
-            let count = wl.corpus.documents.iter().filter(|d| d.terms.contains(kw)).count();
+            let count = wl
+                .corpus
+                .documents
+                .iter()
+                .filter(|d| d.terms.contains(kw))
+                .count();
             assert_eq!(count, 30);
         }
     }

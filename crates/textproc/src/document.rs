@@ -192,7 +192,7 @@ mod tests {
         assert_eq!(doc.id, 7);
         assert!(doc.terms.frequency("encrypt") >= 2);
         assert!(!doc.is_empty());
-        assert!(doc.len() > 0);
+        assert!(!doc.is_empty());
         assert!(doc.keywords().len() >= 3);
     }
 

@@ -250,7 +250,12 @@ pub fn porter_stem(word: &str) -> String {
 }
 
 /// Apply the first matching (suffix → replacement) rule whose stem has measure > `min_measure`.
-fn apply_rule_list(b: &mut Vec<u8>, k: usize, rules: &[(&[u8], &[u8])], min_measure: usize) -> usize {
+fn apply_rule_list(
+    b: &mut Vec<u8>,
+    k: usize,
+    rules: &[(&[u8], &[u8])],
+    min_measure: usize,
+) -> usize {
     for (suffix, replacement) in rules {
         if let Some(j) = ends_with(b, k, suffix) {
             if measure(b, j) > min_measure {
@@ -361,7 +366,9 @@ mod tests {
 
     #[test]
     fn idempotent_on_common_keywords() {
-        for w in ["cloud", "privaci", "encrypt", "keyword", "server", "databas"] {
+        for w in [
+            "cloud", "privaci", "encrypt", "keyword", "server", "databas",
+        ] {
             assert_eq!(porter_stem(&porter_stem(w)), porter_stem(w), "{w}");
         }
     }

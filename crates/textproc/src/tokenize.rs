@@ -24,7 +24,10 @@ pub fn tokenize(text: &str) -> Vec<String> {
 
 /// Tokenize and keep only tokens of at least `min_len` characters.
 pub fn tokenize_min_len(text: &str, min_len: usize) -> Vec<String> {
-    tokenize(text).into_iter().filter(|t| t.len() >= min_len).collect()
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.len() >= min_len)
+        .collect()
 }
 
 #[cfg(test)]
@@ -62,7 +65,10 @@ mod tests {
 
     #[test]
     fn min_len_filter() {
-        assert_eq!(tokenize_min_len("a an the keyword", 3), vec!["the", "keyword"]);
+        assert_eq!(
+            tokenize_min_len("a an the keyword", 3),
+            vec!["the", "keyword"]
+        );
     }
 
     #[test]

@@ -35,11 +35,20 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7);
     // 512-bit RSA keeps the example snappy in debug builds; pass-through of the protocol is
     // identical to the paper's 1024-bit setting (used by the experiment binaries).
-    let config = OwnerConfig { rsa_modulus_bits: 512, ..OwnerConfig::default() };
+    let config = OwnerConfig {
+        rsa_modulus_bits: 512,
+        ..OwnerConfig::default()
+    };
 
-    println!("== offline phase: data owner indexes and encrypts {} reports ==", corpus().len());
-    let mut session = SearchSession::setup(config, &corpus(), &mut rng);
-    println!("uploaded {} encrypted documents to the cloud server\n", session.server.num_documents());
+    println!(
+        "== offline phase: data owner indexes and encrypts {} reports ==",
+        corpus().len()
+    );
+    let mut session = SearchSession::setup(config, &corpus(), &mut rng).expect("setup");
+    println!(
+        "uploaded {} encrypted documents to the cloud server\n",
+        session.server.num_documents()
+    );
 
     // The analyst searches for reports about encryption audits.
     let raw_query = ["encryption", "audit"];
@@ -73,4 +82,22 @@ fn main() {
             .communication
             .bits_sent(mkse::protocol::Party::User, mkse::protocol::Phase::Trapdoor)
     );
+
+    // Several searches can travel in a single round trip: the server answers the
+    // whole batch in one pass over each index shard, with per-query results
+    // identical to individually sent queries.
+    let phishing = normalize_keyword("phishing");
+    let financial = normalize_keyword("financial");
+    let batch_sets: Vec<Vec<&str>> = vec![vec![phishing.as_str()], vec![financial.as_str()]];
+    let batched = session
+        .run_batch(&batch_sets, &mut rng)
+        .expect("batched round completes");
+    println!(
+        "\n== batched round: {} queries, one round trip, server scanned {} shards in parallel ==",
+        batch_sets.len(),
+        session.server.num_shards()
+    );
+    for (kws, matches) in batch_sets.iter().zip(batched.iter()) {
+        println!("  {kws:?} -> {} match(es): {matches:?}", matches.len());
+    }
 }

@@ -15,8 +15,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2024);
-    let config = OwnerConfig { rsa_modulus_bits: 512, ..OwnerConfig::default() };
+    let mut rng = StdRng::seed_from_u64(7);
+    let config = OwnerConfig {
+        rsa_modulus_bits: 512,
+        ..OwnerConfig::default()
+    };
 
     // Offline: the owner indexes and encrypts the shared corpus.
     let corpus = vec![
@@ -28,17 +31,33 @@ fn main() {
     let mut owner = DataOwner::new(config, &mut rng);
     let (indices, encrypted) = owner.prepare_documents(&corpus, &mut rng);
     let mut server = CloudServer::new(owner.params().clone());
-    server.upload(indices, encrypted);
+    server.upload(indices, encrypted).expect("upload");
 
     // Two users with different interests register with the owner.
-    let mut legal_analyst = User::new(1, owner.params().clone(), owner.public_key().clone(), 512, &mut rng);
-    let mut security_analyst = User::new(2, owner.params().clone(), owner.public_key().clone(), 512, &mut rng);
+    let mut legal_analyst = User::new(
+        1,
+        owner.params().clone(),
+        owner.public_key().clone(),
+        512,
+        &mut rng,
+    );
+    let mut security_analyst = User::new(
+        2,
+        owner.params().clone(),
+        owner.public_key().clone(),
+        512,
+        &mut rng,
+    );
     owner.register_user(legal_analyst.id(), legal_analyst.public_key().clone());
     owner.register_user(security_analyst.id(), security_analyst.public_key().clone());
     legal_analyst.set_random_pool(owner.random_pool_trapdoors());
     security_analyst.set_random_pool(owner.random_pool_trapdoors());
 
-    let run = |user: &mut User, owner: &mut DataOwner, server: &mut CloudServer, raw: &[&str], rng: &mut StdRng| {
+    let run = |user: &mut User,
+               owner: &mut DataOwner,
+               server: &mut CloudServer,
+               raw: &[&str],
+               rng: &mut StdRng| {
         let normalized: Vec<String> = raw.iter().map(|w| normalize_keyword(w)).collect();
         let refs: Vec<&str> = normalized.iter().map(|s| s.as_str()).collect();
         let bins = bins_for_keywords(owner.params(), &refs);
@@ -47,18 +66,35 @@ fn main() {
             user.id()
         );
         if let Some(req) = user.make_trapdoor_request(&refs) {
-            let reply = owner.handle_trapdoor_request(&req).expect("authorized user");
+            let reply = owner
+                .handle_trapdoor_request(&req)
+                .expect("authorized user");
             user.ingest_trapdoor_reply(&reply).unwrap();
         }
         let query = user.build_query(&refs, None, rng).unwrap();
-        let results = server.handle_query(&QueryMessage { query: query.query, top: None });
+        let results = server.handle_query(&QueryMessage {
+            query: query.query,
+            top: None,
+        });
         let ids: Vec<u64> = results.matches.iter().map(|m| m.document_id).collect();
         println!("  matching documents: {ids:?}\n");
         ids
     };
 
-    let legal_hits = run(&mut legal_analyst, &mut owner, &mut server, &["legal", "contract"], &mut rng);
-    let security_hits = run(&mut security_analyst, &mut owner, &mut server, &["intrusion"], &mut rng);
+    let legal_hits = run(
+        &mut legal_analyst,
+        &mut owner,
+        &mut server,
+        &["legal", "contract"],
+        &mut rng,
+    );
+    let security_hits = run(
+        &mut security_analyst,
+        &mut owner,
+        &mut server,
+        &["intrusion"],
+        &mut rng,
+    );
 
     assert!(legal_hits.contains(&2));
     assert!(security_hits.contains(&1) && security_hits.contains(&3));
@@ -68,6 +104,8 @@ fn main() {
     let contract = normalize_keyword("contract");
     match security_analyst.build_query(&[contract.as_str()], None, &mut rng) {
         Err(e) => println!("security analyst cannot query legal keywords without those bins: {e}"),
-        Ok(_) => println!("(bin collision: the keyword happened to share a bin the analyst already holds)"),
+        Ok(_) => println!(
+            "(bin collision: the keyword happened to share a bin the analyst already holds)"
+        ),
     }
 }

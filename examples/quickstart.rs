@@ -5,7 +5,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use mkse::core::{CloudIndex, DocumentIndexer, QueryBuilder, SchemeKeys, SystemParams};
+use mkse::core::{
+    CloudIndex, DocumentIndexer, IndexStore, QueryBuilder, SchemeKeys, SearchEngine, SystemParams,
+};
 use mkse::textproc::{extract_keywords, normalize_keyword};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,17 +21,34 @@ fn main() {
     let indexer = DocumentIndexer::new(&params, &keys);
 
     let corpus = [
-        (0u64, "Privacy preserving ranked keyword search over encrypted cloud data"),
-        (1u64, "Weather forecast: heavy rain and strong winds expected tomorrow"),
-        (2u64, "Cloud storage pricing comparison for enterprise customers"),
-        (3u64, "Encrypted backups and searchable encryption for cloud archives"),
+        (
+            0u64,
+            "Privacy preserving ranked keyword search over encrypted cloud data",
+        ),
+        (
+            1u64,
+            "Weather forecast: heavy rain and strong winds expected tomorrow",
+        ),
+        (
+            2u64,
+            "Cloud storage pricing comparison for enterprise customers",
+        ),
+        (
+            3u64,
+            "Encrypted backups and searchable encryption for cloud archives",
+        ),
     ];
 
     let mut cloud = CloudIndex::new(params.clone());
     for (id, text) in &corpus {
         let terms = extract_keywords(text);
-        cloud.insert(indexer.index_terms(*id, &terms));
-        println!("indexed document {id}: {} distinct keywords", terms.distinct_terms());
+        cloud
+            .insert(indexer.index_terms(*id, &terms))
+            .expect("parameters match");
+        println!(
+            "indexed document {id}: {} distinct keywords",
+            terms.distinct_terms()
+        );
     }
 
     // --- User: obtain trapdoors and query for "encrypted cloud" ------------------------------
@@ -45,9 +64,36 @@ fn main() {
 
     // --- Server: oblivious ranked search ------------------------------------------------------
     let hits = cloud.search(&query);
-    println!("\nquery {:?} (normalized {:?}) matched {} document(s):", query_words, normalized, hits.len());
+    println!(
+        "\nquery {:?} (normalized {:?}) matched {} document(s):",
+        query_words,
+        normalized,
+        hits.len()
+    );
     for hit in &hits {
-        let text = corpus.iter().find(|(id, _)| *id == hit.document_id).unwrap().1;
-        println!("  doc {:>2}  rank {}  \"{}\"", hit.document_id, hit.rank, text);
+        let text = corpus
+            .iter()
+            .find(|(id, _)| *id == hit.document_id)
+            .unwrap()
+            .1;
+        println!(
+            "  doc {:>2}  rank {}  \"{}\"",
+            hit.document_id, hit.rank, text
+        );
     }
+
+    // --- Same search, production read path: shard-parallel engine ----------------------------
+    // The engine partitions the store across shards and scans them on separate
+    // threads; results are guaranteed identical to the sequential scan above.
+    let mut engine = SearchEngine::sharded(params.clone(), 2);
+    for (id, text) in &corpus {
+        engine
+            .insert(indexer.index_terms(*id, &extract_keywords(text)))
+            .expect("parameters match");
+    }
+    assert_eq!(engine.search(&query), hits);
+    println!(
+        "\nsharded engine ({} shards) returned identical hits",
+        engine.store().num_shards()
+    );
 }

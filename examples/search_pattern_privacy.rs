@@ -25,15 +25,29 @@ fn main() {
 
     // Analytic expectations for a 2-genuine-keyword query with V = 30 random keywords.
     let x = 2 + params.query_random_keywords;
-    println!("analytic model (r = {}, d = {}):", params.index_bits, params.digit_bits);
-    println!("  expected zero bits in a query index, F({x}) = {:.1}", expected_zeros(&params, x));
+    println!(
+        "analytic model (r = {}, d = {}):",
+        params.index_bits, params.digit_bits
+    );
+    println!(
+        "  expected zero bits in a query index, F({x}) = {:.1}",
+        expected_zeros(&params, x)
+    );
     println!(
         "  expected distance, same genuine keywords,      Δ = {:.1}",
-        expected_hamming_distance(&params, x, 2 + expected_random_overlap(params.query_random_keywords) as usize)
+        expected_hamming_distance(
+            &params,
+            x,
+            2 + expected_random_overlap(params.query_random_keywords) as usize
+        )
     );
     println!(
         "  expected distance, different genuine keywords, Δ = {:.1}\n",
-        expected_hamming_distance(&params, x, expected_random_overlap(params.query_random_keywords) as usize)
+        expected_hamming_distance(
+            &params,
+            x,
+            expected_random_overlap(params.query_random_keywords) as usize
+        )
     );
 
     // Measured distributions.
@@ -82,13 +96,22 @@ fn main() {
     // Randomization must not change what the server returns.
     let indexer = DocumentIndexer::new(&params, &keys);
     let mut cloud = CloudIndex::new(params.clone());
-    cloud.insert(indexer.index_keywords(0, &["invoice", "fraud", "report"]));
-    cloud.insert(indexer.index_keywords(1, &["holiday", "photos"]));
-    let plain = QueryBuilder::new(&params).add_trapdoors(&trapdoors).build(&mut rng);
+    cloud
+        .insert(indexer.index_keywords(0, &["invoice", "fraud", "report"]))
+        .expect("upload");
+    cloud
+        .insert(indexer.index_keywords(1, &["holiday", "photos"]))
+        .expect("upload");
+    let plain = QueryBuilder::new(&params)
+        .add_trapdoors(&trapdoors)
+        .build(&mut rng);
     let randomized = QueryBuilder::new(&params)
         .add_trapdoors(&trapdoors)
         .with_randomization(&pool)
         .build(&mut rng);
-    assert_eq!(cloud.search_unranked(&plain), cloud.search_unranked(&randomized));
+    assert_eq!(
+        cloud.search_unranked(&plain),
+        cloud.search_unranked(&randomized)
+    );
     println!("\nrandomized and plain queries return identical result sets — randomization is free in terms of correctness.");
 }

@@ -17,10 +17,52 @@
 //! * [`protocol`] — the three-party protocol (data owner / user / cloud server) with
 //!   communication- and computation-cost accounting.
 //!
+//! ## Architecture: the layered server read path
+//!
+//! The paper describes the server as a single linear scan of r-bit comparisons over
+//! all σ document indices (Eq. 3). This reproduction keeps that scan **bit-for-bit**
+//! as its semantics, but splits the server into three layers so the hottest path in
+//! the system can use all available cores:
+//!
+//! ```text
+//!  mkse-protocol   CloudServer / SearchSession      actors, messages, cost ledger
+//!        │                                          (incl. the batched-query message)
+//!        ▼
+//!  mkse-core       engine::SearchEngine<S>          single / batched / top-k ranked
+//!        │                                          search, one scan thread per shard
+//!        ▼                                          (std::thread::scope), merge by
+//!        │                                          (rank desc, doc id asc)
+//!  mkse-core       storage::IndexStore (trait)      geometry-validated inserts,
+//!                  ├─ storage::VecStore             O(1) id lookup, shard slices,
+//!                  └─ storage::ShardedStore         insertion-ordinal bookkeeping
+//! ```
+//!
+//! * **Storage** ([`core::storage`]): [`core::storage::VecStore`] is the single-shard
+//!   contiguous layout (the sequential reference); [`core::storage::ShardedStore`]
+//!   partitions documents round-robin across N shards and keeps an
+//!   id → (shard, slot) map so metadata lookup is O(1) instead of the old O(σ) scan.
+//! * **Engine** ([`core::engine`]): executes queries shard-by-shard in parallel and
+//!   merges per-shard matches and [`core::SearchStats`]. Merged output is provably
+//!   identical to the sequential scan: the (rank, id) sort key is a total order, the
+//!   stats are sums, and unranked results are re-ordered by insertion ordinal
+//!   (`tests/sharded_engine_equivalence.rs` asserts all of this for shard counts
+//!   1, 2, 7 and 16 on randomized corpora).
+//! * **Protocol** ([`protocol`]): `CloudServer` runs on a sharded engine (shard count
+//!   defaults to the host's cores, capped at 8; `CloudServer::with_shards` pins it —
+//!   1 reproduces the paper's sequential timings). The `BatchQueryMessage` /
+//!   `BatchSearchReply` pair carries many queries per round trip at exactly `b·r`
+//!   bits; the server answers the batch in one pass over each shard.
+//!
+//! **Picking a shard count**: shards parallelize a memory-bandwidth-light linear scan,
+//! so physical cores is the right default; past ~8 shards the per-query spawn+merge
+//! overhead dominates for stores under ~10⁵ documents (see the `fig4b_search` bench's
+//! shard sweep). Sharding never changes results, only wall-clock time, so tuning it
+//! is purely an operational decision.
+//!
 //! ## Quickstart
 //!
 //! ```
-//! use mkse::core::{SystemParams, SchemeKeys, DocumentIndexer, QueryBuilder, CloudIndex};
+//! use mkse::core::{SystemParams, SchemeKeys, DocumentIndexer, QueryBuilder, SearchEngine};
 //! use rand::SeedableRng;
 //!
 //! let params = SystemParams::default();
@@ -28,12 +70,10 @@
 //! let keys = SchemeKeys::generate(&params, &mut rng);
 //! let indexer = DocumentIndexer::new(&params, &keys);
 //!
-//! // Index two documents.
-//! let idx_a = indexer.index_keywords(0, &["cloud", "privacy", "search"]);
-//! let idx_b = indexer.index_keywords(1, &["weather", "forecast"]);
-//! let mut cloud = CloudIndex::new(params.clone());
-//! cloud.insert(idx_a);
-//! cloud.insert(idx_b);
+//! // Index two documents into a 2-shard parallel engine.
+//! let mut cloud = SearchEngine::sharded(params.clone(), 2);
+//! cloud.insert(indexer.index_keywords(0, &["cloud", "privacy", "search"])).unwrap();
+//! cloud.insert(indexer.index_keywords(1, &["weather", "forecast"])).unwrap();
 //!
 //! // Query for "privacy" AND "search", with query randomization enabled.
 //! let trapdoors = keys.trapdoors_for(&params, &["privacy", "search"]);

@@ -33,7 +33,9 @@ fn scheme_layer_end_to_end_over_real_text() {
     let corpus = text_corpus();
 
     let mut cloud = CloudIndex::new(params.clone());
-    cloud.insert_all(corpus.iter().map(|d| indexer.index_document(d)));
+    cloud
+        .insert_all(corpus.iter().map(|d| indexer.index_document(d)))
+        .expect("upload");
 
     // Query "encrypted cloud": documents 0, 2 and 4 contain the stem "cloud"; 0 and 2 contain
     // "encrypt" as well.
@@ -77,7 +79,9 @@ fn completeness_holds_over_a_synthetic_corpus() {
         &mut rng,
     );
     let mut cloud = CloudIndex::new(params.clone());
-    cloud.insert_all(indexer.index_documents(&corpus.documents));
+    cloud
+        .insert_all(indexer.index_documents(&corpus.documents))
+        .expect("upload");
     let pool = keys.random_pool_trapdoors(&params);
 
     for probe in 0..10usize {
@@ -91,7 +95,10 @@ fn completeness_holds_over_a_synthetic_corpus() {
             .build(&mut rng);
         let hits = cloud.search_unranked(&query);
         for id in &truth {
-            assert!(hits.contains(id), "missing true match {id} for probe {probe}");
+            assert!(
+                hits.contains(id),
+                "missing true match {id} for probe {probe}"
+            );
         }
     }
 }
@@ -107,10 +114,14 @@ fn ranked_results_follow_term_frequency() {
     // Five documents mentioning "protocol" with increasing frequency.
     for (id, tf) in [(0u64, 1u32), (1, 3), (2, 5), (3, 9), (4, 14)] {
         let text = (0..tf).map(|_| "protocol").collect::<Vec<_>>().join(" ");
-        cloud.insert(indexer.index_document(&Document::from_text(id, &text)));
+        cloud
+            .insert(indexer.index_document(&Document::from_text(id, &text)))
+            .expect("upload");
     }
     let trapdoors = keys.trapdoors_for(&params, &["protocol"]);
-    let query = QueryBuilder::new(&params).add_trapdoors(&trapdoors).build(&mut rng);
+    let query = QueryBuilder::new(&params)
+        .add_trapdoors(&trapdoors)
+        .build(&mut rng);
     let hits = cloud.search(&query);
     assert_eq!(hits.len(), 5);
     // Ranks are non-increasing and the most frequent document comes first.
@@ -130,11 +141,16 @@ fn protocol_layer_end_to_end_retrieval_round_trip() {
         rsa_modulus_bits: 256, // keep the integration test fast in debug builds
         ..OwnerConfig::default()
     };
-    let mut session = SearchSession::setup(config, &text_corpus(), &mut rng);
+    let mut session = SearchSession::setup(config, &text_corpus(), &mut rng).expect("setup");
 
-    let keywords: Vec<String> = ["medical", "cloud"].iter().map(|w| normalize_keyword(w)).collect();
+    let keywords: Vec<String> = ["medical", "cloud"]
+        .iter()
+        .map(|w| normalize_keyword(w))
+        .collect();
     let refs: Vec<&str> = keywords.iter().map(|s| s.as_str()).collect();
-    let report = session.run_query(&refs, 2, &mut rng).expect("round completes");
+    let report = session
+        .run_query(&refs, 2, &mut rng)
+        .expect("round completes");
 
     // Documents 2 and 4 both contain "medical" and "cloud".
     let matched: Vec<u64> = report.matches.iter().map(|(id, _)| *id).collect();
@@ -142,8 +158,16 @@ fn protocol_layer_end_to_end_retrieval_round_trip() {
     assert!(matched.contains(&4));
     assert_eq!(report.retrieved.len(), 2);
     for (id, plaintext) in &report.retrieved {
-        let original = text_corpus().iter().find(|d| d.id == *id).unwrap().body.clone();
-        assert_eq!(plaintext, &original, "decrypted body mismatch for document {id}");
+        let original = text_corpus()
+            .iter()
+            .find(|d| d.id == *id)
+            .unwrap()
+            .body
+            .clone();
+        assert_eq!(
+            plaintext, &original,
+            "decrypted body mismatch for document {id}"
+        );
     }
 }
 
@@ -159,10 +183,18 @@ fn multiple_users_share_the_same_encrypted_index() {
     let mut owner = DataOwner::new(config, &mut rng);
     let (indices, encrypted) = owner.prepare_documents(&text_corpus(), &mut rng);
     let mut server = CloudServer::new(owner.params().clone());
-    server.upload(indices, encrypted);
+    server.upload(indices, encrypted).expect("upload");
 
     let mut users: Vec<User> = (1..=2)
-        .map(|id| User::new(id, owner.params().clone(), owner.public_key().clone(), 256, &mut rng))
+        .map(|id| {
+            User::new(
+                id,
+                owner.params().clone(),
+                owner.public_key().clone(),
+                256,
+                &mut rng,
+            )
+        })
         .collect();
     for user in &users {
         owner.register_user(user.id(), user.public_key().clone());
@@ -176,8 +208,13 @@ fn multiple_users_share_the_same_encrypted_index() {
             let reply = owner.handle_trapdoor_request(&req).unwrap();
             user.ingest_trapdoor_reply(&reply).unwrap();
         }
-        let query = user.build_query(&[keyword.as_str()], None, &mut rng).unwrap();
-        let reply = server.handle_query(&QueryMessage { query: query.query, top: None });
+        let query = user
+            .build_query(&[keyword.as_str()], None, &mut rng)
+            .unwrap();
+        let reply = server.handle_query(&QueryMessage {
+            query: query.query,
+            top: None,
+        });
         let mut ids: Vec<u64> = reply.matches.iter().map(|m| m.document_id).collect();
         ids.sort_unstable();
         results.push(ids);

@@ -21,7 +21,7 @@ fn session(num_docs: usize, seed: u64) -> (SearchSession, StdRng, SyntheticCorpu
         rsa_modulus_bits: 256,
         ..OwnerConfig::default()
     };
-    let session = SearchSession::setup(config, &corpus.documents, &mut rng);
+    let session = SearchSession::setup(config, &corpus.documents, &mut rng).expect("setup");
     (session, rng, corpus)
 }
 
@@ -63,8 +63,16 @@ fn trapdoor_traffic_scales_with_bins_not_with_queries() {
     let second = s.run_query(&kws, 0, &mut rng).unwrap();
     assert!(first.communication.bits_sent(Party::User, Phase::Trapdoor) > 0);
     // Cached bin keys: the second identical query costs no trapdoor traffic at all.
-    assert_eq!(second.communication.bits_sent(Party::User, Phase::Trapdoor), 0);
-    assert_eq!(second.communication.bits_sent(Party::DataOwner, Phase::Trapdoor), 0);
+    assert_eq!(
+        second.communication.bits_sent(Party::User, Phase::Trapdoor),
+        0
+    );
+    assert_eq!(
+        second
+            .communication
+            .bits_sent(Party::DataOwner, Phase::Trapdoor),
+        0
+    );
 }
 
 #[test]
@@ -77,11 +85,15 @@ fn decrypt_phase_traffic_is_linear_in_retrieved_documents() {
     let theta1 = s.run_query(&kws, 1, &mut rng).unwrap();
     let theta2 = s.run_query(&kws, 2, &mut rng).unwrap();
     assert_eq!(
-        theta1.communication.bits_sent(Party::DataOwner, Phase::Decrypt),
+        theta1
+            .communication
+            .bits_sent(Party::DataOwner, Phase::Decrypt),
         modulus_bits * theta1.retrieved.len() as u64
     );
     assert_eq!(
-        theta2.communication.bits_sent(Party::DataOwner, Phase::Decrypt),
+        theta2
+            .communication
+            .bits_sent(Party::DataOwner, Phase::Decrypt),
         modulus_bits * theta2.retrieved.len() as u64
     );
     assert!(theta2.retrieved.len() >= theta1.retrieved.len());
@@ -92,8 +104,16 @@ fn server_work_is_binary_comparisons_only_and_linear_in_corpus_size() {
     let (mut s_small, mut rng_small, corpus_small) = session(30, 4);
     let (mut s_large, mut rng_large, corpus_large) = session(90, 4);
 
-    let kws_small: Vec<&str> = corpus_small.documents[0].keywords().into_iter().take(2).collect();
-    let kws_large: Vec<&str> = corpus_large.documents[0].keywords().into_iter().take(2).collect();
+    let kws_small: Vec<&str> = corpus_small.documents[0]
+        .keywords()
+        .into_iter()
+        .take(2)
+        .collect();
+    let kws_large: Vec<&str> = corpus_large.documents[0]
+        .keywords()
+        .into_iter()
+        .take(2)
+        .collect();
     let report_small = s_small.run_query(&kws_small, 0, &mut rng_small).unwrap();
     let report_large = s_large.run_query(&kws_large, 0, &mut rng_large).unwrap();
 
@@ -110,7 +130,10 @@ fn server_work_is_binary_comparisons_only_and_linear_in_corpus_size() {
     assert!(report_large.server_ops.binary_comparisons >= 90);
     assert!(report_large.server_ops.binary_comparisons <= 90 * eta);
     // Linear growth: three times the corpus, at least twice the comparisons.
-    assert!(report_large.server_ops.binary_comparisons >= 2 * report_small.server_ops.binary_comparisons);
+    assert!(
+        report_large.server_ops.binary_comparisons
+            >= 2 * report_small.server_ops.binary_comparisons
+    );
 }
 
 #[test]
@@ -122,5 +145,8 @@ fn user_side_public_key_operations_stay_constant_per_document() {
     let report = s.run_query(&kws, 1, &mut rng).unwrap();
     assert!(report.user_ops.modular_exponentiations <= 6);
     assert!(report.user_ops.modular_multiplications <= 4);
-    assert_eq!(report.user_ops.symmetric_decryptions, report.retrieved.len() as u64);
+    assert_eq!(
+        report.user_ops.symmetric_decryptions,
+        report.retrieved.len() as u64
+    );
 }

@@ -23,7 +23,9 @@ fn level_ranking_tracks_the_relevance_score_baseline() {
         let keys = SchemeKeys::generate(&params, &mut rng);
         let indexer = DocumentIndexer::new(&params, &keys);
         let mut cloud = CloudIndex::new(params.clone());
-        cloud.insert_all(indexer.index_documents(&workload.corpus.documents));
+        cloud
+            .insert_all(indexer.index_documents(&workload.corpus.documents))
+            .expect("upload");
 
         let kws: Vec<&str> = workload.query_keywords.iter().map(|s| s.as_str()).collect();
         let trapdoors = keys.trapdoors_for(&params, &kws);
@@ -33,7 +35,8 @@ fn level_ranking_tracks_the_relevance_score_baseline() {
             .with_randomization(&pool)
             .build(&mut rng);
 
-        let truth: std::collections::HashSet<u64> = workload.full_match_ids.iter().copied().collect();
+        let truth: std::collections::HashSet<u64> =
+            workload.full_match_ids.iter().copied().collect();
         let mkse_ranking: Vec<u64> = cloud
             .search(&query)
             .into_iter()
@@ -63,8 +66,16 @@ fn level_ranking_tracks_the_relevance_score_baseline() {
     }
 
     // Loose bounds (the paper reports 100% and ~80% on the full-size workload).
-    assert!(comparison.top1_in_top3_rate() >= 0.6, "top1-in-top3 rate {:.2}", comparison.top1_in_top3_rate());
-    assert!(comparison.four_of_top5_rate() >= 0.4, "4-of-top5 rate {:.2}", comparison.four_of_top5_rate());
+    assert!(
+        comparison.top1_in_top3_rate() >= 0.6,
+        "top1-in-top3 rate {:.2}",
+        comparison.top1_in_top3_rate()
+    );
+    assert!(
+        comparison.four_of_top5_rate() >= 0.4,
+        "4-of-top5 rate {:.2}",
+        comparison.four_of_top5_rate()
+    );
 }
 
 #[test]
@@ -123,13 +134,17 @@ fn mkse_and_mrse_agree_on_which_documents_are_relevant() {
         if id == 3 || id == 7 {
             kws = vec!["word10", "word20"];
         }
-        cloud.insert(indexer.index_keywords(id, &kws));
+        cloud
+            .insert(indexer.index_keywords(id, &kws))
+            .expect("upload");
         mrse_indices.push(mrse.build_index(&mrse_key, id, &kws, &mut rng));
     }
 
     let query_kws = ["word10", "word20"];
     let trapdoors = keys.trapdoors_for(&params, &query_kws);
-    let query = QueryBuilder::new(&params).add_trapdoors(&trapdoors).build(&mut rng);
+    let query = QueryBuilder::new(&params)
+        .add_trapdoors(&trapdoors)
+        .build(&mut rng);
     let mut mkse_hits = cloud.search_unranked(&query);
     mkse_hits.sort_unstable();
 

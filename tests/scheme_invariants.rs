@@ -33,7 +33,7 @@ proptest! {
         let kw_strings: Vec<String> = doc_keywords.iter().map(|k| format!("kw{k}")).collect();
         let kw_refs: Vec<&str> = kw_strings.iter().map(|s| s.as_str()).collect();
         let mut cloud = CloudIndex::new(params.clone());
-        cloud.insert(indexer.index_keywords(0, &kw_refs));
+        cloud.insert(indexer.index_keywords(0, &kw_refs)).expect("upload");
 
         // Query keywords are a subset of the document's keywords.
         let query_kws: Vec<&str> = query_pick.iter().map(|ix| *ix.get(&kw_refs)).collect();
@@ -57,7 +57,7 @@ proptest! {
         for id in 0..12u64 {
             let kws: Vec<String> = (0..4).map(|k| format!("kw{}", (id + k) % 9)).collect();
             let refs: Vec<&str> = kws.iter().map(|s| s.as_str()).collect();
-            cloud.insert(indexer.index_keywords(id, &refs));
+            cloud.insert(indexer.index_keywords(id, &refs)).expect("upload");
         }
         let trapdoors = keys.trapdoors_for(&params, &["kw3", "kw4"]);
         let pool = keys.random_pool_trapdoors(&params);

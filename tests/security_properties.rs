@@ -58,7 +58,11 @@ fn search_pattern_is_hidden_by_randomization() {
             .add_trapdoors(&tds)
             .with_randomization(&pool)
             .build(&mut rng);
-        assert_ne!(q1.bits(), q2.bits(), "identical randomized queries at iteration {i}");
+        assert_ne!(
+            q1.bits(),
+            q2.bits(),
+            "identical randomized queries at iteration {i}"
+        );
         same_distances.push(q1.bits().hamming_distance(q2.bits()));
 
         let other = keys.trapdoors_for(&params, &[&format!("other-{i}"), &format!("topic-{i}")]);
@@ -72,9 +76,18 @@ fn search_pattern_is_hidden_by_randomization() {
     let diff_mean: f64 = diff_distances.iter().sum::<usize>() as f64 / diff_distances.len() as f64;
     // Both populations live in the same 448-bit range, far from zero: repeated queries do not
     // collapse to small distances that would trivially link them.
-    assert!(same_mean > 60.0, "same-query mean distance too small: {same_mean}");
-    assert!(diff_mean > same_mean, "unrelated queries should be at least as far apart");
-    assert!(same_mean > 0.4 * diff_mean, "distributions separated too cleanly: {same_mean} vs {diff_mean}");
+    assert!(
+        same_mean > 60.0,
+        "same-query mean distance too small: {same_mean}"
+    );
+    assert!(
+        diff_mean > same_mean,
+        "unrelated queries should be at least as far apart"
+    );
+    assert!(
+        same_mean > 0.4 * diff_mean,
+        "distributions separated too cleanly: {same_mean} vs {diff_mean}"
+    );
 }
 
 #[test]
@@ -166,7 +179,11 @@ fn owner_learns_only_bin_ids_not_keywords() {
     let universe: Vec<String> = (0..5_000).map(|i| format!("kw{i:05}")).collect();
     let occupancy = mkse::core::BinOccupancy::measure(&params, universe.iter().map(|s| s.as_str()));
     // Every bin the user could possibly reveal hides at least ϖ = 20 candidate keywords.
-    assert!(occupancy.satisfies_security_parameter(20), "min occupancy {}", occupancy.min_occupancy());
+    assert!(
+        occupancy.satisfies_security_parameter(20),
+        "min occupancy {}",
+        occupancy.min_occupancy()
+    );
 }
 
 #[test]

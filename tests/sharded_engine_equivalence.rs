@@ -1,0 +1,177 @@
+//! Exact equivalence of the shard-parallel engine and the sequential reference scan.
+//!
+//! The refactor's contract: for any corpus, any query and any shard count, the
+//! [`SearchEngine`] over a [`ShardedStore`] returns **identical** `SearchMatch`
+//! lists (same documents, same ranks, same deterministic order), identical merged
+//! `SearchStats`, identical unranked id lists (storage order) and identical
+//! metadata — only wall-clock time may differ. This test drives randomized corpora
+//! and keyword workloads through both paths at shard counts 1, 2 and 7 (coprime
+//! with nothing, so round-robin tails are exercised) plus 16 (more shards than some
+//! corpora have documents).
+
+use mkse::core::{
+    CloudIndex, DocumentIndexer, QueryBuilder, QueryIndex, SchemeKeys, SearchEngine, SystemParams,
+};
+use mkse::textproc::corpus::{CorpusSpec, FrequencyModel, SyntheticCorpus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
+
+fn small_params() -> SystemParams {
+    // Small index keeps the sweep fast; every structural property is preserved.
+    SystemParams::new(128, 4, 16, 10, 5, vec![1, 3, 6]).expect("valid parameters")
+}
+
+struct Workload {
+    params: SystemParams,
+    indices: Vec<mkse::core::RankedDocumentIndex>,
+    queries: Vec<QueryIndex>,
+}
+
+fn random_workload(seed: u64, num_docs: usize) -> Workload {
+    let params = small_params();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys = SchemeKeys::generate(&params, &mut rng);
+    let indexer = DocumentIndexer::new(&params, &keys);
+    let corpus = SyntheticCorpus::generate(
+        &CorpusSpec {
+            num_documents: num_docs,
+            vocabulary_size: 60,
+            keywords_per_document: 6,
+            frequency_model: FrequencyModel::Uniform { lo: 1, hi: 8 },
+        },
+        &mut rng,
+    );
+    let indices: Vec<_> = corpus
+        .documents
+        .iter()
+        .map(|d| indexer.index_document(d))
+        .collect();
+
+    // Query workload: single keywords, pairs drawn from real documents, and one
+    // randomized query (randomization must not affect equivalence either).
+    let pool = keys.random_pool_trapdoors(&params);
+    let mut queries = Vec::new();
+    for _ in 0..4 {
+        let doc = &corpus.documents[rng.gen_range(0..corpus.documents.len())];
+        let kws: Vec<&str> = doc.keywords().into_iter().take(2).collect();
+        let tds = keys.trapdoors_for(&params, &kws);
+        queries.push(
+            QueryBuilder::new(&params)
+                .add_trapdoors(&tds)
+                .build(&mut rng),
+        );
+        let one = keys.trapdoors_for(&params, &kws[..1]);
+        queries.push(
+            QueryBuilder::new(&params)
+                .add_trapdoors(&one)
+                .with_randomization(&pool)
+                .build(&mut rng),
+        );
+    }
+    Workload {
+        params,
+        indices,
+        queries,
+    }
+}
+
+#[test]
+fn sharded_search_is_bit_identical_to_sequential_reference() {
+    for (seed, num_docs) in [(1u64, 23), (2, 64), (3, 5), (4, 100)] {
+        let wl = random_workload(seed, num_docs);
+        let mut reference = CloudIndex::new(wl.params.clone());
+        reference.insert_all(wl.indices.iter().cloned()).unwrap();
+
+        for shards in SHARD_COUNTS {
+            let mut engine = SearchEngine::sharded(wl.params.clone(), shards);
+            engine.insert_all(wl.indices.iter().cloned()).unwrap();
+            assert_eq!(engine.len(), reference.len());
+
+            for (qi, query) in wl.queries.iter().enumerate() {
+                let ctx = format!("seed {seed}, {num_docs} docs, {shards} shards, query {qi}");
+                let (seq_matches, seq_stats) = reference.search_ranked_with_stats(query);
+                let (par_matches, par_stats) = engine.search_ranked_with_stats(query);
+                assert_eq!(par_matches, seq_matches, "ranked matches differ: {ctx}");
+                assert_eq!(par_stats, seq_stats, "merged stats differ: {ctx}");
+                assert_eq!(
+                    engine.search_unranked(query),
+                    reference.search_unranked(query),
+                    "unranked order differs: {ctx}"
+                );
+                assert_eq!(
+                    engine.matching_metadata(query),
+                    reference.matching_metadata(query),
+                    "metadata differs: {ctx}"
+                );
+                assert_eq!(
+                    engine.search_top(query, 3),
+                    reference.search_top(query, 3),
+                    "top-k differs: {ctx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_execution_is_identical_to_sequential_singles() {
+    let wl = random_workload(7, 48);
+    let mut reference = CloudIndex::new(wl.params.clone());
+    reference.insert_all(wl.indices.iter().cloned()).unwrap();
+
+    for shards in SHARD_COUNTS {
+        let mut engine = SearchEngine::sharded(wl.params.clone(), shards);
+        engine.insert_all(wl.indices.iter().cloned()).unwrap();
+        let batched = engine.search_batch_with_stats(&wl.queries);
+        assert_eq!(batched.len(), wl.queries.len());
+        for (query, (matches, stats)) in wl.queries.iter().zip(batched) {
+            let (seq_matches, seq_stats) = reference.search_ranked_with_stats(query);
+            assert_eq!(matches, seq_matches, "{shards} shards");
+            assert_eq!(stats, seq_stats, "{shards} shards");
+        }
+    }
+}
+
+#[test]
+fn per_document_lookup_agrees_across_layouts() {
+    let wl = random_workload(11, 37);
+    let mut reference = CloudIndex::new(wl.params.clone());
+    reference.insert_all(wl.indices.iter().cloned()).unwrap();
+    for shards in SHARD_COUNTS {
+        let mut engine = SearchEngine::sharded(wl.params.clone(), shards);
+        engine.insert_all(wl.indices.iter().cloned()).unwrap();
+        for idx in &wl.indices {
+            assert_eq!(
+                engine.document_index(idx.document_id),
+                reference.document_index(idx.document_id)
+            );
+        }
+        assert!(engine.document_index(u64::MAX).is_none());
+    }
+}
+
+#[test]
+fn snapshots_are_layout_independent() {
+    use mkse::core::{deserialize_into, serialize_index_store};
+    let wl = random_workload(13, 29);
+    let mut reference = CloudIndex::new(wl.params.clone());
+    reference.insert_all(wl.indices.iter().cloned()).unwrap();
+    let reference_bytes = serialize_index_store(reference.store());
+
+    for shards in SHARD_COUNTS {
+        let mut engine = SearchEngine::sharded(wl.params.clone(), shards);
+        engine.insert_all(wl.indices.iter().cloned()).unwrap();
+        // Same bytes regardless of shard layout…
+        assert_eq!(serialize_index_store(engine.store()), reference_bytes);
+        // …and a restored engine behaves identically to the original.
+        let mut restored = SearchEngine::sharded(wl.params.clone(), 3);
+        deserialize_into(restored.store_mut(), &reference_bytes).unwrap();
+        let query = &wl.queries[0];
+        assert_eq!(
+            restored.search_ranked_with_stats(query),
+            reference.search_ranked_with_stats(query)
+        );
+    }
+}
