@@ -6,7 +6,11 @@
 //!   ranking depths 1, 3 and 5, on a single shard (the sequential reference);
 //! * the scaling dimension the paper leaves to "highly parallelized nature" remarks —
 //!   the same query on a 50000-document store sharded 1/2/4/8 ways, plus a
-//!   16-query batch to show the one-pass-per-shard batching path.
+//!   16-query batch to show the one-pass-per-shard batching path;
+//! * a **result-cache sweep**: a skewed (Zipf-like) repeated-query workload over a
+//!   fixed query pool, served with the cache off and on at several capacities.
+//!   Results are asserted byte-identical before timing, and the hit/miss counts of
+//!   the cached runs are printed afterwards.
 //!
 //! The store is built once per configuration (with keyword-index memoization — only
 //! the search is timed); queries carry 2 genuine keywords plus the V = 30 random
@@ -14,8 +18,8 @@
 //! identical across all configurations (asserted before timing).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mkse_bench::BenchFixture;
-use mkse_core::{QueryBuilder, QueryIndex, SearchEngine};
+use mkse_bench::{BenchFixture, ZipfSampler};
+use mkse_core::{CacheConfig, QueryBuilder, QueryIndex, SearchEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -29,6 +33,26 @@ fn build_query(fixture: &BenchFixture, seed: u64) -> QueryIndex {
         .add_trapdoors(&trapdoors)
         .with_randomization(&pool)
         .build(&mut rng)
+}
+
+/// Build every query of the pool **once** (randomization included): a repeated
+/// workload re-issues the same query index bits, which is exactly the search
+/// pattern the server observes and the fingerprint cache keys on.
+fn build_query_pool(fixture: &BenchFixture, pool_size: usize) -> Vec<QueryIndex> {
+    let mut rng = StdRng::seed_from_u64(41);
+    let random_pool = fixture.keys.random_pool_trapdoors(&fixture.params);
+    fixture
+        .query_keyword_pool(pool_size)
+        .iter()
+        .map(|kws| {
+            let kw_refs: Vec<&str> = kws.iter().map(|s| s.as_str()).collect();
+            let trapdoors = fixture.keys.trapdoors_for(&fixture.params, &kw_refs);
+            QueryBuilder::new(&fixture.params)
+                .add_trapdoors(&trapdoors)
+                .with_randomization(&random_pool)
+                .build(&mut rng)
+        })
+        .collect()
 }
 
 fn bench_search(c: &mut Criterion) {
@@ -95,6 +119,86 @@ fn bench_search(c: &mut Criterion) {
         &(engine, batch),
         |b, (engine, batch)| b.iter(|| engine.search_batch(batch)),
     );
+    group.finish();
+
+    // Result-cache sweep: a skewed repeated-query workload (the cache's reason to
+    // exist) over a 20k-document 4-shard store. The pool queries are built once,
+    // so repeats carry identical bits; a Zipf(1.1) sampler concentrates traffic on
+    // the head of the pool the way real query logs do.
+    let mut group = c.benchmark_group("fig4b_search_cached");
+    group.sample_size(20);
+    const CACHE_DOCS: usize = 20_000;
+    const QUERY_POOL: usize = 32;
+    const WORKLOAD: usize = 256;
+    let fixture = BenchFixture::new(CACHE_DOCS, 3, 11);
+    let indexer = fixture.indexer();
+    let indices = indexer.index_documents(&fixture.corpus.documents);
+    let query_pool = build_query_pool(&fixture, QUERY_POOL);
+    let workload: Vec<usize> =
+        ZipfSampler::new(QUERY_POOL, 1.1).sample_many(&mut StdRng::seed_from_u64(7), WORKLOAD);
+
+    let mut uncached = SearchEngine::sharded(fixture.params.clone(), 4);
+    uncached
+        .insert_all(indices.iter().cloned())
+        .expect("upload");
+    // Exact equivalence before timing, for every pool query: the cache must never
+    // change a reply byte.
+    {
+        let cached = {
+            let mut engine = SearchEngine::sharded(fixture.params.clone(), 4)
+                .with_result_cache(CacheConfig::default());
+            engine.insert_all(indices.iter().cloned()).expect("upload");
+            engine
+        };
+        for query in &query_pool {
+            let reference = uncached.search_ranked_with_stats(query);
+            assert_eq!(cached.search_ranked_with_stats(query), reference); // admits
+            assert_eq!(cached.search_ranked_with_stats(query), reference); // hits
+        }
+    }
+
+    group.throughput(Throughput::Elements(WORKLOAD as u64));
+    group.bench_with_input(
+        BenchmarkId::new("skewed", "cache_off"),
+        &(&uncached, &workload, &query_pool),
+        |b, (engine, workload, pool)| {
+            b.iter(|| {
+                for &q in workload.iter() {
+                    std::hint::black_box(engine.search(&pool[q]));
+                }
+            })
+        },
+    );
+
+    for &capacity in &[8usize, 64] {
+        let mut engine =
+            SearchEngine::sharded(fixture.params.clone(), 4).with_result_cache(CacheConfig {
+                capacity_per_shard: capacity,
+            });
+        engine.insert_all(indices.iter().cloned()).expect("upload");
+        group.bench_with_input(
+            BenchmarkId::new("skewed", format!("cache_{capacity}")),
+            &(&engine, &workload, &query_pool),
+            |b, (engine, workload, pool)| {
+                b.iter(|| {
+                    for &q in workload.iter() {
+                        std::hint::black_box(engine.search(&pool[q]));
+                    }
+                })
+            },
+        );
+        let stats = engine.cache_stats().expect("cache enabled");
+        let lookups = stats.hits + stats.misses;
+        eprintln!(
+            "fig4b_search_cached capacity={capacity}: {} hits / {} misses ({:.1}% hit rate), \
+             {} evictions, {} r-bit comparisons saved",
+            stats.hits,
+            stats.misses,
+            100.0 * stats.hits as f64 / lookups.max(1) as f64,
+            stats.evictions,
+            stats.saved_comparisons,
+        );
+    }
     group.finish();
 }
 

@@ -1,5 +1,5 @@
 //! The server-side **query-execution layer**: parallel ranked search over any
-//! [`IndexStore`].
+//! [`IndexStore`], with an optional per-shard result cache.
 //!
 //! [`SearchEngine`] executes the paper's oblivious matching (Eq. 3 + Algorithm 1)
 //! shard-by-shard, scanning shards on parallel lanes (a persistent worker pool plus
@@ -19,20 +19,44 @@
 //! Batched execution ([`SearchEngine::search_batch_with_stats`]) evaluates many
 //! queries per shard-scan pass, so a multi-query round trip pays the thread fan-out
 //! once instead of once per query.
+//!
+//! ## The result cache
+//!
+//! With [`SearchEngine::enable_cache`] (or [`SearchEngine::with_result_cache`]) the
+//! engine memoizes **per-shard scan results** in a [`ResultCache`], keyed by a
+//! [`crate::cache::QueryFingerprint`] of the query bits. On a repeated query the
+//! shard scan is skipped entirely for every shard that hits; missed shards are
+//! scanned (in parallel, as usual) and admitted. Cached and uncached execution are
+//! byte-identical — cached entries hold exactly what the scan returned, including
+//! the per-shard [`SearchStats`], and flow through the same merge — so enabling the
+//! cache changes wall-clock time and *actual* comparisons performed, never results.
+//! Inserts bump only the written shard's generation (see [`crate::cache`]);
+//! [`SearchEngine::store_mut`] and [`SearchEngine::restore_snapshot`] conservatively
+//! invalidate every shard, so no stale entry survives a reload.
 
 use crate::bitindex::BitIndex;
+use crate::cache::{
+    CacheConfig, CacheEffect, CacheStats, QueryFingerprint, RankingMode, ResultCache,
+};
 use crate::document_index::RankedDocumentIndex;
 use crate::params::SystemParams;
+use crate::persistence::PersistenceError;
 use crate::query::QueryIndex;
 use crate::search::{scan_ranked, sort_matches, SearchMatch, SearchStats};
 use crate::storage::{IndexStore, ShardedStore, StoreError, VecStore};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 mod pool;
 use pool::WorkerPool;
 
+/// One shard's ranked-scan output: scan-order matches plus the shard's stats —
+/// exactly what [`scan_ranked`] returns and what the cache memoizes.
+type ShardScan = (Vec<SearchMatch>, SearchStats);
+
 /// A pluggable, shard-parallel search engine over an [`IndexStore`].
 ///
-/// Multi-shard engines keep a persistent [`WorkerPool`] (one parked thread per
+/// Multi-shard engines keep a persistent worker pool (one parked thread per
 /// scan lane, capped at the host's parallelism) for their whole lifetime: spawning
 /// threads per query would cost more than scanning a 10⁴-document shard on some
 /// hosts. Single-shard engines scan inline and carry no pool.
@@ -40,11 +64,22 @@ use pool::WorkerPool;
 pub struct SearchEngine<S: IndexStore> {
     store: S,
     pool: Option<WorkerPool>,
+    /// The optional per-shard result cache. Interior mutability because searches
+    /// take `&self` (and must be able to run concurrently from many sessions);
+    /// all cache access happens on the calling thread, never inside scan jobs.
+    cache: Option<Mutex<ResultCache>>,
 }
 
 impl<S: IndexStore + Clone> Clone for SearchEngine<S> {
     fn clone(&self) -> Self {
-        SearchEngine::new(self.store.clone())
+        let mut engine = SearchEngine::new(self.store.clone());
+        // The clone keeps the cache *configuration* but starts with an empty
+        // cache: entries are cheap to recompute and a fresh engine should not
+        // carry another engine's LRU history.
+        if let Some(cache) = &self.cache {
+            engine.enable_cache(cache.lock().unwrap().config());
+        }
+        engine
     }
 }
 
@@ -73,6 +108,8 @@ impl<S: IndexStore> SearchEngine<S> {
     /// persistent scan pool sized so that scan lanes (pool workers plus the calling
     /// thread, which always takes one lane) never exceed the host's cores — more
     /// busy threads than cores only adds scheduler thrash to a CPU-bound scan.
+    ///
+    /// The result cache starts disabled; see [`SearchEngine::enable_cache`].
     pub fn new(store: S) -> Self {
         let shards = store.num_shards();
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -82,7 +119,55 @@ impl<S: IndexStore> SearchEngine<S> {
         } else {
             None
         };
-        SearchEngine { store, pool }
+        SearchEngine {
+            store,
+            pool,
+            cache: None,
+        }
+    }
+
+    /// Builder-style cache enablement: `SearchEngine::sharded(p, 4).with_result_cache(cfg)`.
+    pub fn with_result_cache(mut self, config: CacheConfig) -> Self {
+        self.enable_cache(config);
+        self
+    }
+
+    /// Enable (or reconfigure) the per-shard result cache. Existing entries, if
+    /// any, are discarded.
+    pub fn enable_cache(&mut self, config: CacheConfig) {
+        self.cache = Some(Mutex::new(ResultCache::new(
+            self.store.num_shards(),
+            config,
+        )));
+    }
+
+    /// Disable the result cache, dropping every entry.
+    pub fn disable_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// True if the result cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Cache effectiveness counters, or `None` when the cache is disabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.lock().unwrap().stats())
+    }
+
+    /// Zero the cache effectiveness counters (no-op when disabled).
+    pub fn reset_cache_stats(&self) {
+        if let Some(cache) = &self.cache {
+            cache.lock().unwrap().reset_stats();
+        }
+    }
+
+    /// Drop every cached entry (no-op when disabled).
+    pub fn clear_cache(&self) {
+        if let Some(cache) = &self.cache {
+            cache.lock().unwrap().clear();
+        }
     }
 
     /// The underlying store.
@@ -91,7 +176,16 @@ impl<S: IndexStore> SearchEngine<S> {
     }
 
     /// Mutable access to the underlying store.
+    ///
+    /// The engine cannot observe what a caller does through this reference, so it
+    /// conservatively bumps **every** shard's cache generation — any cached result
+    /// might describe a superseded store state afterwards. Prefer
+    /// [`SearchEngine::insert`] (which invalidates only the written shard) for
+    /// uploads.
     pub fn store_mut(&mut self) -> &mut S {
+        if let Some(cache) = &self.cache {
+            cache.lock().unwrap().invalidate_all();
+        }
         &mut self.store
     }
 
@@ -115,9 +209,22 @@ impl<S: IndexStore> SearchEngine<S> {
         self.store.is_empty()
     }
 
-    /// Upload one document index.
+    /// Upload one document index. With the cache enabled, only the shard the
+    /// document landed in is invalidated; cached scans of every other shard stay
+    /// live.
     pub fn insert(&mut self, index: RankedDocumentIndex) -> Result<(), StoreError> {
-        self.store.insert(index)
+        let document_id = index.document_id;
+        self.store.insert(index)?;
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().unwrap();
+            match self.store.shard_of(document_id) {
+                Some(shard) => cache.note_insert(shard),
+                // A store that cannot name the shard gets the conservative
+                // treatment: every shard's generation moves.
+                None => cache.invalidate_all(),
+            }
+        }
+        Ok(())
     }
 
     /// Upload many document indices, stopping at the first invalid one.
@@ -125,7 +232,29 @@ impl<S: IndexStore> SearchEngine<S> {
         &mut self,
         indices: I,
     ) -> Result<(), StoreError> {
-        self.store.insert_all(indices)
+        for idx in indices {
+            self.insert(idx)?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot the store into the versioned binary format of
+    /// [`crate::persistence`]. The cache is **never** part of a snapshot: it is
+    /// derived state, rebuilt on demand.
+    pub fn snapshot(&self) -> Vec<u8> {
+        crate::persistence::serialize_index_store(&self.store)
+    }
+
+    /// Restore a snapshot produced by [`SearchEngine::snapshot`] (or
+    /// [`crate::persistence::serialize_index_store`]), appending the decoded
+    /// indices in their original insertion order. Every cache generation is bumped
+    /// afterwards, so entries cached before the restore can never be served again.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<usize, PersistenceError> {
+        let count = crate::persistence::deserialize_into(&mut self.store, bytes)?;
+        if let Some(cache) = &self.cache {
+            cache.lock().unwrap().invalidate_all();
+        }
+        Ok(count)
     }
 
     /// The stored index of one document (O(1) on map-backed stores).
@@ -133,44 +262,69 @@ impl<S: IndexStore> SearchEngine<S> {
         self.store.document_index(document_id)
     }
 
-    /// Run `scan` once per shard — inline for single-shard stores, on the persistent
-    /// worker pool otherwise. Results come back in shard order.
-    fn map_shards<T, F>(&self, scan: F) -> Vec<T>
+    /// Run `scan` once per selected shard — inline when there is no pool or a
+    /// single shard is selected, on the persistent worker pool otherwise. Results
+    /// come back aligned with `shard_ids`. A panicking scan is re-raised with the
+    /// failing shard named, and the pool adds the failing lane (job) index.
+    fn map_selected_shards<T, F>(&self, shard_ids: &[usize], scan: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let shards = self.store.num_shards();
-        let Some(pool) = &self.pool else {
-            return (0..shards).map(scan).collect();
+        // Name the shard in any scan panic before it crosses the pool boundary.
+        let scan_named = |shard: usize| -> T {
+            match catch_unwind(AssertUnwindSafe(|| scan(shard))) {
+                Ok(value) => value,
+                Err(payload) => {
+                    let message = pool::panic_message(payload.as_ref());
+                    resume_unwind(Box::new(format!("shard {shard}: {message}")));
+                }
+            }
         };
-        let lanes = (pool.workers() + 1).min(shards);
+        let selected = shard_ids.len();
+        let Some(pool) = &self.pool else {
+            return shard_ids.iter().map(|&s| scan_named(s)).collect();
+        };
+        if selected <= 1 {
+            return shard_ids.iter().map(|&s| scan_named(s)).collect();
+        }
+        let lanes = (pool.workers() + 1).min(selected);
         let mut lane_results: Vec<Vec<(usize, T)>> = (0..lanes).map(|_| Vec::new()).collect();
         {
-            let scan = &scan;
+            let scan_named = &scan_named;
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = lane_results
                 .iter_mut()
                 .enumerate()
                 .map(|(lane, out)| {
                     Box::new(move || {
-                        let mut shard = lane;
-                        while shard < shards {
-                            out.push((shard, scan(shard)));
-                            shard += lanes;
+                        let mut pos = lane;
+                        while pos < selected {
+                            out.push((pos, scan_named(shard_ids[pos])));
+                            pos += lanes;
                         }
                     }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
             pool.run_scoped(jobs);
         }
-        let mut results: Vec<Option<T>> = (0..shards).map(|_| None).collect();
-        for (shard, value) in lane_results.into_iter().flatten() {
-            results[shard] = Some(value);
+        let mut results: Vec<Option<T>> = (0..selected).map(|_| None).collect();
+        for (pos, value) in lane_results.into_iter().flatten() {
+            results[pos] = Some(value);
         }
         results
             .into_iter()
-            .map(|r| r.expect("every shard was scanned"))
+            .map(|r| r.expect("every selected shard was scanned"))
             .collect()
+    }
+
+    /// Run `scan` once per shard. Results come back in shard order.
+    fn map_shards<T, F>(&self, scan: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let all: Vec<usize> = (0..self.store.num_shards()).collect();
+        self.map_selected_shards(&all, scan)
     }
 
     /// Scan every shard for documents whose level-1 index matches `query`, extract a
@@ -198,14 +352,92 @@ impl<S: IndexStore> SearchEngine<S> {
 
     /// Plain (unranked) oblivious search: ids of every document whose level-1 index
     /// matches, in storage (insertion) order — Eq. (3) across the database.
+    /// (Uncached: the ranked path is the hot one; see [`crate::cache`].)
     pub fn search_unranked(&self, query: &QueryIndex) -> Vec<u64> {
         self.matching_in_storage_order(query, |d| d.document_id)
     }
 
+    /// The fingerprint keying this query's per-shard ranked-scan entries. Top-k is
+    /// `None` because truncation happens *after* the cross-shard merge — one cached
+    /// entry per shard serves every k.
+    fn ranked_fingerprint(query: &QueryIndex) -> QueryFingerprint {
+        QueryFingerprint::new(query.bits(), RankingMode::Ranked, None)
+    }
+
     /// Ranked search (Algorithm 1) with execution statistics, merged across shards.
     pub fn search_ranked_with_stats(&self, query: &QueryIndex) -> (Vec<SearchMatch>, SearchStats) {
-        let per_shard =
-            self.map_shards(|shard| scan_ranked(self.store.shard_documents(shard), query));
+        let (matches, stats, _) = self.search_ranked_with_effect(query);
+        (matches, stats)
+    }
+
+    /// Ranked search with statistics **and** the cache's contribution to this
+    /// execution. With the cache disabled the effect is all zeros. Matches and
+    /// stats are byte-identical to the uncached execution either way.
+    pub fn search_ranked_with_effect(
+        &self,
+        query: &QueryIndex,
+    ) -> (Vec<SearchMatch>, SearchStats, CacheEffect) {
+        let shards = self.store.num_shards();
+        let Some(cache_mutex) = &self.cache else {
+            let per_shard =
+                self.map_shards(|shard| scan_ranked(self.store.shard_documents(shard), query));
+            return Self::merge_ranked(per_shard, CacheEffect::default());
+        };
+
+        let fingerprint = Self::ranked_fingerprint(query);
+        let mut per_shard: Vec<Option<ShardScan>> = Vec::with_capacity(shards);
+        let mut generations: Vec<u64> = Vec::with_capacity(shards);
+        {
+            let mut cache = cache_mutex.lock().unwrap();
+            for shard in 0..shards {
+                generations.push(cache.generation(shard));
+                per_shard.push(cache.lookup(shard, &fingerprint));
+            }
+        }
+        let missing: Vec<usize> = per_shard
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_none())
+            .map(|(shard, _)| shard)
+            .collect();
+        let effect = CacheEffect {
+            shard_hits: (shards - missing.len()) as u64,
+            shard_misses: missing.len() as u64,
+            saved_comparisons: per_shard
+                .iter()
+                .flatten()
+                .map(|(_, stats)| stats.comparisons)
+                .sum(),
+        };
+        if !missing.is_empty() {
+            let fresh = self.map_selected_shards(&missing, |shard| {
+                scan_ranked(self.store.shard_documents(shard), query)
+            });
+            let mut cache = cache_mutex.lock().unwrap();
+            for (&shard, (matches, stats)) in missing.iter().zip(fresh) {
+                cache.admit(
+                    shard,
+                    fingerprint.clone(),
+                    matches.clone(),
+                    stats,
+                    generations[shard],
+                );
+                per_shard[shard] = Some((matches, stats));
+            }
+        }
+        Self::merge_ranked(
+            per_shard.into_iter().map(|r| r.expect("shard resolved")),
+            effect,
+        )
+    }
+
+    /// The single merge point for ranked execution: extend in shard order, sum the
+    /// stats, sort by the (rank desc, id asc) total order. Cached and fresh shard
+    /// results flow through this identically.
+    fn merge_ranked<I: IntoIterator<Item = (Vec<SearchMatch>, SearchStats)>>(
+        per_shard: I,
+        effect: CacheEffect,
+    ) -> (Vec<SearchMatch>, SearchStats, CacheEffect) {
         let mut matches = Vec::new();
         let mut stats = SearchStats::default();
         for (shard_matches, shard_stats) in per_shard {
@@ -213,7 +445,7 @@ impl<S: IndexStore> SearchEngine<S> {
             stats.merge(&shard_stats);
         }
         sort_matches(&mut matches);
-        (matches, stats)
+        (matches, stats, effect)
     }
 
     /// Ranked search without statistics.
@@ -221,7 +453,9 @@ impl<S: IndexStore> SearchEngine<S> {
         self.search_ranked_with_stats(query).0
     }
 
-    /// Ranked search returning only the top `tau` matches (§5).
+    /// Ranked search returning only the top `tau` matches (§5). Cache-aware via the
+    /// full ranked path: the per-shard entries are k-independent, so one cached
+    /// query serves every `tau`.
     pub fn search_top(&self, query: &QueryIndex, tau: usize) -> Vec<SearchMatch> {
         let mut all = self.search(query);
         all.truncate(tau);
@@ -234,29 +468,121 @@ impl<S: IndexStore> SearchEngine<S> {
         &self,
         queries: &[QueryIndex],
     ) -> Vec<(Vec<SearchMatch>, SearchStats)> {
+        self.search_batch_with_effects(queries)
+            .into_iter()
+            .map(|(matches, stats, _)| (matches, stats))
+            .collect()
+    }
+
+    /// Batched ranked search with per-query statistics and cache effects. With the
+    /// cache enabled, each shard is scanned once for exactly the subset of queries
+    /// that missed it; fully cached queries trigger no scan at all.
+    pub fn search_batch_with_effects(
+        &self,
+        queries: &[QueryIndex],
+    ) -> Vec<(Vec<SearchMatch>, SearchStats, CacheEffect)> {
         if queries.is_empty() {
             return Vec::new();
         }
-        // per_shard[shard][query] = (matches, stats)
-        let per_shard = self.map_shards(|shard| {
-            let docs = self.store.shard_documents(shard);
-            queries
-                .iter()
-                .map(|q| scan_ranked(docs, q))
-                .collect::<Vec<_>>()
-        });
-        let mut merged: Vec<(Vec<SearchMatch>, SearchStats)> =
-            (0..queries.len()).map(|_| Default::default()).collect();
-        for shard_results in per_shard {
-            for (q, (shard_matches, shard_stats)) in shard_results.into_iter().enumerate() {
-                merged[q].0.extend(shard_matches);
-                merged[q].1.merge(&shard_stats);
+        let shards = self.store.num_shards();
+        let Some(cache_mutex) = &self.cache else {
+            // per_shard[shard][query] = (matches, stats); transpose to per-query
+            // rows so every execution path merges through merge_ranked.
+            let mut per_shard = self.map_shards(|shard| {
+                let docs = self.store.shard_documents(shard);
+                queries
+                    .iter()
+                    .map(|q| scan_ranked(docs, q))
+                    .collect::<Vec<_>>()
+            });
+            return (0..queries.len())
+                .map(|q| {
+                    Self::merge_ranked(
+                        per_shard
+                            .iter_mut()
+                            .map(|rows| std::mem::take(&mut rows[q])),
+                        CacheEffect::default(),
+                    )
+                })
+                .collect();
+        };
+
+        let fingerprints: Vec<QueryFingerprint> =
+            queries.iter().map(Self::ranked_fingerprint).collect();
+        // resolved[query][shard]
+        let mut resolved: Vec<Vec<Option<ShardScan>>> = queries
+            .iter()
+            .map(|_| (0..shards).map(|_| None).collect())
+            .collect();
+        let mut generations: Vec<u64> = Vec::with_capacity(shards);
+        {
+            let mut cache = cache_mutex.lock().unwrap();
+            for shard in 0..shards {
+                generations.push(cache.generation(shard));
+            }
+            for (fingerprint, rows) in fingerprints.iter().zip(resolved.iter_mut()) {
+                for (shard, row) in rows.iter_mut().enumerate() {
+                    *row = cache.lookup(shard, fingerprint);
+                }
             }
         }
-        for (matches, _) in &mut merged {
-            sort_matches(matches);
+        let effects: Vec<CacheEffect> = resolved
+            .iter()
+            .map(|rows| {
+                let misses = rows.iter().filter(|r| r.is_none()).count() as u64;
+                CacheEffect {
+                    shard_hits: shards as u64 - misses,
+                    shard_misses: misses,
+                    saved_comparisons: rows
+                        .iter()
+                        .flatten()
+                        .map(|(_, stats)| stats.comparisons)
+                        .sum(),
+                }
+            })
+            .collect();
+
+        // Each shard scans exactly the queries that missed it, in one pass.
+        let mut queries_for_shard: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
+        for (q, rows) in resolved.iter().enumerate() {
+            for (shard, row) in rows.iter().enumerate() {
+                if row.is_none() {
+                    queries_for_shard[shard].push(q);
+                }
+            }
         }
-        merged
+        let shard_ids: Vec<usize> = (0..shards)
+            .filter(|&s| !queries_for_shard[s].is_empty())
+            .collect();
+        if !shard_ids.is_empty() {
+            let fresh = self.map_selected_shards(&shard_ids, |shard| {
+                let docs = self.store.shard_documents(shard);
+                queries_for_shard[shard]
+                    .iter()
+                    .map(|&q| scan_ranked(docs, &queries[q]))
+                    .collect::<Vec<_>>()
+            });
+            let mut cache = cache_mutex.lock().unwrap();
+            for (&shard, shard_results) in shard_ids.iter().zip(fresh) {
+                for (&q, (matches, stats)) in queries_for_shard[shard].iter().zip(shard_results) {
+                    cache.admit(
+                        shard,
+                        fingerprints[q].clone(),
+                        matches.clone(),
+                        stats,
+                        generations[shard],
+                    );
+                    resolved[q][shard] = Some((matches, stats));
+                }
+            }
+        }
+        resolved
+            .into_iter()
+            .zip(effects)
+            .map(|(rows, effect)| {
+                Self::merge_ranked(rows.into_iter().map(|r| r.expect("shard resolved")), effect)
+            })
+            .collect()
     }
 
     /// Batched ranked search without statistics.
@@ -408,5 +734,228 @@ mod tests {
         assert_eq!(engine.search_unranked(&q), vec![0]);
         assert_eq!(engine.params().index_bits, 448);
         assert_eq!(engine.into_store().len(), 1);
+    }
+
+    #[test]
+    fn cached_engine_returns_identical_results_and_reports_hits() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 40);
+        let mut plain = SearchEngine::sharded(fx.params.clone(), 4);
+        plain.insert_all(indices.iter().cloned()).unwrap();
+        let mut cached =
+            SearchEngine::sharded(fx.params.clone(), 4).with_result_cache(CacheConfig::default());
+        cached.insert_all(indices.iter().cloned()).unwrap();
+        assert!(cached.cache_enabled() && !plain.cache_enabled());
+
+        let q = query(&mut fx, &["shared"]);
+        let (m1, s1, e1) = cached.search_ranked_with_effect(&q);
+        assert_eq!(e1.shard_misses, 4, "cold cache scans every shard");
+        assert_eq!(e1.shard_hits, 0);
+        assert!(!e1.fully_cached());
+        let (m2, s2, e2) = cached.search_ranked_with_effect(&q);
+        assert_eq!(e2.shard_hits, 4, "repeat is served from cache");
+        assert_eq!(e2.shard_misses, 0);
+        assert!(e2.fully_cached());
+        assert_eq!(e2.saved_comparisons, s2.comparisons);
+
+        let (pm, ps) = plain.search_ranked_with_stats(&q);
+        assert_eq!(m1, pm);
+        assert_eq!(m2, pm);
+        assert_eq!(s1, ps, "first (admitting) stats identical");
+        assert_eq!(s2, ps, "cached stats identical");
+
+        let stats = cached.cache_stats().unwrap();
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.saved_comparisons, ps.comparisons);
+    }
+
+    #[test]
+    fn insert_invalidates_only_the_written_shard() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 12);
+        let mut engine =
+            SearchEngine::sharded(fx.params.clone(), 3).with_result_cache(CacheConfig::default());
+        engine.insert_all(indices.iter().cloned()).unwrap();
+        let q = query(&mut fx, &["shared"]);
+        let _ = engine.search_ranked_with_effect(&q); // warm all 3 shards
+
+        // 12 documents round-robin over 3 shards ⇒ the next insert goes to shard 0.
+        let indexer = DocumentIndexer::new(&fx.params, &fx.keys);
+        engine
+            .insert(indexer.index_keywords(100, &["kw1"]))
+            .unwrap();
+
+        let (_, _, effect) = engine.search_ranked_with_effect(&q);
+        assert_eq!(effect.shard_hits, 2, "two shards stayed cached");
+        assert_eq!(effect.shard_misses, 1, "only the written shard rescans");
+        assert_eq!(engine.cache_stats().unwrap().invalidations, 1);
+    }
+
+    #[test]
+    fn batch_uses_cache_and_matches_uncached_batch() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 30);
+        let mut plain = SearchEngine::sharded(fx.params.clone(), 4);
+        plain.insert_all(indices.iter().cloned()).unwrap();
+        let mut cached =
+            SearchEngine::sharded(fx.params.clone(), 4).with_result_cache(CacheConfig::default());
+        cached.insert_all(indices.iter().cloned()).unwrap();
+
+        let queries = vec![
+            query(&mut fx, &["shared"]),
+            query(&mut fx, &["kw3"]),
+            query(&mut fx, &["kw5", "shared"]),
+        ];
+        // Warm only the first query through the single path.
+        let _ = cached.search_ranked_with_effect(&queries[0]);
+
+        let expected = plain.search_batch_with_stats(&queries);
+        let got = cached.search_batch_with_effects(&queries);
+        assert_eq!(got.len(), expected.len());
+        for ((m, s, effect), (em, es)) in got.iter().zip(&expected) {
+            assert_eq!(m, em);
+            assert_eq!(s, es);
+            assert_eq!(effect.shard_hits + effect.shard_misses, 4);
+        }
+        assert!(got[0].2.fully_cached(), "warmed query fully cached");
+        assert_eq!(got[1].2.shard_misses, 4, "cold query scans everywhere");
+
+        // The whole batch again: every (query, shard) pair now hits.
+        let again = cached.search_batch_with_effects(&queries);
+        for ((m, s, effect), (em, es)) in again.iter().zip(&expected) {
+            assert_eq!(m, em);
+            assert_eq!(s, es);
+            assert!(effect.fully_cached());
+        }
+    }
+
+    #[test]
+    fn store_mut_and_restore_invalidate_everything() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 20);
+        let mut engine =
+            SearchEngine::sharded(fx.params.clone(), 2).with_result_cache(CacheConfig::default());
+        engine.insert_all(indices.iter().cloned()).unwrap();
+        let q = query(&mut fx, &["shared"]);
+        let _ = engine.search_ranked_with_effect(&q);
+        assert!(engine.search_ranked_with_effect(&q).2.fully_cached());
+
+        // Direct store access: the engine cannot know what changed, so nothing
+        // cached may be served afterwards.
+        let _ = engine.store_mut();
+        assert_eq!(engine.search_ranked_with_effect(&q).2.shard_hits, 0);
+
+        // A snapshot/restore cycle also invalidates (and restores content).
+        let bytes = engine.snapshot();
+        let mut restored =
+            SearchEngine::sharded(fx.params.clone(), 5).with_result_cache(CacheConfig::default());
+        assert_eq!(restored.restore_snapshot(&bytes).unwrap(), 20);
+        let (rm, rs, re) = restored.search_ranked_with_effect(&q);
+        let (em, es, _) = engine.search_ranked_with_effect(&q);
+        assert_eq!(rm, em);
+        assert_eq!(rs, es);
+        assert_eq!(re.shard_hits, 0, "restored engine starts cold");
+    }
+
+    #[test]
+    fn clone_keeps_cache_config_but_starts_cold() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 10);
+        let mut engine =
+            SearchEngine::sharded(fx.params.clone(), 2).with_result_cache(CacheConfig {
+                capacity_per_shard: 7,
+            });
+        engine.insert_all(indices).unwrap();
+        let q = query(&mut fx, &["shared"]);
+        let _ = engine.search(&q);
+        let clone = engine.clone();
+        assert!(clone.cache_enabled());
+        assert_eq!(clone.cache_stats().unwrap(), CacheStats::default());
+        let (_, _, effect) = clone.search_ranked_with_effect(&q);
+        assert_eq!(effect.shard_hits, 0);
+        // And disabling works.
+        let mut off = clone;
+        off.disable_cache();
+        assert!(!off.cache_enabled());
+        assert_eq!(off.cache_stats(), None);
+    }
+
+    #[test]
+    fn cache_maintenance_helpers() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 8);
+        let mut engine =
+            SearchEngine::sharded(fx.params.clone(), 2).with_result_cache(CacheConfig::default());
+        engine.insert_all(indices).unwrap();
+        let q = query(&mut fx, &["shared"]);
+        let _ = engine.search(&q);
+        let _ = engine.search(&q);
+        assert!(engine.cache_stats().unwrap().hits > 0);
+        engine.reset_cache_stats();
+        assert_eq!(engine.cache_stats().unwrap(), CacheStats::default());
+        engine.clear_cache();
+        let (_, _, effect) = engine.search_ranked_with_effect(&q);
+        assert_eq!(effect.shard_hits, 0, "cleared cache serves nothing");
+    }
+
+    /// A store whose shard 2 cannot be scanned — exercises the panic-context
+    /// propagation through the worker pool.
+    struct PoisonedStore {
+        inner: ShardedStore,
+    }
+
+    impl IndexStore for PoisonedStore {
+        fn params(&self) -> &SystemParams {
+            self.inner.params()
+        }
+        fn insert(&mut self, index: RankedDocumentIndex) -> Result<(), StoreError> {
+            self.inner.insert(index)
+        }
+        fn len(&self) -> usize {
+            self.inner.len()
+        }
+        fn num_shards(&self) -> usize {
+            self.inner.num_shards()
+        }
+        fn shard_documents(&self, shard: usize) -> &[RankedDocumentIndex] {
+            assert_ne!(shard, 2, "shard storage corrupted");
+            self.inner.shard_documents(shard)
+        }
+        fn ordinal(&self, shard: usize, slot: usize) -> u64 {
+            self.inner.ordinal(shard, slot)
+        }
+        fn document_index(&self, document_id: u64) -> Option<&RankedDocumentIndex> {
+            self.inner.document_index(document_id)
+        }
+        fn shard_of(&self, document_id: u64) -> Option<usize> {
+            self.inner.shard_of(document_id)
+        }
+    }
+
+    #[test]
+    fn scan_panic_names_the_failing_shard() {
+        let mut fx = fixture();
+        let mut store = PoisonedStore {
+            inner: ShardedStore::new(fx.params.clone(), 4),
+        };
+        store.insert_all(corpus_indices(&fx, 16)).unwrap();
+        let engine = SearchEngine::new(store);
+        let q = query(&mut fx, &["shared"]);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| engine.search(&q)));
+        let payload = result.expect_err("poisoned shard must panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .expect("string panic payload");
+        assert!(
+            message.contains("shard 2"),
+            "panic must name the failing shard: {message}"
+        );
+        assert!(
+            message.contains("shard storage corrupted"),
+            "panic must forward the original message: {message}"
+        );
     }
 }

@@ -16,16 +16,31 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::{JoinHandle, Thread};
 use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// Render a panic payload for the propagated error message (shared with the
+/// engine's per-shard panic-context wrapper).
+pub(super) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Tracks outstanding jobs of one `run_scoped` call and whether any panicked.
 struct Latch {
     remaining: AtomicUsize,
     panicked: AtomicBool,
+    /// Context of the **first** panicking job (job index + its panic message), so
+    /// the propagated panic names the failing lane instead of erasing it.
+    failure: Mutex<Option<String>>,
     /// The dispatching thread, unparked when the count reaches zero.
     waiter: Thread,
 }
@@ -35,6 +50,7 @@ impl Latch {
         Latch {
             remaining: AtomicUsize::new(0),
             panicked: AtomicBool::new(false),
+            failure: Mutex::new(None),
             waiter: std::thread::current(),
         }
     }
@@ -46,10 +62,17 @@ impl Latch {
         self.remaining.fetch_add(1, Ordering::Release);
     }
 
-    fn count_down(&self, panicked: bool) {
-        if panicked {
-            self.panicked.store(true, Ordering::Relaxed);
+    /// Record a panicking job. The first failure wins; later ones only keep the
+    /// panicked flag set.
+    fn record_failure(&self, job: usize, payload: &(dyn std::any::Any + Send)) {
+        self.panicked.store(true, Ordering::Relaxed);
+        let mut failure = self.failure.lock().unwrap();
+        if failure.is_none() {
+            *failure = Some(format!("job {job}: {}", panic_message(payload)));
         }
+    }
+
+    fn count_down(&self) {
         if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
             self.waiter.unpark();
         }
@@ -124,11 +147,13 @@ impl WorkerPool {
 
     /// Run every job to completion. Jobs are distributed round-robin over the
     /// workers except the last, which runs inline on the calling thread; panics
-    /// (after all jobs settled) if any job panicked.
+    /// (after all jobs settled) if any job panicked, naming the first failing job
+    /// and forwarding its panic message.
     ///
     /// Blocking until completion is what lets callers hand in closures borrowing
     /// local state: no job can outlive this call.
     pub(crate) fn run_scoped<'env>(&self, mut jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let own_index = jobs.len().saturating_sub(1);
         let Some(own_job) = jobs.pop() else {
             return;
         };
@@ -157,17 +182,27 @@ impl WorkerPool {
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Job>(job) };
             let latch_for_job = Arc::clone(&latch);
             let wrapped: Job = Box::new(move || {
-                let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
-                latch_for_job.count_down(panicked);
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(job)) {
+                    latch_for_job.record_failure(i, payload.as_ref());
+                }
+                latch_for_job.count_down();
             });
             latch.add_job();
             self.senders[i % self.senders.len()]
                 .send(wrapped)
                 .expect("shard worker exited prematurely");
         }
-        let own_panicked = catch_unwind(AssertUnwindSafe(own_job)).is_err();
-        if latch.wait() || own_panicked {
-            panic!("shard scan panicked");
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(own_job)) {
+            latch.record_failure(own_index, payload.as_ref());
+        }
+        if latch.wait() {
+            let context = latch
+                .failure
+                .lock()
+                .unwrap()
+                .take()
+                .unwrap_or_else(|| "<missing failure context>".to_string());
+            panic!("shard scan panicked: {context}");
         }
     }
 }
@@ -238,6 +273,50 @@ mod tests {
         let jobs: Vec<Box<dyn FnOnce() + Send + '_>> =
             vec![Box::new(|| {}), Box::new(|| panic!("inline boom"))];
         pool.run_scoped(jobs);
+    }
+
+    #[test]
+    fn propagated_panic_names_the_failing_job_and_message() {
+        let pool = WorkerPool::new(2);
+        // Job 1 (a worker job) panics; the propagated message must identify it.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_scoped(vec![
+                Box::new(|| {}) as Box<dyn FnOnce() + Send>,
+                Box::new(|| panic!("lane exploded")) as Box<dyn FnOnce() + Send>,
+                Box::new(|| {}) as Box<dyn FnOnce() + Send>,
+            ]);
+        }));
+        let message = panic_message(result.expect_err("must panic").as_ref());
+        assert!(
+            message.contains("shard scan panicked: job 1: lane exploded"),
+            "unexpected context: {message}"
+        );
+
+        // The inline (caller-thread) job is named too.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_scoped(vec![
+                Box::new(|| {}) as Box<dyn FnOnce() + Send>,
+                Box::new(|| panic!("inline boom")) as Box<dyn FnOnce() + Send>,
+            ]);
+        }));
+        let message = panic_message(result.expect_err("must panic").as_ref());
+        assert!(
+            message.contains("job 1: inline boom"),
+            "unexpected context: {message}"
+        );
+    }
+
+    #[test]
+    fn non_string_panic_payloads_get_a_placeholder() {
+        let pool = WorkerPool::new(1);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_scoped(vec![
+                Box::new(|| std::panic::panic_any(17u32)) as Box<dyn FnOnce() + Send>,
+                Box::new(|| {}) as Box<dyn FnOnce() + Send>,
+            ]);
+        }));
+        let message = panic_message(result.expect_err("must panic").as_ref());
+        assert!(message.contains("<non-string panic payload>"), "{message}");
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! ([`storage::ShardedStore`]) layouts, and the [`engine`] module executes single,
 //! batched and top-k ranked queries across shards in parallel with results that are
 //! bit-for-bit identical to the sequential [`search::CloudIndex`] reference scan.
+//! The [`cache`] module adds an optional per-shard, generation-invalidated result
+//! cache on top: repeated query indices (the search pattern the server observes
+//! anyway, §6) skip the shard scan entirely without changing a single reply byte.
 //!
 //! Document encryption, RSA blind decryption of per-document keys and the three-party protocol
 //! (data owner / user / cloud server) live in `mkse-protocol`; the baselines the paper compares
@@ -58,6 +61,7 @@
 pub mod analysis;
 pub mod bins;
 pub mod bitindex;
+pub mod cache;
 pub mod document_index;
 pub mod engine;
 pub mod keys;
@@ -75,6 +79,7 @@ pub use analysis::{
 };
 pub use bins::{bins_for_keywords, get_bin, BinId, BinOccupancy};
 pub use bitindex::BitIndex;
+pub use cache::{CacheConfig, CacheEffect, CacheStats, QueryFingerprint, RankingMode, ResultCache};
 pub use document_index::{DocumentIndexer, RankedDocumentIndex};
 pub use engine::SearchEngine;
 pub use keys::{trapdoor_from_bin_key, RandomKeywordPool, SchemeKeys, Trapdoor};

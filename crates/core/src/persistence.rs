@@ -7,6 +7,12 @@
 //! end of §5 — without pulling in any serialization framework beyond what the index itself
 //! needs.
 //!
+//! Snapshots capture **only** the stored indices: the result cache of
+//! [`crate::engine::SearchEngine`] is derived state and is never serialized.
+//! Restoring through [`crate::engine::SearchEngine::restore_snapshot`] (or any path
+//! through `store_mut`) bumps every cache generation, so entries cached before a
+//! reload can never be served after it.
+//!
 //! Layout (all integers little-endian):
 //!
 //! ```text

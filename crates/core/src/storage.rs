@@ -117,6 +117,10 @@ pub trait IndexStore: Send + Sync {
     /// The stored index of one document, or `None` if unknown.
     fn document_index(&self, document_id: u64) -> Option<&RankedDocumentIndex>;
 
+    /// The shard holding `document_id`, or `None` if unknown. The cache layer uses
+    /// this after an insert to invalidate exactly the shard that changed.
+    fn shard_of(&self, document_id: u64) -> Option<usize>;
+
     /// True if no documents are stored.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -210,6 +214,10 @@ impl IndexStore for VecStore {
     fn document_index(&self, document_id: u64) -> Option<&RankedDocumentIndex> {
         self.by_id.get(&document_id).map(|&i| &self.documents[i])
     }
+
+    fn shard_of(&self, document_id: u64) -> Option<usize> {
+        self.by_id.get(&document_id).map(|_| 0)
+    }
 }
 
 /// A store that partitions documents **round-robin** across `num_shards` shards.
@@ -284,6 +292,12 @@ impl IndexStore for ShardedStore {
             .get(&document_id)
             .map(|&(shard, slot)| &self.shards[shard as usize][slot as usize])
     }
+
+    fn shard_of(&self, document_id: u64) -> Option<usize> {
+        self.by_id
+            .get(&document_id)
+            .map(|&(shard, _)| shard as usize)
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +327,8 @@ mod tests {
         assert_eq!(store.ordinal(0, 2), 2);
         assert_eq!(store.document_index(9).unwrap().document_id, 9);
         assert!(store.document_index(4).is_none());
+        assert_eq!(store.shard_of(9), Some(0));
+        assert_eq!(store.shard_of(4), None);
         let ordered: Vec<u64> = store
             .documents_in_insertion_order()
             .iter()
@@ -336,6 +352,8 @@ mod tests {
         assert_eq!(store.shard_documents(1)[2].document_id, 7);
         assert_eq!(store.ordinal(1, 2), 7);
         assert_eq!(store.document_index(7).unwrap().document_id, 7);
+        assert_eq!(store.shard_of(7), Some(1));
+        assert_eq!(store.shard_of(99), None);
         let ordered: Vec<u64> = store
             .documents_in_insertion_order()
             .iter()

@@ -22,8 +22,14 @@ pub struct OperationCounters {
     pub symmetric_encryptions: u64,
     /// Symmetric-key decryptions (whole documents).
     pub symmetric_decryptions: u64,
-    /// r-bit binary comparisons (the server's only work).
+    /// r-bit binary comparisons **actually performed** (the server's only work).
+    /// With the result cache enabled this is the post-cache count; the logical
+    /// Table 2 total is `binary_comparisons + comparisons_saved_by_cache`.
     pub binary_comparisons: u64,
+    /// r-bit comparisons the server's result cache made unnecessary.
+    pub comparisons_saved_by_cache: u64,
+    /// Search replies served entirely from the result cache (no shard scanned).
+    pub cache_served_replies: u64,
 }
 
 impl OperationCounters {
@@ -47,6 +53,9 @@ impl OperationCounters {
             symmetric_encryptions: self.symmetric_encryptions + other.symmetric_encryptions,
             symmetric_decryptions: self.symmetric_decryptions + other.symmetric_decryptions,
             binary_comparisons: self.binary_comparisons + other.binary_comparisons,
+            comparisons_saved_by_cache: self.comparisons_saved_by_cache
+                + other.comparisons_saved_by_cache,
+            cache_served_replies: self.cache_served_replies + other.cache_served_replies,
         }
     }
 
@@ -67,6 +76,11 @@ impl OperationCounters {
             ("symmetric encryptions", self.symmetric_encryptions),
             ("symmetric decryptions", self.symmetric_decryptions),
             ("binary comparisons (r-bit)", self.binary_comparisons),
+            (
+                "comparisons saved by cache",
+                self.comparisons_saved_by_cache,
+            ),
+            ("replies served from cache", self.cache_served_replies),
         ];
         for (label, value) in rows {
             if value > 0 {
@@ -104,6 +118,8 @@ mod tests {
             symmetric_encryptions: 5,
             symmetric_decryptions: 6,
             binary_comparisons: 7,
+            comparisons_saved_by_cache: 8,
+            cache_served_replies: 9,
         };
         let b = OperationCounters {
             hashes: 10,
@@ -112,6 +128,8 @@ mod tests {
         let c = a.combined(&b);
         assert_eq!(c.hashes, 11);
         assert_eq!(c.binary_comparisons, 7);
+        assert_eq!(c.comparisons_saved_by_cache, 8);
+        assert_eq!(c.cache_served_replies, 9);
         assert_eq!(c.public_key_operations(), 7);
     }
 

@@ -46,6 +46,9 @@ pub enum ProtocolError {
     /// An uploaded index was rejected by the server's store (wraps the storage
     /// layer's error: geometry mismatch or duplicate document id).
     Store(mkse_core::storage::StoreError),
+    /// An index snapshot could not be decoded or restored (wraps the persistence
+    /// layer's error).
+    Persistence(mkse_core::persistence::PersistenceError),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -64,6 +67,7 @@ impl std::fmt::Display for ProtocolError {
                 )
             }
             ProtocolError::Store(e) => write!(f, "upload rejected: {e}"),
+            ProtocolError::Persistence(e) => write!(f, "snapshot restore failed: {e}"),
         }
     }
 }
@@ -79,6 +83,12 @@ impl From<mkse_crypto::CryptoError> for ProtocolError {
 impl From<mkse_core::storage::StoreError> for ProtocolError {
     fn from(e: mkse_core::storage::StoreError) -> Self {
         ProtocolError::Store(e)
+    }
+}
+
+impl From<mkse_core::persistence::PersistenceError> for ProtocolError {
+    fn from(e: mkse_core::persistence::PersistenceError) -> Self {
+        ProtocolError::Persistence(e)
     }
 }
 
@@ -105,6 +115,13 @@ mod tests {
     fn crypto_error_converts() {
         let e: ProtocolError = mkse_crypto::CryptoError::MessageTooLarge.into();
         assert!(matches!(e, ProtocolError::Crypto(_)));
+    }
+
+    #[test]
+    fn persistence_error_converts_and_displays() {
+        let e: ProtocolError = mkse_core::persistence::PersistenceError::BadMagic.into();
+        assert!(matches!(e, ProtocolError::Persistence(_)));
+        assert!(format!("{e}").contains("restore"));
     }
 
     #[test]

@@ -122,12 +122,41 @@ impl BatchSearchReply {
     }
 }
 
+/// How the server's result cache contributed to one reply (all zeros when the
+/// cache is disabled). Diagnostics the server reports alongside the matches —
+/// it reveals nothing beyond the server's own observation that the same query
+/// bytes arrived before, which is the search pattern of §6.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheReport {
+    /// Index shards answered from the result cache.
+    pub shard_hits: u64,
+    /// Index shards that were scanned.
+    pub shard_misses: u64,
+    /// r-bit comparisons the cache hits made unnecessary.
+    pub saved_comparisons: u64,
+    /// True if every shard hit — the reply was produced without any scan.
+    pub served_from_cache: bool,
+}
+
+impl From<mkse_core::cache::CacheEffect> for CacheReport {
+    fn from(effect: mkse_core::cache::CacheEffect) -> Self {
+        CacheReport {
+            shard_hits: effect.shard_hits,
+            shard_misses: effect.shard_misses,
+            saved_comparisons: effect.saved_comparisons,
+            served_from_cache: effect.fully_cached(),
+        }
+    }
+}
+
 /// Server → user: ids and index metadata of the matching documents (§4.3: "the server sends
 /// metadata of the matching documents to the user").
 #[derive(Clone, Debug, PartialEq)]
 pub struct SearchReply {
     /// `(document id, rank, per-level metadata)` for each match, best rank first.
     pub matches: Vec<SearchResultEntry>,
+    /// Result-cache diagnostics for this reply (zeros when caching is off).
+    pub cache: CacheReport,
 }
 
 /// One entry of a [`SearchReply`].
@@ -143,7 +172,8 @@ pub struct SearchResultEntry {
 
 impl SearchReply {
     /// Size on the wire: the metadata dominates — `α·η·r` bits plus 64 bits of id and 32 bits
-    /// of rank per match (Table 1 counts the dominant `α·r` term).
+    /// of rank per match (Table 1 counts the dominant `α·r` term). The [`CacheReport`]
+    /// is constant-size server diagnostics and is not part of the Table 1 accounting.
     pub fn bits(&self) -> u64 {
         self.matches
             .iter()
@@ -312,6 +342,7 @@ mod tests {
         };
         let reply = SearchReply {
             matches: vec![entry],
+            cache: CacheReport::default(),
         };
         let batch = BatchSearchReply {
             replies: vec![reply.clone(), reply.clone(), reply.clone()],
@@ -328,6 +359,7 @@ mod tests {
         };
         let reply = SearchReply {
             matches: vec![entry.clone(), entry],
+            cache: CacheReport::default(),
         };
         assert_eq!(reply.bits(), 2 * (96 + 3 * 448));
     }

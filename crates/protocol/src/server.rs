@@ -5,18 +5,27 @@
 //! partitions the indices round-robin across shards, and a [`SearchEngine`] scans the
 //! shards in parallel. Results are bit-for-bit identical to the paper's sequential
 //! scan (deterministic rank-then-id order); only the wall-clock time changes.
+//!
+//! An optional **result cache** ([`mkse_core::cache`]) sits in front of the shard
+//! scans: [`CloudServer::enable_result_cache`] turns it on with a per-shard
+//! capacity, repeated query indices are then answered without scanning, and the
+//! [`OperationCounters`] split the Table 2 comparison count into work actually
+//! performed (`binary_comparisons`) and work the cache saved
+//! (`comparisons_saved_by_cache`). Replies carry a [`crate::messages::CacheReport`]
+//! so users (and the benches) can observe hit rates end to end.
 
 use crate::counters::OperationCounters;
 use crate::messages::{
-    BatchQueryMessage, BatchSearchReply, DocumentReply, DocumentRequest, EncryptedDocumentTransfer,
-    QueryMessage, SearchReply, SearchResultEntry,
+    BatchQueryMessage, BatchSearchReply, CacheReport, DocumentReply, DocumentRequest,
+    EncryptedDocumentTransfer, QueryMessage, SearchReply, SearchResultEntry,
 };
 use crate::ProtocolError;
+use mkse_core::cache::{CacheConfig, CacheEffect, CacheStats};
 use mkse_core::document_index::RankedDocumentIndex;
 use mkse_core::engine::SearchEngine;
 use mkse_core::params::SystemParams;
 use mkse_core::query::QueryIndex;
-use mkse_core::search::SearchMatch;
+use mkse_core::search::{SearchMatch, SearchStats};
 use mkse_core::storage::{IndexStore, ShardedStore};
 use std::collections::BTreeMap;
 
@@ -49,6 +58,41 @@ impl CloudServer {
     /// Number of index shards this server scans in parallel.
     pub fn num_shards(&self) -> usize {
         self.engine.store().num_shards()
+    }
+
+    /// Enable the per-shard result cache with the given per-shard entry capacity.
+    /// Off by default: turning it on never changes reply bytes (matches, ranks,
+    /// order), only the work performed for repeated query indices — see the
+    /// search-pattern note in [`mkse_core::cache`].
+    pub fn enable_result_cache(&mut self, capacity_per_shard: usize) {
+        self.engine.enable_cache(CacheConfig { capacity_per_shard });
+    }
+
+    /// Disable the result cache, dropping every entry.
+    pub fn disable_result_cache(&mut self) {
+        self.engine.disable_cache();
+    }
+
+    /// True if the result cache is enabled.
+    pub fn result_cache_enabled(&self) -> bool {
+        self.engine.cache_enabled()
+    }
+
+    /// Cumulative cache effectiveness counters, or `None` when caching is off.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.engine.cache_stats()
+    }
+
+    /// Snapshot the searchable index into the versioned binary format of
+    /// [`mkse_core::persistence`]. The result cache is never part of a snapshot.
+    pub fn snapshot_index(&self) -> Vec<u8> {
+        self.engine.snapshot()
+    }
+
+    /// Restore an index snapshot, appending its documents. Every cache generation
+    /// is bumped, so entries cached before the restore can never be served after.
+    pub fn restore_index(&mut self, bytes: &[u8]) -> Result<usize, ProtocolError> {
+        Ok(self.engine.restore_snapshot(bytes)?)
     }
 
     /// Accept the data owner's upload: searchable indices and encrypted documents.
@@ -90,34 +134,56 @@ impl CloudServer {
                 }
             })
             .collect();
-        SearchReply { matches: entries }
+        SearchReply {
+            matches: entries,
+            cache: CacheReport::default(),
+        }
+    }
+
+    /// Account one query execution: `binary_comparisons` counts the r-bit
+    /// comparisons actually performed, `comparisons_saved_by_cache` the ones the
+    /// result cache skipped (their sum is the cache-off Table 2 count), and
+    /// `cache_served_replies` the replies produced without any scan.
+    fn record_execution(&mut self, stats: &SearchStats, effect: &CacheEffect) {
+        self.counters.binary_comparisons += stats.comparisons - effect.saved_comparisons;
+        self.counters.comparisons_saved_by_cache += effect.saved_comparisons;
+        if effect.fully_cached() {
+            self.counters.cache_served_replies += 1;
+        }
     }
 
     /// Handle a query (§4.3 + Algorithm 1): ranked search over every stored index, returning
-    /// matching document ids, ranks and their index metadata.
+    /// matching document ids, ranks and their index metadata. With the result cache
+    /// enabled, a repeated query index skips the shard scans entirely; the reply's
+    /// [`CacheReport`] says what happened.
     pub fn handle_query(&mut self, message: &QueryMessage) -> SearchReply {
         let query = QueryIndex::from_bits(message.query.clone());
-        let (matches, stats) = self.engine.search_ranked_with_stats(&query);
-        self.counters.binary_comparisons += stats.comparisons;
-        self.reply_entries(matches, message.top)
+        let (matches, stats, effect) = self.engine.search_ranked_with_effect(&query);
+        self.record_execution(&stats, &effect);
+        let mut reply = self.reply_entries(matches, message.top);
+        reply.cache = CacheReport::from(effect);
+        reply
     }
 
     /// Handle a batched query: every query of the batch is evaluated in a single
-    /// pass over each shard, and the reply carries one [`SearchReply`] per query in
-    /// request order. Comparison counts accumulate exactly as if the queries had
-    /// been sent individually.
+    /// pass over each shard (with the cache enabled, each shard scans exactly the
+    /// queries that missed it), and the reply carries one [`SearchReply`] per query
+    /// in request order. Logical comparison counts accumulate exactly as if the
+    /// queries had been sent individually.
     pub fn handle_batch_query(&mut self, message: &BatchQueryMessage) -> BatchSearchReply {
         let queries: Vec<QueryIndex> = message
             .queries
             .iter()
             .map(|bits| QueryIndex::from_bits(bits.clone()))
             .collect();
-        let results = self.engine.search_batch_with_stats(&queries);
+        let results = self.engine.search_batch_with_effects(&queries);
         let replies = results
             .into_iter()
-            .map(|(matches, stats)| {
-                self.counters.binary_comparisons += stats.comparisons;
-                self.reply_entries(matches, message.top)
+            .map(|(matches, stats, effect)| {
+                self.record_execution(&stats, &effect);
+                let mut reply = self.reply_entries(matches, message.top);
+                reply.cache = CacheReport::from(effect);
+                reply
             })
             .collect();
         BatchSearchReply { replies }
@@ -294,6 +360,102 @@ mod tests {
             Err(ProtocolError::Store(_))
         ));
         assert_eq!(server.num_documents(), 3);
+    }
+
+    #[test]
+    fn cached_replies_are_identical_and_accounted() {
+        let (owner, mut server, mut rng) = populated_server();
+        server.enable_result_cache(64);
+        assert!(server.result_cache_enabled());
+        let msg = query_for(&owner, &["cloud"], &mut rng);
+
+        let first = server.handle_query(&msg);
+        assert!(!first.cache.served_from_cache, "cold cache must scan");
+        assert_eq!(first.cache.shard_hits, 0);
+        let scanned = server.counters().binary_comparisons;
+        assert!(scanned > 0);
+        assert_eq!(server.counters().comparisons_saved_by_cache, 0);
+
+        let second = server.handle_query(&msg);
+        // Identical reply bytes; only the cache diagnostics differ.
+        assert_eq!(second.matches, first.matches);
+        assert!(second.cache.served_from_cache);
+        assert_eq!(second.cache.saved_comparisons, scanned);
+        // Work accounting: no new comparisons performed, all saved.
+        assert_eq!(server.counters().binary_comparisons, scanned);
+        assert_eq!(server.counters().comparisons_saved_by_cache, scanned);
+        assert_eq!(server.counters().cache_served_replies, 1);
+        let stats = server.cache_stats().unwrap();
+        assert_eq!(stats.hits, server.num_shards() as u64);
+
+        // An upload invalidates; the next query rescans and still matches.
+        server.disable_result_cache();
+        assert!(server.cache_stats().is_none());
+        let uncached = server.handle_query(&msg);
+        assert_eq!(uncached.matches, first.matches);
+        assert_eq!(uncached.cache, CacheReport::default());
+    }
+
+    #[test]
+    fn batch_queries_hit_the_cache_with_identical_replies() {
+        let (owner, mut server, mut rng) = populated_server();
+        let q1 = query_for(&owner, &["cloud"], &mut rng);
+        let q2 = query_for(&owner, &["weather"], &mut rng);
+        let batch = BatchQueryMessage {
+            queries: vec![q1.query.clone(), q2.query.clone()],
+            top: None,
+        };
+        let uncached = server.handle_batch_query(&batch);
+        server.reset_counters();
+        server.enable_result_cache(64);
+
+        let cold = server.handle_batch_query(&batch);
+        let logical = server.counters().binary_comparisons;
+        let warm = server.handle_batch_query(&batch);
+        for ((u, c), w) in uncached
+            .replies
+            .iter()
+            .zip(cold.replies.iter())
+            .zip(warm.replies.iter())
+        {
+            assert_eq!(u.matches, c.matches);
+            assert_eq!(u.matches, w.matches);
+            assert!(w.cache.served_from_cache);
+        }
+        assert_eq!(server.counters().binary_comparisons, logical);
+        assert_eq!(server.counters().comparisons_saved_by_cache, logical);
+        assert_eq!(server.counters().cache_served_replies, 2);
+    }
+
+    #[test]
+    fn upload_invalidates_and_restore_starts_cold() {
+        let (owner, mut server, mut rng) = populated_server();
+        server.enable_result_cache(64);
+        let msg = query_for(&owner, &["cloud"], &mut rng);
+        let _ = server.handle_query(&msg);
+        assert!(server.handle_query(&msg).cache.served_from_cache);
+
+        // New upload: at least the written shards rescan, and results include
+        // nothing stale.
+        let mut owner2 = DataOwner::new(OwnerConfig::fast_for_tests(), &mut rng);
+        let docs = vec![Document::from_text(77, "unrelated content entirely")];
+        let (indices, encrypted) = owner2.prepare_documents(&docs, &mut rng);
+        server.upload(indices, encrypted).unwrap();
+        let after_upload = server.handle_query(&msg);
+        assert!(!after_upload.cache.served_from_cache);
+
+        // Snapshot → restore into a fresh cached server: identical matches, cold cache.
+        let bytes = server.snapshot_index();
+        let mut restored = CloudServer::with_shards(owner.params().clone(), 2);
+        restored.enable_result_cache(64);
+        assert_eq!(restored.restore_index(&bytes).unwrap(), 4);
+        let replayed = restored.handle_query(&msg);
+        assert_eq!(replayed.matches, after_upload.matches);
+        assert_eq!(replayed.cache.shard_hits, 0, "restored cache must be cold");
+        assert!(matches!(
+            restored.restore_index(&bytes[..3]),
+            Err(ProtocolError::Persistence(_))
+        ));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::channel::{CostLedger, Party, Phase};
 use crate::counters::OperationCounters;
 use crate::data_owner::{DataOwner, OwnerConfig};
+use crate::messages::CacheReport;
 use crate::server::CloudServer;
 use crate::user::User;
 use crate::ProtocolError;
@@ -43,6 +44,9 @@ pub struct SessionReport {
     pub owner_ops: OperationCounters,
     /// The server's operation counts (Table 2, server row).
     pub server_ops: OperationCounters,
+    /// What the server's result cache contributed to this round's search reply
+    /// (all zeros when caching is off — the default).
+    pub cache: CacheReport,
 }
 
 impl SessionReport {
@@ -55,6 +59,19 @@ impl SessionReport {
             self.matches.first().map(|m| m.1).unwrap_or(0)
         ));
         out.push_str(&format!("retrieved documents: {}\n", self.retrieved.len()));
+        if self.cache.shard_hits > 0 || self.cache.served_from_cache {
+            out.push_str(&format!(
+                "result cache: {} shard hits / {} misses, {} comparisons saved{}\n",
+                self.cache.shard_hits,
+                self.cache.shard_misses,
+                self.cache.saved_comparisons,
+                if self.cache.served_from_cache {
+                    " (reply served entirely from cache)"
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str("\ncommunication (bits sent, per party and phase):\n");
         out.push_str(&self.communication.render_table());
         out.push_str("\nuser operations:\n");
@@ -201,6 +218,7 @@ impl SearchSession {
             user_ops: *self.user.counters(),
             owner_ops: *self.owner.counters(),
             server_ops: *self.server.counters(),
+            cache: search_reply.cache,
         })
     }
 
@@ -416,6 +434,30 @@ mod tests {
                 .bits_sent(Party::User, Phase::Trapdoor)
                 > 0
         );
+    }
+
+    #[test]
+    fn session_reports_cache_effects_when_enabled() {
+        let (mut session, mut rng) = session();
+        session.server.enable_result_cache(32);
+        let shards = session.server.num_shards() as u64;
+
+        // run_query builds a fresh randomized query each round (§6), so repeated
+        // *keyword* searches produce different query indices and — correctly —
+        // miss the cache: randomization hides the search pattern from the server,
+        // and the fingerprint sees only what the server sees.
+        let first = session.run_query(&["cloud"], 0, &mut rng).unwrap();
+        assert_eq!(first.cache.shard_misses, shards);
+        assert!(!first.cache.served_from_cache);
+        let second = session.run_query(&["cloud"], 0, &mut rng).unwrap();
+        assert_eq!(second.matches, first.matches);
+        assert!(!second.cache.served_from_cache);
+
+        // A render with hits mentions the cache line.
+        let mut report = second;
+        report.cache.shard_hits = shards;
+        report.cache.served_from_cache = true;
+        assert!(report.render().contains("result cache"));
     }
 
     #[test]

@@ -401,6 +401,7 @@ mod tests {
                     metadata: vec![],
                 },
             ],
+            cache: crate::messages::CacheReport::default(),
         };
         let req = user.choose_documents(&reply, 1).unwrap();
         assert_eq!(req.document_ids, vec![5]);

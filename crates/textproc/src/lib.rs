@@ -10,7 +10,7 @@
 //! * [`corpus`] — the synthetic corpus generators used by every experiment binary (random
 //!   keyword assignment with controlled overlaps, uniform or Zipf-distributed term
 //!   frequencies, the §5 ranking-quality workload, and the §8.1 timing workloads).
-//! * [`tokenize`], [`stopwords`], [`stem`], [`document`], [`dictionary`] — a conventional
+//! * [`mod@tokenize`], [`stopwords`], [`stem`], [`document`], [`dictionary`] — a conventional
 //!   keyword-extraction pipeline (tokenizer → stop-word filter → Porter stemmer → term
 //!   frequencies) so the example applications can index real text through exactly the same
 //!   public API that the synthetic experiments use.

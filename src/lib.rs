@@ -21,20 +21,23 @@
 //!
 //! The paper describes the server as a single linear scan of r-bit comparisons over
 //! all σ document indices (Eq. 3). This reproduction keeps that scan **bit-for-bit**
-//! as its semantics, but splits the server into three layers so the hottest path in
-//! the system can use all available cores:
+//! as its semantics, but splits the server into layers so the hottest path in
+//! the system can use all available cores — and skip work it has already done:
 //!
 //! ```text
 //!  mkse-protocol   CloudServer / SearchSession      actors, messages, cost ledger
-//!        │                                          (incl. the batched-query message)
-//!        ▼
+//!        │                                          (incl. the batched-query message,
+//!        ▼                                          CacheReport reply diagnostics)
 //!  mkse-core       engine::SearchEngine<S>          single / batched / top-k ranked
-//!        │                                          search, one scan thread per shard
-//!        ▼                                          (std::thread::scope), merge by
-//!        │                                          (rank desc, doc id asc)
+//!        │    ├──  cache::ResultCache (optional)    search, one scan lane per shard,
+//!        ▼    │                                     merge by (rank desc, doc id asc);
+//!        │    └──  per-shard LRU keyed by           repeated query fingerprints skip
+//!        │         QueryFingerprint, write-         the shard scan entirely
+//!        ▼         generation invalidation
 //!  mkse-core       storage::IndexStore (trait)      geometry-validated inserts,
 //!                  ├─ storage::VecStore             O(1) id lookup, shard slices,
-//!                  └─ storage::ShardedStore         insertion-ordinal bookkeeping
+//!                  └─ storage::ShardedStore         insertion-ordinal bookkeeping,
+//!                                                   shard_of() for cache invalidation
 //! ```
 //!
 //! * **Storage** ([`core::storage`]): [`core::storage::VecStore`] is the single-shard
@@ -47,17 +50,35 @@
 //!   stats are sums, and unranked results are re-ordered by insertion ordinal
 //!   (`tests/sharded_engine_equivalence.rs` asserts all of this for shard counts
 //!   1, 2, 7 and 16 on randomized corpora).
+//! * **Cache** ([`core::cache`]): an optional per-shard LRU of shard-scan results,
+//!   keyed by a collision-checked [`core::QueryFingerprint`] of the query bits.
+//!   Per-shard **write generations** invalidate exactly the shard an insert landed
+//!   in; snapshots exclude the cache, and restoring bumps every generation so no
+//!   stale entry survives a reload. Cached and uncached execution are byte-identical
+//!   (the equivalence suite runs cold, warm, interleaved-insert and snapshot/restore
+//!   cycles); only wall-clock time and *performed* comparisons change.
 //! * **Protocol** ([`protocol`]): `CloudServer` runs on a sharded engine (shard count
 //!   defaults to the host's cores, capped at 8; `CloudServer::with_shards` pins it —
 //!   1 reproduces the paper's sequential timings). The `BatchQueryMessage` /
 //!   `BatchSearchReply` pair carries many queries per round trip at exactly `b·r`
-//!   bits; the server answers the batch in one pass over each shard.
+//!   bits; the server answers the batch in one pass over each shard, scanning only
+//!   the (query, shard) pairs the cache missed. `CloudServer::enable_result_cache`
+//!   turns caching on; replies carry a `CacheReport` and the `OperationCounters`
+//!   split comparisons into performed vs saved-by-cache.
 //!
 //! **Picking a shard count**: shards parallelize a memory-bandwidth-light linear scan,
 //! so physical cores is the right default; past ~8 shards the per-query spawn+merge
 //! overhead dominates for stores under ~10⁵ documents (see the `fig4b_search` bench's
 //! shard sweep). Sharding never changes results, only wall-clock time, so tuning it
 //! is purely an operational decision.
+//!
+//! **Search-pattern note (cache privacy)**: the fingerprint is a function of the
+//! query index bytes the server receives anyway, so recognizing a repeat is exactly
+//! the search pattern the server already observes (§6 builds its attack model on
+//! it) — caching reveals nothing new. Symmetrically, query randomization (§6) makes
+//! repeated keyword searches arrive as *different* bytes, which correctly miss the
+//! cache: the privacy knob and the performance knob are the same dial, and the
+//! `cached_session` example shows both positions.
 //!
 //! ## Quickstart
 //!

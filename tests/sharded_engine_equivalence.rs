@@ -8,9 +8,15 @@
 //! and keyword workloads through both paths at shard counts 1, 2 and 7 (coprime
 //! with nothing, so round-robin tails are exercised) plus 16 (more shards than some
 //! corpora have documents).
+//!
+//! The same contract extends to the **result cache**: a cache-enabled engine must
+//! return byte-identical matches, ranks, order and merged `SearchStats` on cold
+//! lookups, warm hits, after interleaved inserts (per-shard invalidation) and
+//! across a snapshot/restore cycle.
 
 use mkse::core::{
-    CloudIndex, DocumentIndexer, QueryBuilder, QueryIndex, SchemeKeys, SearchEngine, SystemParams,
+    CacheConfig, CloudIndex, DocumentIndexer, QueryBuilder, QueryIndex, SchemeKeys, SearchEngine,
+    SystemParams,
 };
 use mkse::textproc::corpus::{CorpusSpec, FrequencyModel, SyntheticCorpus};
 use rand::rngs::StdRng;
@@ -149,6 +155,118 @@ fn per_document_lookup_agrees_across_layouts() {
             );
         }
         assert!(engine.document_index(u64::MAX).is_none());
+    }
+}
+
+#[test]
+fn cached_execution_is_byte_identical_at_every_shard_count() {
+    for (seed, num_docs) in [(21u64, 23), (22, 64), (23, 5), (24, 100)] {
+        let wl = random_workload(seed, num_docs);
+        let mut reference = CloudIndex::new(wl.params.clone());
+        reference.insert_all(wl.indices.iter().cloned()).unwrap();
+
+        for shards in SHARD_COUNTS {
+            let mut engine =
+                SearchEngine::sharded(wl.params.clone(), shards).with_result_cache(CacheConfig {
+                    capacity_per_shard: 4,
+                });
+            engine.insert_all(wl.indices.iter().cloned()).unwrap();
+
+            // Two passes: the first admits (cold), the second hits (warm). The
+            // tiny capacity also exercises LRU eviction mid-workload.
+            for pass in ["cold", "warm"] {
+                for (qi, query) in wl.queries.iter().enumerate() {
+                    let ctx = format!(
+                        "seed {seed}, {num_docs} docs, {shards} shards, query {qi}, {pass}"
+                    );
+                    let (seq_matches, seq_stats) = reference.search_ranked_with_stats(query);
+                    let (par_matches, par_stats) = engine.search_ranked_with_stats(query);
+                    assert_eq!(par_matches, seq_matches, "ranked matches differ: {ctx}");
+                    assert_eq!(par_stats, seq_stats, "merged stats differ: {ctx}");
+                    assert_eq!(
+                        engine.search_top(query, 3),
+                        reference.search_top(query, 3),
+                        "top-k differs: {ctx}"
+                    );
+                }
+            }
+            // Batched execution against the same (now warm) cache.
+            let batched = engine.search_batch_with_stats(&wl.queries);
+            for (query, (matches, stats)) in wl.queries.iter().zip(batched) {
+                let (seq_matches, seq_stats) = reference.search_ranked_with_stats(query);
+                assert_eq!(
+                    matches, seq_matches,
+                    "cached batch differs: {shards} shards"
+                );
+                assert_eq!(
+                    stats, seq_stats,
+                    "cached batch stats differ: {shards} shards"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_inserts_invalidate_cached_results_correctly() {
+    let wl = random_workload(31, 60);
+    let mut reference = CloudIndex::new(wl.params.clone());
+
+    for shards in SHARD_COUNTS {
+        let mut engine = SearchEngine::sharded(wl.params.clone(), shards)
+            .with_result_cache(CacheConfig::default());
+        reference = CloudIndex::new(wl.params.clone());
+
+        // Interleave: upload a chunk, query everything twice (admit + hit),
+        // upload the next chunk — cached results must never outlive the insert.
+        for chunk in wl.indices.chunks(17) {
+            reference.insert_all(chunk.iter().cloned()).unwrap();
+            engine.insert_all(chunk.iter().cloned()).unwrap();
+            for _ in 0..2 {
+                for (qi, query) in wl.queries.iter().enumerate() {
+                    let ctx = format!("{shards} shards, {} docs, query {qi}", reference.len());
+                    assert_eq!(
+                        engine.search_ranked_with_stats(query),
+                        reference.search_ranked_with_stats(query),
+                        "post-insert mismatch: {ctx}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(reference.len(), 60);
+}
+
+#[test]
+fn snapshot_restore_cycle_preserves_cached_engine_equivalence() {
+    let wl = random_workload(37, 41);
+    let mut reference = CloudIndex::new(wl.params.clone());
+    reference.insert_all(wl.indices.iter().cloned()).unwrap();
+
+    for shards in SHARD_COUNTS {
+        let mut original = SearchEngine::sharded(wl.params.clone(), shards)
+            .with_result_cache(CacheConfig::default());
+        original.insert_all(wl.indices.iter().cloned()).unwrap();
+        // Warm the cache, snapshot, restore into a differently sharded cached
+        // engine: the restored engine must answer identically (and from a cold
+        // cache — stale entries must not survive the reload).
+        for query in &wl.queries {
+            let _ = original.search_ranked_with_stats(query);
+        }
+        let bytes = original.snapshot();
+
+        let mut restored =
+            SearchEngine::sharded(wl.params.clone(), 3).with_result_cache(CacheConfig::default());
+        assert_eq!(restored.restore_snapshot(&bytes).unwrap(), wl.indices.len());
+        let stats = restored.cache_stats().expect("cache enabled");
+        assert_eq!(stats.hits, 0, "restored cache must start cold");
+        for (qi, query) in wl.queries.iter().enumerate() {
+            assert_eq!(
+                restored.search_ranked_with_stats(query),
+                reference.search_ranked_with_stats(query),
+                "restored engine differs: {shards} shards, query {qi}"
+            );
+        }
     }
 }
 
