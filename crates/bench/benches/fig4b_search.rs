@@ -20,6 +20,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mkse_bench::{BenchFixture, ZipfSampler};
 use mkse_core::{CacheConfig, QueryBuilder, QueryIndex, SearchEngine};
+use mkse_protocol::{Client, CloudServer, QueryMessage, Request};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -197,6 +198,69 @@ fn bench_search(c: &mut Criterion) {
             100.0 * stats.hits as f64 / lookups.max(1) as f64,
             stats.evictions,
             stats.saved_comparisons,
+        );
+    }
+    group.finish();
+
+    // Pipelined envelope-client sweep: the same query workload through the
+    // protocol front door (framed Request/Response envelopes), at pipeline
+    // depths 1/4/16. Depth 1 is the request-per-flush baseline; deeper windows
+    // amortize the per-flush transport round trip. Throughput is replies/sec;
+    // framed bytes per reply are printed from the client's wire stats after
+    // each configuration.
+    let mut group = c.benchmark_group("fig4b_search_pipelined");
+    group.sample_size(10);
+    const PIPE_DOCS: usize = 10_000;
+    const PIPE_WORKLOAD: usize = 32;
+    let fixture = BenchFixture::new(PIPE_DOCS, 3, 11);
+    let indexer = fixture.indexer();
+    let indices = indexer.index_documents(&fixture.corpus.documents);
+    let query_pool = build_query_pool(&fixture, 16);
+    let messages: Vec<QueryMessage> = query_pool
+        .iter()
+        .map(|q| QueryMessage {
+            query: q.bits().clone(),
+            top: Some(10), // a dashboard wants the best few, not every match
+        })
+        .collect();
+
+    for &depth in &[1usize, 4, 16] {
+        let mut client = Client::new(CloudServer::with_shards(fixture.params.clone(), 4));
+        client
+            .upload(indices.clone(), vec![])
+            .expect("framed upload");
+        // Per-query wire accounting starts after the (one-off, huge) upload frame.
+        let after_upload = client.wire_stats();
+        // Reply equivalence across depths is covered by the protocol test
+        // suites; here we only measure.
+        group.throughput(Throughput::Elements(PIPE_WORKLOAD as u64));
+        group.bench_function(BenchmarkId::new("depth", depth), |b| {
+            b.iter(|| {
+                let mut served = 0usize;
+                while served < PIPE_WORKLOAD {
+                    let window = depth.min(PIPE_WORKLOAD - served);
+                    let ids: Vec<u64> = (0..window)
+                        .map(|i| {
+                            let message = &messages[(served + i) % messages.len()];
+                            client.submit(&Request::Query(message.clone()))
+                        })
+                        .collect();
+                    client.flush().expect("pipelined flush");
+                    for id in ids {
+                        std::hint::black_box(client.take(id).expect("correlated reply"));
+                    }
+                    served += window;
+                }
+            })
+        });
+        let wire = client.wire_stats().since(&after_upload);
+        eprintln!(
+            "fig4b_search_pipelined depth={depth}: {} replies across all timed iterations \
+             ({PIPE_WORKLOAD}/iteration), {} framed request bytes/query, \
+             {} framed reply bytes/query",
+            wire.frames_received,
+            wire.bytes_sent / wire.frames_sent.max(1),
+            wire.bytes_received / wire.frames_received.max(1),
         );
     }
     group.finish();

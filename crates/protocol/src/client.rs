@@ -1,0 +1,520 @@
+//! The envelope client: the one front door to any [`Service`], speaking only
+//! framed [`Request`] / [`Response`] envelopes — with pipelining.
+//!
+//! A [`Client`] owns its service endpoint (in this repository the "transport" is
+//! an in-process byte buffer, but every exchange genuinely round-trips through
+//! the framed codec of [`crate::wire`]): requests are encoded into an outbox,
+//! [`Client::flush`] ships the whole outbox to the service in one go, and the
+//! reply frames are decoded back and correlated by request id — in **any**
+//! order, which is what makes the client pipelined rather than merely batched.
+//!
+//! ```text
+//! submit ─▶ outbox (frames) ──flush──▶ Service::call per frame ──▶ reply frames
+//!    ▲                                                                  │
+//!    └──────────────── take(id): correlate out of order ◀───── ingest ──┘
+//! ```
+//!
+//! Because every byte crosses the codec, the client knows the system's *real*
+//! communication cost: [`Client::wire_stats`] counts frames and framed bytes in
+//! both directions, which [`crate::SearchSession`] records next to the analytic
+//! Table 1 bit counts.
+//!
+//! For local operators the client also [`Deref`](std::ops::Deref)s to the
+//! wrapped service, so in-process admin/introspection (`num_shards()`,
+//! `cache_stats()`, …) stays ergonomic; a remote deployment would route those
+//! through their envelope variants instead.
+
+use crate::envelope::{Request, Response, ServerInfo, Service};
+use crate::messages::{
+    BatchQueryMessage, BatchSearchReply, BlindDecryptReply, BlindDecryptRequest, DocumentReply,
+    DocumentRequest, EncryptedDocumentTransfer, QueryMessage, SearchReply, TrapdoorReply,
+    TrapdoorRequest, UploadMessage,
+};
+use crate::wire::{self, CodecError};
+use crate::ProtocolError;
+use mkse_core::cache::CacheStats;
+use mkse_core::document_index::RankedDocumentIndex;
+use std::collections::BTreeMap;
+
+/// Frames and framed bytes a client has moved in each direction — the measured
+/// communication cost, as opposed to the analytic Table 1 bit counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Request frames encoded and shipped.
+    pub frames_sent: u64,
+    /// Response frames received and decoded.
+    pub frames_received: u64,
+    /// Total framed request bytes (length prefix + header + body).
+    pub bytes_sent: u64,
+    /// Total framed response bytes.
+    pub bytes_received: u64,
+}
+
+impl WireStats {
+    /// The difference `self − earlier` (field-wise); `earlier` must be a prior
+    /// snapshot of the same counter set.
+    pub fn since(&self, earlier: &WireStats) -> WireStats {
+        WireStats {
+            frames_sent: self.frames_sent - earlier.frames_sent,
+            frames_received: self.frames_received - earlier.frames_received,
+            bytes_sent: self.bytes_sent - earlier.bytes_sent,
+            bytes_received: self.bytes_received - earlier.bytes_received,
+        }
+    }
+
+    /// Field-wise sum.
+    pub fn plus(&self, other: &WireStats) -> WireStats {
+        WireStats {
+            frames_sent: self.frames_sent + other.frames_sent,
+            frames_received: self.frames_received + other.frames_received,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+        }
+    }
+}
+
+/// Drive a service over a raw request wire: decode each frame, execute it, and
+/// return the concatenated reply frames (each echoing its request id).
+///
+/// This is the server side of the transport — the loop a network listener would
+/// run per connection. A frame that fails to decode aborts the wire with a
+/// [`CodecError`] (there is no trustworthy request id to correlate an error
+/// reply to).
+pub fn serve<S: Service>(service: &mut S, request_wire: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut reply_wire = Vec::new();
+    for (request_id, request) in wire::decode_request_stream(request_wire)? {
+        let response = service.call(request);
+        reply_wire.extend_from_slice(&wire::encode_response(request_id, &response));
+    }
+    Ok(reply_wire)
+}
+
+/// A pipelined envelope client over a [`Service`].
+pub struct Client<S: Service> {
+    service: S,
+    next_id: u64,
+    outbox: Vec<u8>,
+    outbox_frames: u64,
+    inbox: BTreeMap<u64, Response>,
+    stats: WireStats,
+}
+
+impl<S: Service> Client<S> {
+    /// Wrap a service endpoint. Request ids start at 1 and increase by 1 per
+    /// submitted request.
+    pub fn new(service: S) -> Self {
+        Client {
+            service,
+            next_id: 1,
+            outbox: Vec::new(),
+            outbox_frames: 0,
+            inbox: BTreeMap::new(),
+            stats: WireStats::default(),
+        }
+    }
+
+    /// Unwrap the service endpoint.
+    pub fn into_service(self) -> S {
+        self.service
+    }
+
+    /// The id the next [`Client::submit`] will assign (useful for reporting
+    /// which ids a round of work used).
+    pub fn next_request_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Frames/bytes moved so far, both directions.
+    pub fn wire_stats(&self) -> WireStats {
+        self.stats
+    }
+
+    /// Encode `request` into the outbox and return its request id. Nothing is
+    /// executed until [`Client::flush`].
+    pub fn submit(&mut self, request: &Request) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = wire::encode_request(id, request);
+        self.stats.frames_sent += 1;
+        self.stats.bytes_sent += frame.len() as u64;
+        self.outbox_frames += 1;
+        self.outbox.extend_from_slice(&frame);
+        id
+    }
+
+    /// Number of responses decoded and waiting to be [`Client::take`]n.
+    pub fn ready(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Ship the outbox to the service and ingest every reply frame. Returns the
+    /// number of replies received.
+    pub fn flush(&mut self) -> Result<usize, ProtocolError> {
+        if self.outbox.is_empty() {
+            return Ok(0);
+        }
+        let request_wire = std::mem::take(&mut self.outbox);
+        self.outbox_frames = 0;
+        let reply_wire = serve(&mut self.service, &request_wire)?;
+        self.ingest(&reply_wire)
+    }
+
+    /// Decode reply frames (in whatever order they arrive) into the inbox,
+    /// correlating each by its echoed request id.
+    pub fn ingest(&mut self, reply_wire: &[u8]) -> Result<usize, ProtocolError> {
+        let replies = wire::decode_response_stream(reply_wire)?;
+        let count = replies.len();
+        for (request_id, response) in replies {
+            self.stats.frames_received += 1;
+            self.inbox.insert(request_id, response);
+        }
+        // Frame overhead is part of the measured cost: count the raw wire bytes,
+        // not the decoded payloads.
+        self.stats.bytes_received += reply_wire.len() as u64;
+        Ok(count)
+    }
+
+    /// Take the reply correlated to `request_id`, if it has arrived.
+    pub fn take(&mut self, request_id: u64) -> Option<Response> {
+        self.inbox.remove(&request_id)
+    }
+
+    /// Drop every queued-but-unflushed request frame and every unclaimed reply.
+    ///
+    /// Error-recovery hatch for pipelined callers: if a window fails between
+    /// `submit` and `flush` (or replies are left untaken after an error),
+    /// abandoning the window guarantees the next flush executes nothing stale
+    /// and the inbox does not accumulate orphaned replies. Already-flushed
+    /// requests were executed by the service and are not undone. Abandoned
+    /// request frames were never shipped, so their bytes are removed from
+    /// `wire_stats` again.
+    pub fn abandon(&mut self) {
+        self.stats.bytes_sent -= self.outbox.len() as u64;
+        self.stats.frames_sent -= self.outbox_frames;
+        self.outbox_frames = 0;
+        self.outbox.clear();
+        self.inbox.clear();
+    }
+
+    /// Submit one request, flush, and return its reply — the non-pipelined
+    /// convenience every typed helper below builds on. Any previously submitted
+    /// requests are flushed (and their replies parked in the inbox) first.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ProtocolError> {
+        let id = self.submit(request);
+        self.flush()?;
+        self.take(id).ok_or_else(|| {
+            ProtocolError::Codec(CodecError::Malformed(format!(
+                "no reply correlated to request id {id}"
+            )))
+        })
+    }
+
+    fn expect<T>(
+        response: Response,
+        expected: &'static str,
+        extract: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, ProtocolError> {
+        let found = response.name();
+        if let Response::Error(e) = response {
+            return Err(e);
+        }
+        extract(response).ok_or_else(|| {
+            ProtocolError::Codec(CodecError::ResponseMismatch {
+                expected: expected.to_string(),
+                found: found.to_string(),
+            })
+        })
+    }
+
+    /// Resolve an already-taken reply as a [`SearchReply`] (pipelined reads).
+    pub fn expect_search(response: Response) -> Result<SearchReply, ProtocolError> {
+        Self::expect(response, "Search", |r| match r {
+            Response::Search(reply) => Some(reply),
+            _ => None,
+        })
+    }
+
+    /// Resolve an already-taken reply as a [`BlindDecryptReply`] (pipelined reads).
+    pub fn expect_blind_decrypt(response: Response) -> Result<BlindDecryptReply, ProtocolError> {
+        Self::expect(response, "BlindDecrypt", |r| match r {
+            Response::BlindDecrypt(reply) => Some(reply),
+            _ => None,
+        })
+    }
+
+    // --- typed request/reply helpers (one per server operation) --------------
+
+    /// One ranked query (§4.3): `Request::Query` → the reply's matches.
+    pub fn query(&mut self, message: &QueryMessage) -> Result<SearchReply, ProtocolError> {
+        let response = self.call(&Request::Query(message.clone()))?;
+        Self::expect_search(response)
+    }
+
+    /// Many queries in one round trip: `Request::BatchQuery`.
+    pub fn batch_query(
+        &mut self,
+        message: &BatchQueryMessage,
+    ) -> Result<BatchSearchReply, ProtocolError> {
+        let response = self.call(&Request::BatchQuery(message.clone()))?;
+        Self::expect(response, "BatchSearch", |r| match r {
+            Response::BatchSearch(reply) => Some(reply),
+            _ => None,
+        })
+    }
+
+    /// Retrieve documents by id: `Request::Documents`.
+    pub fn fetch_documents(
+        &mut self,
+        request: &DocumentRequest,
+    ) -> Result<DocumentReply, ProtocolError> {
+        let response = self.call(&Request::Documents(request.clone()))?;
+        Self::expect(response, "Documents", |r| match r {
+            Response::Documents(reply) => Some(reply),
+            _ => None,
+        })
+    }
+
+    /// Request bin keys from the data owner: `Request::Trapdoor`.
+    pub fn request_trapdoors(
+        &mut self,
+        request: &TrapdoorRequest,
+    ) -> Result<TrapdoorReply, ProtocolError> {
+        let response = self.call(&Request::Trapdoor(request.clone()))?;
+        Self::expect(response, "Trapdoor", |r| match r {
+            Response::Trapdoor(reply) => Some(reply),
+            _ => None,
+        })
+    }
+
+    /// One blinded decryption round: `Request::BlindDecrypt`.
+    pub fn blind_decrypt(
+        &mut self,
+        request: &BlindDecryptRequest,
+    ) -> Result<BlindDecryptReply, ProtocolError> {
+        let response = self.call(&Request::BlindDecrypt(request.clone()))?;
+        Self::expect_blind_decrypt(response)
+    }
+
+    /// The offline-phase upload: `Request::Upload`. Returns the number of
+    /// documents stored after the upload.
+    pub fn upload(
+        &mut self,
+        indices: Vec<RankedDocumentIndex>,
+        documents: Vec<EncryptedDocumentTransfer>,
+    ) -> Result<u64, ProtocolError> {
+        let response = self.call(&Request::Upload(UploadMessage { indices, documents }))?;
+        Self::expect(response, "Uploaded", |r| match r {
+            Response::Uploaded { documents } => Some(documents),
+            _ => None,
+        })
+    }
+
+    /// Enable the server's result cache: `Request::EnableCache`.
+    pub fn enable_cache(&mut self, capacity_per_shard: u64) -> Result<(), ProtocolError> {
+        let response = self.call(&Request::EnableCache { capacity_per_shard })?;
+        Self::expect(response, "Ack", |r| match r {
+            Response::Ack => Some(()),
+            _ => None,
+        })
+    }
+
+    /// Disable the server's result cache: `Request::DisableCache`.
+    pub fn disable_cache(&mut self) -> Result<(), ProtocolError> {
+        let response = self.call(&Request::DisableCache)?;
+        Self::expect(response, "Ack", |r| match r {
+            Response::Ack => Some(()),
+            _ => None,
+        })
+    }
+
+    /// Read the cumulative cache counters over the wire: `Request::CacheStats`.
+    pub fn remote_cache_stats(&mut self) -> Result<Option<CacheStats>, ProtocolError> {
+        let response = self.call(&Request::CacheStats)?;
+        Self::expect(response, "CacheStats", |r| match r {
+            Response::CacheStats(stats) => Some(stats),
+            _ => None,
+        })
+    }
+
+    /// Snapshot the server's index over the wire: `Request::SnapshotIndex`.
+    pub fn snapshot(&mut self) -> Result<Vec<u8>, ProtocolError> {
+        let response = self.call(&Request::SnapshotIndex)?;
+        Self::expect(response, "Snapshot", |r| match r {
+            Response::Snapshot(bytes) => Some(bytes),
+            _ => None,
+        })
+    }
+
+    /// Restore an index snapshot over the wire: `Request::RestoreIndex`.
+    /// Returns the number of documents appended.
+    pub fn restore(&mut self, snapshot: Vec<u8>) -> Result<u64, ProtocolError> {
+        let response = self.call(&Request::RestoreIndex(snapshot))?;
+        Self::expect(response, "Restored", |r| match r {
+            Response::Restored { documents } => Some(documents),
+            _ => None,
+        })
+    }
+
+    /// Read the remote party's operation counters: `Request::Counters`.
+    pub fn remote_counters(&mut self) -> Result<crate::OperationCounters, ProtocolError> {
+        let response = self.call(&Request::Counters)?;
+        Self::expect(response, "Counters", |r| match r {
+            Response::Counters(c) => Some(c),
+            _ => None,
+        })
+    }
+
+    /// Reset the remote party's operation counters: `Request::ResetCounters`.
+    pub fn reset_remote_counters(&mut self) -> Result<(), ProtocolError> {
+        let response = self.call(&Request::ResetCounters)?;
+        Self::expect(response, "Ack", |r| match r {
+            Response::Ack => Some(()),
+            _ => None,
+        })
+    }
+
+    /// Read static deployment facts: `Request::ServerInfo`.
+    pub fn server_info(&mut self) -> Result<ServerInfo, ProtocolError> {
+        let response = self.call(&Request::ServerInfo)?;
+        Self::expect(response, "Info", |r| match r {
+            Response::Info(info) => Some(info),
+            _ => None,
+        })
+    }
+}
+
+impl<S: Service> std::ops::Deref for Client<S> {
+    type Target = S;
+    fn deref(&self) -> &S {
+        &self.service
+    }
+}
+
+impl<S: Service> std::ops::DerefMut for Client<S> {
+    fn deref_mut(&mut self) -> &mut S {
+        &mut self.service
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProtocolError;
+
+    /// A loopback service answering every request with `Ack` (enough to test
+    /// the client's transport mechanics without a full server).
+    struct AckService {
+        calls: u64,
+    }
+
+    impl Service for AckService {
+        fn call(&mut self, _request: Request) -> Response {
+            self.calls += 1;
+            Response::Ack
+        }
+    }
+
+    #[test]
+    fn garbage_reply_wire_is_a_typed_codec_error() {
+        let mut client = Client::new(AckService { calls: 0 });
+        let err = client.ingest(&[1, 2, 3]).unwrap_err();
+        assert!(matches!(err, ProtocolError::Codec(CodecError::Truncated)));
+    }
+
+    #[test]
+    fn flush_without_submissions_is_a_no_op() {
+        let mut client = Client::new(AckService { calls: 0 });
+        assert_eq!(client.flush().unwrap(), 0);
+        assert_eq!(client.calls, 0);
+        assert_eq!(client.wire_stats(), WireStats::default());
+    }
+
+    #[test]
+    fn submit_defers_execution_until_flush() {
+        let mut client = Client::new(AckService { calls: 0 });
+        let a = client.submit(&Request::CacheStats);
+        let b = client.submit(&Request::ServerInfo);
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(client.calls, 0, "nothing runs before the flush");
+        assert_eq!(client.wire_stats().frames_received, 0);
+
+        assert_eq!(client.flush().unwrap(), 2);
+        assert_eq!(client.calls, 2);
+        // Correlation is by id: take the second reply first.
+        assert_eq!(client.take(b), Some(Response::Ack));
+        assert_eq!(client.take(a), Some(Response::Ack));
+        assert_eq!(client.take(a), None, "a reply can be taken once");
+
+        let stats = client.wire_stats();
+        assert_eq!(stats.frames_sent, 2);
+        assert_eq!(stats.frames_received, 2);
+        assert!(stats.bytes_sent > 0 && stats.bytes_received > 0);
+    }
+
+    #[test]
+    fn abandon_drops_unflushed_frames_and_orphaned_replies() {
+        let mut client = Client::new(AckService { calls: 0 });
+        // One flushed-but-untaken reply plus one unflushed frame.
+        client.submit(&Request::CacheStats);
+        client.flush().unwrap();
+        client.submit(&Request::ServerInfo);
+        assert_eq!(client.ready(), 1);
+
+        client.abandon();
+        assert_eq!(client.ready(), 0);
+        // The next flush executes nothing stale.
+        assert_eq!(client.flush().unwrap(), 0);
+        assert_eq!(client.calls, 1, "abandoned frame must never execute");
+        // The unshipped frame's bytes are removed from the stats again; the
+        // executed exchange stays counted.
+        let stats = client.wire_stats();
+        assert_eq!(stats.frames_sent, 1);
+        assert_eq!(stats.frames_received, 1);
+    }
+
+    #[test]
+    fn wire_stats_arithmetic() {
+        let a = WireStats {
+            frames_sent: 5,
+            frames_received: 4,
+            bytes_sent: 100,
+            bytes_received: 90,
+        };
+        let b = WireStats {
+            frames_sent: 2,
+            frames_received: 2,
+            bytes_sent: 40,
+            bytes_received: 30,
+        };
+        assert_eq!(
+            a.since(&b),
+            WireStats {
+                frames_sent: 3,
+                frames_received: 2,
+                bytes_sent: 60,
+                bytes_received: 60,
+            }
+        );
+        assert_eq!(
+            b.plus(&b),
+            WireStats {
+                frames_sent: 4,
+                frames_received: 4,
+                bytes_sent: 80,
+                bytes_received: 60,
+            }
+        );
+    }
+
+    #[test]
+    fn mismatched_reply_variant_is_a_typed_error() {
+        // AckService answers Ack to everything — a typed query helper must turn
+        // that into a ResponseMismatch, not a panic.
+        let mut client = Client::new(AckService { calls: 0 });
+        let err = client.remote_counters().unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::Codec(CodecError::ResponseMismatch { .. })
+        ));
+    }
+}

@@ -30,6 +30,10 @@ pub struct OperationCounters {
     pub comparisons_saved_by_cache: u64,
     /// Search replies served entirely from the result cache (no shard scanned).
     pub cache_served_replies: u64,
+    /// Envelope requests answered through [`crate::Service::call`] (any kind,
+    /// including ones that end in an error reply). The service-level request
+    /// rate, next to the per-operation Table 2 rows above.
+    pub requests_served: u64,
 }
 
 impl OperationCounters {
@@ -56,6 +60,7 @@ impl OperationCounters {
             comparisons_saved_by_cache: self.comparisons_saved_by_cache
                 + other.comparisons_saved_by_cache,
             cache_served_replies: self.cache_served_replies + other.cache_served_replies,
+            requests_served: self.requests_served + other.requests_served,
         }
     }
 
@@ -81,6 +86,7 @@ impl OperationCounters {
                 self.comparisons_saved_by_cache,
             ),
             ("replies served from cache", self.cache_served_replies),
+            ("envelope requests served", self.requests_served),
         ];
         for (label, value) in rows {
             if value > 0 {
@@ -120,6 +126,7 @@ mod tests {
             binary_comparisons: 7,
             comparisons_saved_by_cache: 8,
             cache_served_replies: 9,
+            requests_served: 10,
         };
         let b = OperationCounters {
             hashes: 10,
@@ -130,6 +137,7 @@ mod tests {
         assert_eq!(c.binary_comparisons, 7);
         assert_eq!(c.comparisons_saved_by_cache, 8);
         assert_eq!(c.cache_served_replies, 9);
+        assert_eq!(c.requests_served, 10);
         assert_eq!(c.public_key_operations(), 7);
     }
 

@@ -2,6 +2,7 @@
 //! issuance and blind decryption.
 
 use crate::counters::OperationCounters;
+use crate::envelope::{Request, Response, Service};
 use crate::messages::{
     BlindDecryptReply, BlindDecryptRequest, EncryptedDocumentTransfer, TrapdoorReply,
     TrapdoorRequest,
@@ -224,6 +225,35 @@ impl DataOwner {
     /// measurement starts from zero).
     pub fn reset_counters(&mut self) {
         self.counters.reset();
+    }
+}
+
+impl Service for DataOwner {
+    /// The owner's envelope entry point: serves trapdoor issuance and blinded
+    /// decryption (plus counter introspection), and answers server-side
+    /// operations with [`ProtocolError::Unsupported`]. One [`Request`]
+    /// vocabulary, two parties, disjoint duties.
+    fn call(&mut self, request: Request) -> Response {
+        self.counters.requests_served += 1;
+        match request {
+            Request::Trapdoor(request) => match self.handle_trapdoor_request(&request) {
+                Ok(reply) => Response::Trapdoor(reply),
+                Err(e) => Response::Error(e),
+            },
+            Request::BlindDecrypt(request) => match self.handle_blind_decrypt(&request) {
+                Ok(reply) => Response::BlindDecrypt(reply),
+                Err(e) => Response::Error(e),
+            },
+            Request::Counters => Response::Counters(self.counters),
+            Request::ResetCounters => {
+                self.counters.reset();
+                Response::Ack
+            }
+            other => Response::Error(ProtocolError::Unsupported(format!(
+                "{} is served by the cloud server, not the data owner",
+                other.name()
+            ))),
+        }
     }
 }
 

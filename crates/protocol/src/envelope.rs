@@ -1,0 +1,217 @@
+//! The versioned service envelope: one [`Request`] / [`Response`] pair covering
+//! **every** operation a party can ask of another, and the [`Service`] trait that
+//! turns an actor into a uniform `Request → Response` endpoint.
+//!
+//! The paper defines the protocol as messages exchanged between user, data owner
+//! and cloud server; this module gives those messages a single seam. Instead of a
+//! dozen unrelated Rust methods (`handle_query`, `handle_document_request`,
+//! trapdoor serving, cache/snapshot admin, …) there is exactly one entry point —
+//! [`Service::call`] — so transports, async serving, multi-tenant dispatch and
+//! measurement can all be layered *around* an actor without knowing which
+//! operation travels inside the envelope.
+//!
+//! * [`crate::CloudServer`] serves the search-side requests (query, batch query,
+//!   document retrieval, upload, cache admin, snapshot/restore, counters, info)
+//!   and rejects owner-side ones with [`crate::ProtocolError::Unsupported`].
+//! * [`crate::DataOwner`] serves the owner-side requests (trapdoor issuance,
+//!   blinded decryption) and rejects the rest symmetrically.
+//!
+//! The [`crate::wire`] module gives every envelope a length-prefixed framed byte
+//! encoding (version byte + request id for correlation), and [`crate::Client`]
+//! speaks envelopes exclusively — including pipelined, out-of-order-correlated
+//! exchanges.
+
+use crate::counters::OperationCounters;
+use crate::messages::{
+    BatchQueryMessage, BatchSearchReply, BlindDecryptReply, BlindDecryptRequest, DocumentReply,
+    DocumentRequest, QueryMessage, SearchReply, TrapdoorReply, TrapdoorRequest, UploadMessage,
+};
+use crate::ProtocolError;
+use mkse_core::cache::CacheStats;
+
+/// Version of the envelope vocabulary (and of the wire encoding in
+/// [`crate::wire`]). Frames carrying any other version are rejected with a typed
+/// [`crate::wire::CodecError::UnknownVersion`].
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Every operation a party can request from a [`Service`], as one closed enum.
+///
+/// The first five variants are the paper's online protocol (Figure 1); the rest
+/// are the operational surface a long-lived deployment needs (upload, cache
+/// admin, persistence, measurement). Every variant has a framed wire encoding in
+/// [`crate::wire`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// User → data owner: signed request for bin keys (§4.2, step 1 of Figure 1).
+    Trapdoor(TrapdoorRequest),
+    /// User → server: one r-bit query index (§4.3).
+    Query(QueryMessage),
+    /// User → server: many query indices in one round trip.
+    BatchQuery(BatchQueryMessage),
+    /// User → server: retrieve these documents (step 3 of Figure 1).
+    Documents(DocumentRequest),
+    /// User → data owner: blinded key decryption (§4.4, step 4 of Figure 1).
+    BlindDecrypt(BlindDecryptRequest),
+    /// Data owner → server: the offline-phase upload of indices + ciphertexts.
+    Upload(UploadMessage),
+    /// Admin → server: enable the per-shard result cache.
+    EnableCache {
+        /// LRU entries kept per index shard.
+        capacity_per_shard: u64,
+    },
+    /// Admin → server: disable the result cache, dropping every entry.
+    DisableCache,
+    /// Admin → server: read the cumulative cache effectiveness counters.
+    CacheStats,
+    /// Admin → server: snapshot the searchable index (versioned binary format).
+    SnapshotIndex,
+    /// Admin → server: restore an index snapshot, appending its documents.
+    RestoreIndex(Vec<u8>),
+    /// Admin → any party: read the Table 2 operation counters.
+    Counters,
+    /// Admin → any party: reset the operation counters.
+    ResetCounters,
+    /// Admin → server: static deployment facts (shards, documents, geometry).
+    ServerInfo,
+}
+
+impl Request {
+    /// Stable human-readable name of the operation (diagnostics, error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Trapdoor(_) => "Trapdoor",
+            Request::Query(_) => "Query",
+            Request::BatchQuery(_) => "BatchQuery",
+            Request::Documents(_) => "Documents",
+            Request::BlindDecrypt(_) => "BlindDecrypt",
+            Request::Upload(_) => "Upload",
+            Request::EnableCache { .. } => "EnableCache",
+            Request::DisableCache => "DisableCache",
+            Request::CacheStats => "CacheStats",
+            Request::SnapshotIndex => "SnapshotIndex",
+            Request::RestoreIndex(_) => "RestoreIndex",
+            Request::Counters => "Counters",
+            Request::ResetCounters => "ResetCounters",
+            Request::ServerInfo => "ServerInfo",
+        }
+    }
+}
+
+/// The reply to a [`Request`]. Success variants mirror the request vocabulary;
+/// every fallible operation answers errors uniformly as [`Response::Error`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Matches + cache diagnostics for a [`Request::Query`].
+    Search(SearchReply),
+    /// Per-query replies for a [`Request::BatchQuery`], in request order.
+    BatchSearch(BatchSearchReply),
+    /// Ciphertexts + encrypted keys for a [`Request::Documents`].
+    Documents(DocumentReply),
+    /// Encrypted bin keys for a [`Request::Trapdoor`].
+    Trapdoor(TrapdoorReply),
+    /// The blinded plaintext for a [`Request::BlindDecrypt`].
+    BlindDecrypt(BlindDecryptReply),
+    /// Upload accepted; number of documents now stored.
+    Uploaded {
+        /// Documents stored after the upload.
+        documents: u64,
+    },
+    /// Generic acknowledgement (cache admin, counter reset).
+    Ack,
+    /// Cumulative cache counters; `None` when the cache is disabled.
+    CacheStats(Option<CacheStats>),
+    /// A versioned binary index snapshot.
+    Snapshot(Vec<u8>),
+    /// Restore accepted; number of documents appended.
+    Restored {
+        /// Documents appended by the restore.
+        documents: u64,
+    },
+    /// The party's Table 2 operation counters.
+    Counters(OperationCounters),
+    /// Static deployment facts.
+    Info(ServerInfo),
+    /// The operation failed; the exact [`ProtocolError`] travels in the envelope.
+    Error(ProtocolError),
+}
+
+impl Response {
+    /// Stable human-readable name of the reply kind (diagnostics, mismatch errors).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Response::Search(_) => "Search",
+            Response::BatchSearch(_) => "BatchSearch",
+            Response::Documents(_) => "Documents",
+            Response::Trapdoor(_) => "Trapdoor",
+            Response::BlindDecrypt(_) => "BlindDecrypt",
+            Response::Uploaded { .. } => "Uploaded",
+            Response::Ack => "Ack",
+            Response::CacheStats(_) => "CacheStats",
+            Response::Snapshot(_) => "Snapshot",
+            Response::Restored { .. } => "Restored",
+            Response::Counters(_) => "Counters",
+            Response::Info(_) => "Info",
+            Response::Error(_) => "Error",
+        }
+    }
+}
+
+/// Static facts about a serving deployment, answered to [`Request::ServerInfo`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Index shards scanned in parallel.
+    pub shards: u64,
+    /// Documents currently stored (σ).
+    pub documents: u64,
+    /// Index size in bits (r).
+    pub index_bits: u64,
+    /// Ranking levels (η).
+    pub rank_levels: u64,
+    /// Whether the result cache is currently enabled.
+    pub cache_enabled: bool,
+}
+
+/// A party reachable through the uniform envelope: exactly one entry point for
+/// every operation it serves.
+///
+/// Implementations must answer *every* request — operations outside a party's
+/// role are answered with `Response::Error(ProtocolError::Unsupported(_))`, never
+/// ignored. This totality is what lets transports and dispatchers stay oblivious
+/// to the operation inside the envelope.
+pub trait Service {
+    /// Execute one request and produce its reply.
+    fn call(&mut self, request: Request) -> Response;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkse_core::bitindex::BitIndex;
+
+    #[test]
+    fn names_are_stable_and_distinct() {
+        let requests = [
+            Request::Query(QueryMessage {
+                query: BitIndex::all_ones(8),
+                top: None,
+            }),
+            Request::DisableCache,
+            Request::CacheStats,
+            Request::SnapshotIndex,
+            Request::Counters,
+            Request::ResetCounters,
+            Request::ServerInfo,
+            Request::EnableCache {
+                capacity_per_shard: 4,
+            },
+            Request::RestoreIndex(vec![1, 2]),
+        ];
+        let mut names: Vec<&str> = requests.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), requests.len());
+
+        assert_eq!(Response::Ack.name(), "Ack");
+        assert_eq!(Response::Error(ProtocolError::BadSignature).name(), "Error");
+    }
+}

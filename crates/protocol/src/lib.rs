@@ -15,22 +15,40 @@
 //! therefore reproduces both Table 1 (communication bits per party and phase) and Table 2
 //! (operation counts per party), and the end-to-end examples of this repository are built on
 //! the same actors.
+//!
+//! ## The envelope API
+//!
+//! Every operation a party serves is expressible as one [`envelope::Request`] and
+//! answered as one [`envelope::Response`]; [`CloudServer`] and [`DataOwner`] both
+//! implement [`envelope::Service`] (`fn call(&mut self, Request) -> Response`) as
+//! their single entry point. The [`wire`] module frames envelopes as
+//! length-prefixed bytes (version byte + request id), and [`Client`] is the
+//! pipelined front door every session and example speaks through: submit many
+//! requests, flush once, correlate replies by id out of order. The legacy
+//! `handle_*` methods survive as thin deprecated shims over `Service::call` with
+//! byte-identical replies (`tests/envelope_equivalence.rs` proves it).
 
 pub mod channel;
+pub mod client;
 pub mod counters;
 pub mod data_owner;
+pub mod envelope;
 pub mod messages;
 pub mod server;
 pub mod session;
 pub mod user;
+pub mod wire;
 
 pub use channel::{CostLedger, Party, Phase};
+pub use client::{serve, Client, WireStats};
 pub use counters::OperationCounters;
 pub use data_owner::{DataOwner, OwnerConfig};
+pub use envelope::{Request, Response, ServerInfo, Service, PROTOCOL_VERSION};
 pub use messages::*;
 pub use server::CloudServer;
-pub use session::{SearchSession, SessionReport};
+pub use session::{SearchSession, SessionReport, WireReport};
 pub use user::User;
+pub use wire::CodecError;
 
 /// Errors surfaced by the protocol actors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -49,6 +67,12 @@ pub enum ProtocolError {
     /// An index snapshot could not be decoded or restored (wraps the persistence
     /// layer's error).
     Persistence(mkse_core::persistence::PersistenceError),
+    /// A wire frame could not be encoded/decoded, or a reply did not match its
+    /// request (wraps the framed codec's error).
+    Codec(wire::CodecError),
+    /// The request reached a party that does not serve this operation (e.g. a
+    /// trapdoor request sent to the cloud server).
+    Unsupported(String),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -68,6 +92,8 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::Store(e) => write!(f, "upload rejected: {e}"),
             ProtocolError::Persistence(e) => write!(f, "snapshot restore failed: {e}"),
+            ProtocolError::Codec(e) => write!(f, "wire codec failure: {e}"),
+            ProtocolError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
     }
 }
@@ -89,6 +115,12 @@ impl From<mkse_core::storage::StoreError> for ProtocolError {
 impl From<mkse_core::persistence::PersistenceError> for ProtocolError {
     fn from(e: mkse_core::persistence::PersistenceError) -> Self {
         ProtocolError::Persistence(e)
+    }
+}
+
+impl From<wire::CodecError> for ProtocolError {
+    fn from(e: wire::CodecError) -> Self {
+        ProtocolError::Codec(e)
     }
 }
 
@@ -115,6 +147,15 @@ mod tests {
     fn crypto_error_converts() {
         let e: ProtocolError = mkse_crypto::CryptoError::MessageTooLarge.into();
         assert!(matches!(e, ProtocolError::Crypto(_)));
+    }
+
+    #[test]
+    fn codec_error_converts_and_displays() {
+        let e: ProtocolError = wire::CodecError::UnknownVersion(3).into();
+        assert!(matches!(e, ProtocolError::Codec(_)));
+        assert!(format!("{e}").contains("codec"));
+        let u = ProtocolError::Unsupported("Trapdoor at the server".into());
+        assert!(format!("{u}").contains("unsupported"));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use mkse_core::bins::BinId;
 use mkse_core::bitindex::BitIndex;
+use mkse_core::document_index::RankedDocumentIndex;
 use mkse_crypto::bigint::BigUint;
 use mkse_crypto::rsa::RsaSignature;
 
@@ -231,6 +232,45 @@ impl DocumentReply {
     }
 }
 
+/// Data owner → server: the offline-phase upload (§3, Figure 1) — searchable
+/// indices plus the encrypted documents and their RSA-encrypted symmetric keys.
+///
+/// As a message this makes the upload expressible through the
+/// [`crate::envelope::Request`] envelope like every online operation, so a
+/// deployment can drive the whole server lifecycle over one framed transport.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UploadMessage {
+    /// One ranked searchable index per document.
+    pub indices: Vec<RankedDocumentIndex>,
+    /// The encrypted document bodies and their encrypted per-document keys.
+    pub documents: Vec<EncryptedDocumentTransfer>,
+}
+
+impl UploadMessage {
+    /// Size on the wire: `η·r` bits of index levels plus a 64-bit id per index,
+    /// and `64 + 8·|ciphertext| + log N` bits per encrypted document (the §5
+    /// storage analysis, counted as transfer).
+    pub fn bits(&self, modulus_bits: usize) -> u64 {
+        let index_bits: u64 = self
+            .indices
+            .iter()
+            .map(|idx| {
+                64 + idx
+                    .levels
+                    .iter()
+                    .map(|l| l.serialized_bits() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        let document_bits: u64 = self
+            .documents
+            .iter()
+            .map(|d| 64 + 8 * d.ciphertext.len() as u64 + modulus_bits as u64)
+            .sum();
+        index_bits + document_bits
+    }
+}
+
 /// User → data owner: a blinded RSA ciphertext to decrypt (§4.4), signed by the user.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BlindDecryptRequest {
@@ -378,6 +418,30 @@ mod tests {
             }],
         };
         assert_eq!(reply.bits(1024), 64 + 800 + 1024);
+    }
+
+    #[test]
+    fn upload_message_bits_follow_the_storage_analysis() {
+        use mkse_core::document_index::RankedDocumentIndex;
+        let upload = UploadMessage {
+            indices: vec![RankedDocumentIndex {
+                document_id: 1,
+                levels: vec![BitIndex::all_ones(448); 3],
+            }],
+            documents: vec![EncryptedDocumentTransfer {
+                document_id: 1,
+                ciphertext: vec![0u8; 100],
+                encrypted_key: BigUint::from_u64(3),
+            }],
+        };
+        // Index part: 64-bit id + η·r level bits; document part matches
+        // DocumentReply's per-transfer accounting.
+        assert_eq!(upload.bits(1024), (64 + 3 * 448) + (64 + 800 + 1024));
+        let empty = UploadMessage {
+            indices: vec![],
+            documents: vec![],
+        };
+        assert_eq!(empty.bits(1024), 0);
     }
 
     #[test]

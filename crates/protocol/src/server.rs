@@ -13,11 +13,22 @@
 //! performed (`binary_comparisons`) and work the cache saved
 //! (`comparisons_saved_by_cache`). Replies carry a [`crate::messages::CacheReport`]
 //! so users (and the benches) can observe hit rates end to end.
+//!
+//! Since the envelope redesign the server has exactly **one** entry point:
+//! [`Service::call`], which executes any [`Request`] variant it serves (query,
+//! batch query, document retrieval, upload, cache admin, snapshot/restore,
+//! counters, info) and answers owner-side operations with
+//! [`ProtocolError::Unsupported`]. The public convenience methods — including
+//! the deprecated `handle_*` family — are thin shims over `call`, so replies are
+//! byte-identical no matter which surface a caller uses
+//! (`tests/envelope_equivalence.rs` asserts this across shard counts and cache
+//! configurations).
 
 use crate::counters::OperationCounters;
+use crate::envelope::{Request, Response, ServerInfo, Service};
 use crate::messages::{
     BatchQueryMessage, BatchSearchReply, CacheReport, DocumentReply, DocumentRequest,
-    EncryptedDocumentTransfer, QueryMessage, SearchReply, SearchResultEntry,
+    EncryptedDocumentTransfer, QueryMessage, SearchReply, SearchResultEntry, UploadMessage,
 };
 use crate::ProtocolError;
 use mkse_core::cache::{CacheConfig, CacheEffect, CacheStats};
@@ -63,14 +74,18 @@ impl CloudServer {
     /// Enable the per-shard result cache with the given per-shard entry capacity.
     /// Off by default: turning it on never changes reply bytes (matches, ranks,
     /// order), only the work performed for repeated query indices — see the
-    /// search-pattern note in [`mkse_core::cache`].
+    /// search-pattern note in [`mkse_core::cache`]. Shim over
+    /// [`Request::EnableCache`].
     pub fn enable_result_cache(&mut self, capacity_per_shard: usize) {
-        self.engine.enable_cache(CacheConfig { capacity_per_shard });
+        let _ = self.call(Request::EnableCache {
+            capacity_per_shard: capacity_per_shard as u64,
+        });
     }
 
-    /// Disable the result cache, dropping every entry.
+    /// Disable the result cache, dropping every entry. Shim over
+    /// [`Request::DisableCache`].
     pub fn disable_result_cache(&mut self) {
-        self.engine.disable_cache();
+        let _ = self.call(Request::DisableCache);
     }
 
     /// True if the result cache is enabled.
@@ -85,17 +100,29 @@ impl CloudServer {
 
     /// Snapshot the searchable index into the versioned binary format of
     /// [`mkse_core::persistence`]. The result cache is never part of a snapshot.
-    pub fn snapshot_index(&self) -> Vec<u8> {
+    ///
+    /// Semantically [`Request::SnapshotIndex`]; like [`CloudServer::restore_index`]
+    /// the accounting (`requests_served`) matches the envelope path exactly, so
+    /// counter parity holds no matter which surface a caller uses.
+    pub fn snapshot_index(&mut self) -> Vec<u8> {
+        self.counters.requests_served += 1;
         self.engine.snapshot()
     }
 
     /// Restore an index snapshot, appending its documents. Every cache generation
     /// is bumped, so entries cached before the restore can never be served after.
+    ///
+    /// Semantically [`Request::RestoreIndex`], but executed on the borrowed
+    /// slice: copying a whole-index snapshot into an owned envelope would
+    /// double peak memory for a request that never crosses a wire here. The
+    /// accounting (`requests_served`) matches the envelope path exactly.
     pub fn restore_index(&mut self, bytes: &[u8]) -> Result<usize, ProtocolError> {
+        self.counters.requests_served += 1;
         Ok(self.engine.restore_snapshot(bytes)?)
     }
 
     /// Accept the data owner's upload: searchable indices and encrypted documents.
+    /// Shim over [`Request::Upload`].
     ///
     /// Rejects (without partial effect on the document bodies) uploads whose indices
     /// do not match the server's parameters or collide with stored document ids.
@@ -104,11 +131,19 @@ impl CloudServer {
         indices: Vec<RankedDocumentIndex>,
         documents: Vec<EncryptedDocumentTransfer>,
     ) -> Result<(), ProtocolError> {
-        self.engine.insert_all(indices)?;
-        for doc in documents {
+        match self.call(Request::Upload(UploadMessage { indices, documents })) {
+            Response::Uploaded { .. } => Ok(()),
+            Response::Error(e) => Err(e),
+            other => unreachable!("Upload answered with {}", other.name()),
+        }
+    }
+
+    fn exec_upload(&mut self, upload: UploadMessage) -> Result<u64, ProtocolError> {
+        self.engine.insert_all(upload.indices)?;
+        for doc in upload.documents {
             self.documents.insert(doc.document_id, doc);
         }
-        Ok(())
+        Ok(self.engine.len() as u64)
     }
 
     /// Number of stored documents (σ).
@@ -152,11 +187,7 @@ impl CloudServer {
         }
     }
 
-    /// Handle a query (§4.3 + Algorithm 1): ranked search over every stored index, returning
-    /// matching document ids, ranks and their index metadata. With the result cache
-    /// enabled, a repeated query index skips the shard scans entirely; the reply's
-    /// [`CacheReport`] says what happened.
-    pub fn handle_query(&mut self, message: &QueryMessage) -> SearchReply {
+    fn exec_query(&mut self, message: &QueryMessage) -> SearchReply {
         let query = QueryIndex::from_bits(message.query.clone());
         let (matches, stats, effect) = self.engine.search_ranked_with_effect(&query);
         self.record_execution(&stats, &effect);
@@ -165,12 +196,7 @@ impl CloudServer {
         reply
     }
 
-    /// Handle a batched query: every query of the batch is evaluated in a single
-    /// pass over each shard (with the cache enabled, each shard scans exactly the
-    /// queries that missed it), and the reply carries one [`SearchReply`] per query
-    /// in request order. Logical comparison counts accumulate exactly as if the
-    /// queries had been sent individually.
-    pub fn handle_batch_query(&mut self, message: &BatchQueryMessage) -> BatchSearchReply {
+    fn exec_batch_query(&mut self, message: &BatchQueryMessage) -> BatchSearchReply {
         let queries: Vec<QueryIndex> = message
             .queries
             .iter()
@@ -189,9 +215,7 @@ impl CloudServer {
         BatchSearchReply { replies }
     }
 
-    /// Handle a document-retrieval request: return the ciphertexts and RSA-encrypted keys of
-    /// the requested documents.
-    pub fn handle_document_request(
+    fn exec_document_request(
         &mut self,
         request: &DocumentRequest,
     ) -> Result<DocumentReply, ProtocolError> {
@@ -204,6 +228,50 @@ impl CloudServer {
             documents.push(doc.clone());
         }
         Ok(DocumentReply { documents })
+    }
+
+    /// Handle a query (§4.3 + Algorithm 1): ranked search over every stored index, returning
+    /// matching document ids, ranks and their index metadata. With the result cache
+    /// enabled, a repeated query index skips the shard scans entirely; the reply's
+    /// [`CacheReport`] says what happened.
+    #[deprecated(note = "route queries through `Service::call` or a `crate::Client` \
+                         (`Request::Query`); this shim forwards there unchanged")]
+    pub fn handle_query(&mut self, message: &QueryMessage) -> SearchReply {
+        match self.call(Request::Query(message.clone())) {
+            Response::Search(reply) => reply,
+            other => unreachable!("Query answered with {}", other.name()),
+        }
+    }
+
+    /// Handle a batched query: every query of the batch is evaluated in a single
+    /// pass over each shard (with the cache enabled, each shard scans exactly the
+    /// queries that missed it), and the reply carries one [`SearchReply`] per query
+    /// in request order. Logical comparison counts accumulate exactly as if the
+    /// queries had been sent individually.
+    #[deprecated(
+        note = "route batched queries through `Service::call` or a `crate::Client` \
+                         (`Request::BatchQuery`); this shim forwards there unchanged"
+    )]
+    pub fn handle_batch_query(&mut self, message: &BatchQueryMessage) -> BatchSearchReply {
+        match self.call(Request::BatchQuery(message.clone())) {
+            Response::BatchSearch(reply) => reply,
+            other => unreachable!("BatchQuery answered with {}", other.name()),
+        }
+    }
+
+    /// Handle a document-retrieval request: return the ciphertexts and RSA-encrypted keys of
+    /// the requested documents.
+    #[deprecated(note = "route retrieval through `Service::call` or a `crate::Client` \
+                         (`Request::Documents`); this shim forwards there unchanged")]
+    pub fn handle_document_request(
+        &mut self,
+        request: &DocumentRequest,
+    ) -> Result<DocumentReply, ProtocolError> {
+        match self.call(Request::Documents(request.clone())) {
+            Response::Documents(reply) => Ok(reply),
+            Response::Error(e) => Err(e),
+            other => unreachable!("Documents answered with {}", other.name()),
+        }
     }
 
     /// Operation counters accumulated so far (binary comparisons only — the server does no
@@ -223,7 +291,71 @@ impl CloudServer {
     }
 }
 
+impl Service for CloudServer {
+    /// The server's single entry point: every operation it serves, behind one
+    /// seam. Owner-side operations (trapdoor issuance, blinded decryption) are
+    /// answered with [`ProtocolError::Unsupported`] — the request vocabulary is
+    /// shared across parties, the serving duties are not.
+    ///
+    /// `requests_served` is bumped for every call, *before* execution, so a
+    /// [`Request::Counters`] reply includes the request that fetched it.
+    fn call(&mut self, request: Request) -> Response {
+        self.counters.requests_served += 1;
+        match request {
+            Request::Query(message) => Response::Search(self.exec_query(&message)),
+            Request::BatchQuery(message) => Response::BatchSearch(self.exec_batch_query(&message)),
+            Request::Documents(request) => match self.exec_document_request(&request) {
+                Ok(reply) => Response::Documents(reply),
+                Err(e) => Response::Error(e),
+            },
+            Request::Upload(upload) => match self.exec_upload(upload) {
+                Ok(documents) => Response::Uploaded { documents },
+                Err(e) => Response::Error(e),
+            },
+            Request::EnableCache { capacity_per_shard } => {
+                self.engine.enable_cache(CacheConfig {
+                    capacity_per_shard: capacity_per_shard as usize,
+                });
+                Response::Ack
+            }
+            Request::DisableCache => {
+                self.engine.disable_cache();
+                Response::Ack
+            }
+            Request::CacheStats => Response::CacheStats(self.engine.cache_stats()),
+            Request::SnapshotIndex => Response::Snapshot(self.engine.snapshot()),
+            Request::RestoreIndex(bytes) => match self.engine.restore_snapshot(&bytes) {
+                Ok(count) => Response::Restored {
+                    documents: count as u64,
+                },
+                Err(e) => Response::Error(e.into()),
+            },
+            Request::Counters => Response::Counters(self.counters),
+            Request::ResetCounters => {
+                self.counters.reset();
+                Response::Ack
+            }
+            Request::ServerInfo => Response::Info(ServerInfo {
+                shards: self.num_shards() as u64,
+                documents: self.engine.len() as u64,
+                index_bits: self.engine.params().index_bits as u64,
+                rank_levels: self.engine.params().rank_levels() as u64,
+                cache_enabled: self.engine.cache_enabled(),
+            }),
+            Request::Trapdoor(_) | Request::BlindDecrypt(_) => {
+                Response::Error(ProtocolError::Unsupported(format!(
+                    "{} is served by the data owner, not the cloud server",
+                    request.name()
+                )))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
+// The legacy `handle_*` shims are exercised on purpose: they must stay
+// byte-identical to `Service::call` until removal.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::data_owner::{DataOwner, OwnerConfig};

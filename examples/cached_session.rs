@@ -16,8 +16,7 @@
 //!
 //! Run with: `cargo run --release --example cached_session`
 
-use mkse::protocol::CloudServer;
-use mkse::protocol::{DataOwner, OwnerConfig, QueryMessage, User};
+use mkse::protocol::{Client, CloudServer, DataOwner, OwnerConfig, QueryMessage, User};
 use mkse::textproc::{normalize_keyword, Document};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -50,9 +49,11 @@ fn main() {
     // Offline phase: index + encrypt + upload, register the user, enable caching.
     let mut owner = DataOwner::new(config, &mut rng);
     let (indices, encrypted) = owner.prepare_documents(&corpus(), &mut rng);
-    let mut server = CloudServer::new(owner.params().clone());
+    // The server sits behind the envelope client: upload and cache admin are
+    // framed requests like everything else.
+    let mut server = Client::new(CloudServer::new(owner.params().clone()));
     server.upload(indices, encrypted).expect("upload");
-    server.enable_result_cache(128);
+    server.enable_cache(128).expect("cache admin");
     let mut user = User::new(
         1,
         owner.params().clone(),
@@ -97,7 +98,7 @@ fn main() {
     for round in 1..=3 {
         println!("== refresh round {round} ==");
         for (label, query) in &queries {
-            let reply = server.handle_query(query);
+            let reply = server.query(query).expect("framed query round trip");
             let ids: Vec<u64> = reply.matches.iter().map(|m| m.document_id).collect();
             println!(
                 "  {label:<18} -> {} matches {ids:?} | cache: {} hits / {} misses, \
@@ -122,16 +123,24 @@ fn main() {
         .collect();
     let refs: Vec<&str> = normalized.iter().map(|s| s.as_str()).collect();
     let fresh = user.build_query(&refs, None, &mut rng).expect("query");
-    let reply = server.handle_query(&fresh);
+    let reply = server.query(&fresh).expect("framed query round trip");
     println!(
         "\nfresh randomized query for \"encryption audit\": {} hits / {} misses \
          (randomization hides the search pattern, so the cache cannot see the repeat)",
         reply.cache.shard_hits, reply.cache.shard_misses
     );
 
-    let stats = server.cache_stats().expect("cache enabled");
+    let stats = server
+        .remote_cache_stats()
+        .expect("framed stats round trip")
+        .expect("cache enabled");
+    let wire = server.wire_stats();
     let counters = server.counters();
     println!("\n== totals ==");
+    println!(
+        "wire: {} request frames / {} bytes sent, {} reply frames / {} bytes received",
+        wire.frames_sent, wire.bytes_sent, wire.frames_received, wire.bytes_received
+    );
     println!(
         "cache: {} hits, {} misses, {} evictions, {} invalidations",
         stats.hits, stats.misses, stats.evictions, stats.invalidations

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release --example multi_user_sharing`
 
 use mkse::core::bins_for_keywords;
-use mkse::protocol::{CloudServer, DataOwner, OwnerConfig, QueryMessage, User};
+use mkse::protocol::{Client, CloudServer, DataOwner, OwnerConfig, QueryMessage, User};
 use mkse::textproc::{normalize_keyword, Document};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,7 +30,9 @@ fn main() {
     ];
     let mut owner = DataOwner::new(config, &mut rng);
     let (indices, encrypted) = owner.prepare_documents(&corpus, &mut rng);
-    let mut server = CloudServer::new(owner.params().clone());
+    // The server sits behind the envelope client: even the offline upload is a
+    // framed Request::Upload, and every query below travels the same way.
+    let mut server = Client::new(CloudServer::new(owner.params().clone()));
     server.upload(indices, encrypted).expect("upload");
 
     // Two users with different interests register with the owner.
@@ -55,7 +57,7 @@ fn main() {
 
     let run = |user: &mut User,
                owner: &mut DataOwner,
-               server: &mut CloudServer,
+               server: &mut Client<CloudServer>,
                raw: &[&str],
                rng: &mut StdRng| {
         let normalized: Vec<String> = raw.iter().map(|w| normalize_keyword(w)).collect();
@@ -72,10 +74,12 @@ fn main() {
             user.ingest_trapdoor_reply(&reply).unwrap();
         }
         let query = user.build_query(&refs, None, rng).unwrap();
-        let results = server.handle_query(&QueryMessage {
-            query: query.query,
-            top: None,
-        });
+        let results = server
+            .query(&QueryMessage {
+                query: query.query,
+                top: None,
+            })
+            .expect("framed query round trip");
         let ids: Vec<u64> = results.matches.iter().map(|m| m.document_id).collect();
         println!("  matching documents: {ids:?}\n");
         ids

@@ -8,6 +8,7 @@
 use mkse::core::{
     CloudIndex, DocumentIndexer, IndexStore, QueryBuilder, SchemeKeys, SearchEngine, SystemParams,
 };
+use mkse::protocol::{Client, CloudServer, QueryMessage};
 use mkse::textproc::{extract_keywords, normalize_keyword};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,5 +96,43 @@ fn main() {
     println!(
         "\nsharded engine ({} shards) returned identical hits",
         engine.store().num_shards()
+    );
+
+    // --- Same search through the service front door: the envelope Client ---------------------
+    // A deployment talks to the server exclusively in framed Request/Response
+    // envelopes; the Client is that front door (upload and query alike), and it
+    // measures the real framed wire bytes every exchange costs.
+    let mut server = Client::new(CloudServer::with_shards(params.clone(), 2));
+    server
+        .upload(
+            corpus
+                .iter()
+                .map(|(id, text)| indexer.index_terms(*id, &extract_keywords(text)))
+                .collect(),
+            vec![], // index-only upload: this quickstart never retrieves documents
+        )
+        .expect("framed upload");
+    let reply = server
+        .query(&QueryMessage {
+            query: query.bits().clone(),
+            top: None,
+        })
+        .expect("framed query round trip");
+    let client_hits: Vec<(u64, u32)> = reply
+        .matches
+        .iter()
+        .map(|m| (m.document_id, m.rank))
+        .collect();
+    assert_eq!(
+        client_hits,
+        hits.iter()
+            .map(|h| (h.document_id, h.rank))
+            .collect::<Vec<_>>()
+    );
+    let wire = server.wire_stats();
+    println!(
+        "envelope client returned identical hits over the framed wire \
+         ({} frames / {} bytes sent, {} frames / {} bytes received)",
+        wire.frames_sent, wire.bytes_sent, wire.frames_received, wire.bytes_received
     );
 }

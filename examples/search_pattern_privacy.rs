@@ -10,9 +10,10 @@
 //! Run with: `cargo run --release --example search_pattern_privacy`
 
 use mkse::core::{
-    expected_hamming_distance, expected_random_overlap, expected_zeros, CloudIndex,
-    DocumentIndexer, Histogram, QueryBuilder, SchemeKeys, SystemParams,
+    expected_hamming_distance, expected_random_overlap, expected_zeros, DocumentIndexer, Histogram,
+    QueryBuilder, SchemeKeys, SystemParams,
 };
+use mkse::protocol::{Client, CloudServer, QueryMessage};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -93,14 +94,19 @@ fn main() {
         same_hist.overlap_coefficient(&diff_hist)
     );
 
-    // Randomization must not change what the server returns.
+    // Randomization must not change what the server returns — verified through
+    // the production front door: a CloudServer behind the envelope Client, so
+    // both queries travel as framed Request::Query envelopes.
     let indexer = DocumentIndexer::new(&params, &keys);
-    let mut cloud = CloudIndex::new(params.clone());
-    cloud
-        .insert(indexer.index_keywords(0, &["invoice", "fraud", "report"]))
-        .expect("upload");
-    cloud
-        .insert(indexer.index_keywords(1, &["holiday", "photos"]))
+    let mut server = Client::new(CloudServer::new(params.clone()));
+    server
+        .upload(
+            vec![
+                indexer.index_keywords(0, &["invoice", "fraud", "report"]),
+                indexer.index_keywords(1, &["holiday", "photos"]),
+            ],
+            vec![], // index-only upload: this example never retrieves documents
+        )
         .expect("upload");
     let plain = QueryBuilder::new(&params)
         .add_trapdoors(&trapdoors)
@@ -109,9 +115,16 @@ fn main() {
         .add_trapdoors(&trapdoors)
         .with_randomization(&pool)
         .build(&mut rng);
-    assert_eq!(
-        cloud.search_unranked(&plain),
-        cloud.search_unranked(&randomized)
-    );
+    let reply_for = |server: &mut Client<CloudServer>, bits| {
+        server
+            .query(&QueryMessage {
+                query: bits,
+                top: None,
+            })
+            .expect("framed query round trip")
+    };
+    let plain_reply = reply_for(&mut server, plain.bits().clone());
+    let randomized_reply = reply_for(&mut server, randomized.bits().clone());
+    assert_eq!(plain_reply.matches, randomized_reply.matches);
     println!("\nrandomized and plain queries return identical result sets — randomization is free in terms of correctness.");
 }

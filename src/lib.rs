@@ -25,6 +25,11 @@
 //! the system can use all available cores — and skip work it has already done:
 //!
 //! ```text
+//!  mkse-protocol   Client  ──▶  wire codec  ──▶  Service::call   the ONE front door:
+//!        │         (pipelined,  (length-prefixed (CloudServer,   every operation is a
+//!        ▼          correlates   frames, version  DataOwner)     Request/Response
+//!        │          replies by   byte + request                  envelope; measured
+//!        ▼          id)          id)                             framed wire bytes
 //!  mkse-protocol   CloudServer / SearchSession      actors, messages, cost ledger
 //!        │                                          (incl. the batched-query message,
 //!        ▼                                          CacheReport reply diagnostics)
@@ -65,6 +70,19 @@
 //!   the (query, shard) pairs the cache missed. `CloudServer::enable_result_cache`
 //!   turns caching on; replies carry a `CacheReport` and the `OperationCounters`
 //!   split comparisons into performed vs saved-by-cache.
+//! * **Envelope / wire / client** ([`protocol::envelope`], [`protocol::wire`],
+//!   [`protocol::client`]): every server operation — queries, retrieval, upload,
+//!   cache admin, snapshot/restore, counters — is one variant of a versioned
+//!   `Request` enum answered by a `Response`, behind a single `Service::call`
+//!   entry point (`CloudServer` serves search-side requests, `DataOwner` the
+//!   trapdoor/blind-decryption side). The wire codec frames envelopes as
+//!   length-prefixed bytes with a version byte and a request id, so the
+//!   `Client` — the front door every session, test and example speaks through —
+//!   can **pipeline**: submit a window of requests, flush once, and correlate
+//!   replies by id out of order. Because every exchange crosses the codec, the
+//!   `CostLedger` records measured framed wire bytes next to the analytic
+//!   Table 1 bits, and the legacy `handle_*` methods survive only as deprecated
+//!   shims over `Service::call` with byte-identical replies.
 //!
 //! **Picking a shard count**: shards parallelize a memory-bandwidth-light linear scan,
 //! so physical cores is the right default; past ~8 shards the per-query spawn+merge
@@ -82,8 +100,13 @@
 //!
 //! ## Quickstart
 //!
+//! The [`protocol::Client`] is the front door: upload and query both travel as
+//! framed `Request`/`Response` envelopes, and the client measures the real
+//! framed wire bytes of every exchange.
+//!
 //! ```
-//! use mkse::core::{SystemParams, SchemeKeys, DocumentIndexer, QueryBuilder, SearchEngine};
+//! use mkse::core::{SystemParams, SchemeKeys, DocumentIndexer, QueryBuilder};
+//! use mkse::protocol::{Client, CloudServer, QueryMessage};
 //! use rand::SeedableRng;
 //!
 //! let params = SystemParams::default();
@@ -91,10 +114,13 @@
 //! let keys = SchemeKeys::generate(&params, &mut rng);
 //! let indexer = DocumentIndexer::new(&params, &keys);
 //!
-//! // Index two documents into a 2-shard parallel engine.
-//! let mut cloud = SearchEngine::sharded(params.clone(), 2);
-//! cloud.insert(indexer.index_keywords(0, &["cloud", "privacy", "search"])).unwrap();
-//! cloud.insert(indexer.index_keywords(1, &["weather", "forecast"])).unwrap();
+//! // A 2-shard cloud server behind the envelope client; the upload is a
+//! // framed Request::Upload (index-only here — no encrypted bodies needed).
+//! let mut server = Client::new(CloudServer::with_shards(params.clone(), 2));
+//! server.upload(vec![
+//!     indexer.index_keywords(0, &["cloud", "privacy", "search"]),
+//!     indexer.index_keywords(1, &["weather", "forecast"]),
+//! ], vec![]).unwrap();
 //!
 //! // Query for "privacy" AND "search", with query randomization enabled.
 //! let trapdoors = keys.trapdoors_for(&params, &["privacy", "search"]);
@@ -103,9 +129,11 @@
 //!     .add_trapdoors(&trapdoors)
 //!     .with_randomization(&pool)
 //!     .build(&mut rng);
-//! let hits = cloud.search(&query);
-//! assert_eq!(hits.len(), 1);
-//! assert_eq!(hits[0].document_id, 0);
+//! let reply = server.query(&QueryMessage { query: query.bits().clone(), top: None }).unwrap();
+//! assert_eq!(reply.matches.len(), 1);
+//! assert_eq!(reply.matches[0].document_id, 0);
+//! // Every exchange crossed the framed codec — the measured cost is known.
+//! assert!(server.wire_stats().bytes_sent > 0);
 //! ```
 
 pub use mkse_baselines as baselines;

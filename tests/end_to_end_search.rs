@@ -173,7 +173,7 @@ fn protocol_layer_end_to_end_retrieval_round_trip() {
 
 #[test]
 fn multiple_users_share_the_same_encrypted_index() {
-    use mkse::protocol::{CloudServer, DataOwner, QueryMessage, User};
+    use mkse::protocol::{Client, CloudServer, DataOwner, QueryMessage, User};
 
     let mut rng = StdRng::seed_from_u64(77);
     let config = OwnerConfig {
@@ -182,7 +182,8 @@ fn multiple_users_share_the_same_encrypted_index() {
     };
     let mut owner = DataOwner::new(config, &mut rng);
     let (indices, encrypted) = owner.prepare_documents(&text_corpus(), &mut rng);
-    let mut server = CloudServer::new(owner.params().clone());
+    // Queries go through the envelope client — the front door every caller uses.
+    let mut server = Client::new(CloudServer::new(owner.params().clone()));
     server.upload(indices, encrypted).expect("upload");
 
     let mut users: Vec<User> = (1..=2)
@@ -211,10 +212,12 @@ fn multiple_users_share_the_same_encrypted_index() {
         let query = user
             .build_query(&[keyword.as_str()], None, &mut rng)
             .unwrap();
-        let reply = server.handle_query(&QueryMessage {
-            query: query.query,
-            top: None,
-        });
+        let reply = server
+            .query(&QueryMessage {
+                query: query.query,
+                top: None,
+            })
+            .expect("framed query round trip");
         let mut ids: Vec<u64> = reply.matches.iter().map(|m| m.document_id).collect();
         ids.sort_unstable();
         results.push(ids);

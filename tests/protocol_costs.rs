@@ -137,6 +137,41 @@ fn server_work_is_binary_comparisons_only_and_linear_in_corpus_size() {
 }
 
 #[test]
+fn measured_wire_costs_track_the_analytic_table1() {
+    // The envelope redesign measures what each exchange actually costs as
+    // framed bytes; framing only ever adds to the analytic Table 1 bits.
+    let (mut s, mut rng, corpus) = session(40, 6);
+    let kws: Vec<&str> = corpus.documents[0].keywords().into_iter().take(2).collect();
+    let report = s.run_query(&kws, 1, &mut rng).unwrap();
+    let ledger = &report.communication;
+
+    for party in [Party::User, Party::DataOwner, Party::Server] {
+        for phase in [Phase::Trapdoor, Phase::Search, Phase::Decrypt] {
+            let analytic = ledger.bits_sent(party, phase);
+            let measured = ledger.wire_bits_sent(party, phase);
+            assert!(
+                measured >= analytic,
+                "{party}/{phase}: measured {measured} < analytic {analytic}"
+            );
+            if analytic > 0 {
+                assert!(measured > 0, "{party}/{phase}: analytic bits but no wire");
+            }
+        }
+    }
+
+    // Frame accounting: trapdoor + query + document request + one blind
+    // decryption per retrieved document, every request answered.
+    assert_eq!(report.wire.frames_sent, report.wire.frames_received);
+    assert_eq!(report.wire.frames_sent, 3 + report.retrieved.len() as u64);
+    // Request ids are reported per connection and line up with the frames.
+    let ids = &report.wire.server_request_ids;
+    assert_eq!(ids.end - ids.start, 2);
+    let ids = &report.wire.owner_request_ids;
+    assert_eq!(ids.end - ids.start, 1 + report.retrieved.len() as u64);
+    assert!(report.shards >= 1);
+}
+
+#[test]
 fn user_side_public_key_operations_stay_constant_per_document() {
     // Table 2: the user performs a constant number of modular exponentiations and
     // multiplications per retrieved document, independent of the corpus size.
