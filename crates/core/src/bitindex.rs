@@ -37,14 +37,43 @@ impl BitIndex {
     }
 
     /// Build from a boolean slice (bit `i` of the index = `bits[i]`).
+    ///
+    /// Assembles each 64-bit block directly instead of issuing one `set()` per
+    /// bit; the tail block is built from fewer than 64 bits and therefore
+    /// satisfies the masked-tail invariant by construction.
     pub fn from_bits(bits: &[bool]) -> Self {
         assert!(!bits.is_empty(), "index length must be positive");
-        let mut idx = BitIndex::all_zeros(bits.len());
-        for (i, &b) in bits.iter().enumerate() {
-            if b {
-                idx.set(i, true);
-            }
+        let blocks = bits
+            .chunks(64)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .enumerate()
+                    .fold(0u64, |block, (i, &b)| block | ((b as u64) << i))
+            })
+            .collect();
+        BitIndex {
+            len: bits.len(),
+            blocks,
         }
+    }
+
+    /// The raw 64-bit blocks backing the index, little-endian bit order within a
+    /// block. Bits beyond [`BitIndex::len`] in the last block are guaranteed zero
+    /// (the masked-tail invariant) — the scan plane relies on this to compare
+    /// whole blocks without re-masking documents.
+    pub fn as_blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Rebuild an index from raw blocks produced by [`BitIndex::as_blocks`] (or
+    /// any block source) and the bit length. Stray bits beyond `len` in the last
+    /// block are masked off, re-establishing the tail invariant.
+    pub fn from_blocks(blocks: Vec<u64>, len: usize) -> Self {
+        assert!(len > 0, "index length must be positive");
+        assert_eq!(blocks.len(), len.div_ceil(64), "block count mismatch");
+        let mut idx = BitIndex { len, blocks };
+        idx.mask_tail();
         idx
     }
 
@@ -292,6 +321,49 @@ mod tests {
             assert_eq!(ones.common_zeros(&zeros), 0);
             assert_eq!(ones.hamming_distance(&zeros), len);
         }
+    }
+
+    #[test]
+    fn block_accessors_round_trip_and_keep_tail_invariants() {
+        for len in [1usize, 63, 64, 65, 127, 129, 448, 449] {
+            let ones = BitIndex::all_ones(len);
+            assert_eq!(ones.as_blocks().len(), len.div_ceil(64));
+            // as_blocks → from_blocks is the identity.
+            let round = BitIndex::from_blocks(ones.as_blocks().to_vec(), len);
+            assert_eq!(round, ones, "round trip at len {len}");
+            assert_tail_is_masked(&round);
+            // from_blocks must mask stray tail bits (e.g. blocks sourced from a
+            // raw arena or an adversarial buffer).
+            let dirty = vec![u64::MAX; len.div_ceil(64)];
+            let cleaned = BitIndex::from_blocks(dirty, len);
+            assert_eq!(cleaned, ones, "stray tail bits masked at len {len}");
+            assert_tail_is_masked(&cleaned);
+            assert_eq!(cleaned.count_ones(), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block count mismatch")]
+    fn from_blocks_wrong_block_count_panics() {
+        let _ = BitIndex::from_blocks(vec![0u64; 1], 70); // 70 bits need 2 blocks
+    }
+
+    #[test]
+    fn from_bits_builds_blocks_directly() {
+        // A pattern spanning a block boundary with a non-multiple-of-64 tail.
+        let mut bits = vec![false; 70];
+        for i in [0usize, 1, 63, 64, 69] {
+            bits[i] = true;
+        }
+        let idx = BitIndex::from_bits(&bits);
+        assert_eq!(idx.len(), 70);
+        assert_eq!(idx.count_ones(), 5);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(idx.get(i), b, "bit {i}");
+        }
+        assert_tail_is_masked(&idx);
+        assert_eq!(idx.as_blocks()[0], (1 << 0) | (1 << 1) | (1 << 63));
+        assert_eq!(idx.as_blocks()[1], (1 << 0) | (1 << 5));
     }
 
     #[test]

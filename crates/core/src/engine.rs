@@ -6,8 +6,12 @@
 //! the calling thread) when the store has more than one. Semantics are **bit-for-bit
 //! identical** to the sequential reference scan ([`crate::search::CloudIndex`]):
 //!
-//! * per-shard scans run the exact same comparison loop (shared with the sequential
-//!   path via [`crate::search::scan_ranked`]);
+//! * per-shard scans sweep the store's block-major [`crate::scanplane::ScanPlane`]
+//!   when one is maintained (both built-in stores) — contiguous, query-pruned
+//!   columns instead of per-document pointer chasing — and fall back to the
+//!   sequential path's [`crate::search::scan_ranked`] loop otherwise; both produce
+//!   identical matches, scan order and [`SearchStats`] (r-bit comparison counts
+//!   are unchanged: block pruning happens *inside* one r-bit comparison);
 //! * merged ranked results are sorted by descending rank, ties broken by ascending
 //!   document id — a total order, so the merged list is unique and equals the
 //!   sequential sort;
@@ -327,23 +331,47 @@ impl<S: IndexStore> SearchEngine<S> {
         self.map_selected_shards(&all, scan)
     }
 
+    /// One shard's ranked scan — **the** seam the layout optimization plugs into.
+    /// Stores that maintain a block-major [`crate::scanplane::ScanPlane`] (both
+    /// built-in stores do) are swept through it: contiguous, query-pruned,
+    /// vectorizer-friendly columns instead of per-document pointer chasing.
+    /// Stores without a plane fall back to the reference AoS loop. Either way the
+    /// output is bit-for-bit what [`scan_ranked`] returns — same matches, same
+    /// scan order, same [`SearchStats`] (the equivalence suite and
+    /// `mkse-core/tests/scanplane_equivalence.rs` hold both paths to it).
+    fn scan_shard(&self, shard: usize, query: &QueryIndex) -> ShardScan {
+        match self.store.scan_plane(shard) {
+            Some(plane) => plane.scan_ranked(query.bits()),
+            None => scan_ranked(self.store.shard_documents(shard), query),
+        }
+    }
+
     /// Scan every shard for documents whose level-1 index matches `query`, extract a
     /// value per match, and merge across shards in storage (insertion-ordinal)
     /// order. The single home of the ordinal-merge logic that makes parallel
     /// unranked results and metadata reproduce the sequential scan's order exactly.
-    fn matching_in_storage_order<T, F>(&self, query: &QueryIndex, extract: F) -> Vec<T>
+    fn matching_in_storage_order<'s, T, F>(&'s self, query: &QueryIndex, extract: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(&RankedDocumentIndex) -> T + Sync,
+        F: Fn(&'s RankedDocumentIndex) -> T + Sync,
     {
         let per_shard = self.map_shards(|shard| {
-            self.store
-                .shard_documents(shard)
-                .iter()
-                .enumerate()
-                .filter(|(_, d)| d.base_level().matches_query(query.bits()))
-                .map(|(slot, d)| (self.store.ordinal(shard, slot), extract(d)))
-                .collect::<Vec<_>>()
+            let docs = self.store.shard_documents(shard);
+            // The plane answers "which slots match" with a pruned column sweep;
+            // the extraction still reads the authoritative AoS documents.
+            match self.store.scan_plane(shard) {
+                Some(plane) => plane
+                    .matching_slots(query.bits())
+                    .into_iter()
+                    .map(|slot| (self.store.ordinal(shard, slot), extract(&docs[slot])))
+                    .collect::<Vec<_>>(),
+                None => docs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, d)| d.base_level().matches_query(query.bits()))
+                    .map(|(slot, d)| (self.store.ordinal(shard, slot), extract(d)))
+                    .collect::<Vec<_>>(),
+            }
         });
         let mut merged: Vec<(u64, T)> = per_shard.into_iter().flatten().collect();
         merged.sort_unstable_by_key(|(ordinal, _)| *ordinal);
@@ -379,8 +407,7 @@ impl<S: IndexStore> SearchEngine<S> {
     ) -> (Vec<SearchMatch>, SearchStats, CacheEffect) {
         let shards = self.store.num_shards();
         let Some(cache_mutex) = &self.cache else {
-            let per_shard =
-                self.map_shards(|shard| scan_ranked(self.store.shard_documents(shard), query));
+            let per_shard = self.map_shards(|shard| self.scan_shard(shard, query));
             return Self::merge_ranked(per_shard, CacheEffect::default());
         };
 
@@ -410,9 +437,7 @@ impl<S: IndexStore> SearchEngine<S> {
                 .sum(),
         };
         if !missing.is_empty() {
-            let fresh = self.map_selected_shards(&missing, |shard| {
-                scan_ranked(self.store.shard_documents(shard), query)
-            });
+            let fresh = self.map_selected_shards(&missing, |shard| self.scan_shard(shard, query));
             let mut cache = cache_mutex.lock().unwrap();
             for (&shard, (matches, stats)) in missing.iter().zip(fresh) {
                 cache.admit(
@@ -489,10 +514,9 @@ impl<S: IndexStore> SearchEngine<S> {
             // per_shard[shard][query] = (matches, stats); transpose to per-query
             // rows so every execution path merges through merge_ranked.
             let mut per_shard = self.map_shards(|shard| {
-                let docs = self.store.shard_documents(shard);
                 queries
                     .iter()
-                    .map(|q| scan_ranked(docs, q))
+                    .map(|q| self.scan_shard(shard, q))
                     .collect::<Vec<_>>()
             });
             return (0..queries.len())
@@ -556,10 +580,9 @@ impl<S: IndexStore> SearchEngine<S> {
             .collect();
         if !shard_ids.is_empty() {
             let fresh = self.map_selected_shards(&shard_ids, |shard| {
-                let docs = self.store.shard_documents(shard);
                 queries_for_shard[shard]
                     .iter()
-                    .map(|&q| scan_ranked(docs, &queries[q]))
+                    .map(|&q| self.scan_shard(shard, &queries[q]))
                     .collect::<Vec<_>>()
             });
             let mut cache = cache_mutex.lock().unwrap();
@@ -594,8 +617,13 @@ impl<S: IndexStore> SearchEngine<S> {
     }
 
     /// The per-level metadata of matching documents, in storage order (§4.3).
-    pub fn matching_metadata(&self, query: &QueryIndex) -> Vec<(u64, Vec<BitIndex>)> {
-        self.matching_in_storage_order(query, |d| (d.document_id, d.levels.clone()))
+    ///
+    /// Levels are **borrowed** from the store: building the reply no longer
+    /// deep-clones every matching document's full η·r-bit index — callers that
+    /// need owned data (e.g. to serialize onto the wire) copy exactly the bytes
+    /// they send and nothing more.
+    pub fn matching_metadata(&self, query: &QueryIndex) -> Vec<(u64, &[BitIndex])> {
+        self.matching_in_storage_order(query, |d| (d.document_id, d.levels.as_slice()))
     }
 }
 

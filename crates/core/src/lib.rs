@@ -17,6 +17,11 @@
 //! ([`storage::ShardedStore`]) layouts, and the [`engine`] module executes single,
 //! batched and top-k ranked queries across shards in parallel with results that are
 //! bit-for-bit identical to the sequential [`search::CloudIndex`] reference scan.
+//! Each shard's hot loop runs on the [`scanplane`] module's block-major
+//! [`scanplane::ScanPlane`] — a bit-sliced contiguous arena the stores maintain on
+//! insert, swept column-by-column with query-aware block pruning (blocks where the
+//! query is all-ones can reject nothing and are skipped for the whole shard) —
+//! while the AoS documents remain the authoritative copy and the reference scan.
 //! The [`cache`] module adds an optional per-shard, generation-invalidated result
 //! cache on top: repeated query indices (the search pattern the server observes
 //! anyway, §6) skip the shard scan entirely without changing a single reply byte.
@@ -70,6 +75,7 @@ pub mod params;
 pub mod persistence;
 pub mod query;
 pub mod rotation;
+pub mod scanplane;
 pub mod search;
 pub mod storage;
 
@@ -90,6 +96,7 @@ pub use persistence::{
 };
 pub use query::{QueryBuilder, QueryIndex};
 pub use rotation::{EpochTrapdoor, RotatingKeys};
+pub use scanplane::ScanPlane;
 pub use search::{CloudIndex, SearchMatch, SearchStats};
 pub use storage::{IndexStore, ShardedStore, StoreError, VecStore};
 

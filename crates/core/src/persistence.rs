@@ -8,10 +8,14 @@
 //! needs.
 //!
 //! Snapshots capture **only** the stored indices: the result cache of
-//! [`crate::engine::SearchEngine`] is derived state and is never serialized.
-//! Restoring through [`crate::engine::SearchEngine::restore_snapshot`] (or any path
-//! through `store_mut`) bumps every cache generation, so entries cached before a
-//! reload can never be served after it.
+//! [`crate::engine::SearchEngine`] is derived state and is never serialized, and so
+//! is the block-major [`crate::scanplane::ScanPlane`] — the byte format is
+//! **layout-independent** (insertion order, one document at a time), and restoring
+//! funnels every decoded index through [`IndexStore::insert`], which rebuilds the
+//! destination store's planes as a side effect. Restoring through
+//! [`crate::engine::SearchEngine::restore_snapshot`] (or any path through
+//! `store_mut`) bumps every cache generation, so entries cached before a reload can
+//! never be served after it.
 //!
 //! Layout (all integers little-endian):
 //!
@@ -296,6 +300,23 @@ mod tests {
                 .collect::<Vec<_>>(),
             indices
         );
+    }
+
+    #[test]
+    fn restore_rebuilds_scan_planes() {
+        use crate::storage::{IndexStore, ShardedStore};
+        let params = SystemParams::default();
+        let indices = sample_indices(&params, 9);
+        let bytes = serialize_store(&params, &indices);
+        let mut restored = ShardedStore::new(params.clone(), 4);
+        assert_eq!(deserialize_into(&mut restored, &bytes).unwrap(), 9);
+        for shard in 0..restored.num_shards() {
+            let plane = restored.scan_plane(shard).expect("plane maintained");
+            let docs = restored.shard_documents(shard);
+            assert_eq!(plane.len(), docs.len(), "shard {shard}");
+            let ids: Vec<u64> = docs.iter().map(|d| d.document_id).collect();
+            assert_eq!(plane.ids(), &ids[..], "shard {shard}");
+        }
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! stored indices matched at which level.
 //!
 //! [`CloudIndex`] is the **sequential reference implementation** over a single
-//! contiguous [`VecStore`]. The production read path is the shard-parallel
-//! [`crate::engine::SearchEngine`], which reuses this module's [`scan_ranked`] loop
-//! per shard and is therefore match-for-match, rank-for-rank and count-for-count
-//! equivalent to the reference (see `tests/sharded_engine_equivalence.rs`).
+//! contiguous [`VecStore`]: it always scans the documents themselves with this
+//! module's [`scan_ranked`] loop. The production read path is the shard-parallel
+//! [`crate::engine::SearchEngine`], which sweeps each shard's block-major
+//! [`crate::scanplane::ScanPlane`] instead — a layout change only; it is held
+//! match-for-match, rank-for-rank and count-for-count equivalent to this reference
+//! (see `tests/sharded_engine_equivalence.rs` and
+//! `mkse-core/tests/scanplane_equivalence.rs`).
 
 use crate::bitindex::BitIndex;
 use crate::document_index::RankedDocumentIndex;
@@ -174,12 +177,15 @@ impl CloudIndex {
 
     /// The metadata (per-level indices) of the matching documents, which the server sends back
     /// so the user can assess relevance before retrieving ciphertexts (§4.3).
-    pub fn matching_metadata(&self, query: &QueryIndex) -> Vec<(u64, Vec<BitIndex>)> {
+    ///
+    /// Levels are **borrowed** from the store rather than deep-cloned per match;
+    /// callers copy only what actually leaves the server.
+    pub fn matching_metadata(&self, query: &QueryIndex) -> Vec<(u64, &[BitIndex])> {
         self.store
             .documents()
             .iter()
             .filter(|d| d.base_level().matches_query(query.bits()))
-            .map(|d| (d.document_id, d.levels.clone()))
+            .map(|d| (d.document_id, d.levels.as_slice()))
             .collect()
     }
 

@@ -15,9 +15,18 @@
 //! Every store tracks the **insertion ordinal** of each document, so unranked results
 //! and persisted snapshots keep the exact storage order of the sequential reference
 //! regardless of the physical layout.
+//!
+//! Both built-in stores additionally maintain one block-major
+//! [`crate::scanplane::ScanPlane`] per shard — a bit-sliced mirror of the shard's
+//! indices appended inside [`IndexStore::insert`], exposed through
+//! [`IndexStore::scan_plane`]. Because *every* mutation path (uploads, `insert_all`,
+//! snapshot restores) funnels through `insert`, a plane can never go stale; and
+//! because [`IndexStore::shard_of`] still names the written shard, the cache layer's
+//! per-shard invalidation semantics are untouched by the new layout.
 
 use crate::document_index::RankedDocumentIndex;
 use crate::params::SystemParams;
+use crate::scanplane::ScanPlane;
 use std::collections::HashMap;
 
 /// Errors produced when uploading a document index into a store.
@@ -121,6 +130,19 @@ pub trait IndexStore: Send + Sync {
     /// this after an insert to invalidate exactly the shard that changed.
     fn shard_of(&self, document_id: u64) -> Option<usize>;
 
+    /// The shard's block-major [`ScanPlane`], if this store maintains one.
+    ///
+    /// A plane is a bit-sliced copy of the shard's indices that the engine sweeps
+    /// instead of pointer-chasing `shard_documents`; stores that return `Some`
+    /// **must** keep it in lockstep with every insert (both built-in stores do —
+    /// their planes are appended inside [`IndexStore::insert`], so restores and
+    /// `insert_all` rebuild them for free). The default `None` falls back to the
+    /// reference AoS scan.
+    fn scan_plane(&self, shard: usize) -> Option<&ScanPlane> {
+        let _ = shard;
+        None
+    }
+
     /// True if no documents are stored.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -160,6 +182,8 @@ pub struct VecStore {
     params: SystemParams,
     documents: Vec<RankedDocumentIndex>,
     by_id: HashMap<u64, usize>,
+    /// Block-major mirror of `documents`, appended on every insert.
+    plane: ScanPlane,
 }
 
 impl VecStore {
@@ -169,6 +193,7 @@ impl VecStore {
             params,
             documents: Vec::new(),
             by_id: HashMap::new(),
+            plane: ScanPlane::new(),
         }
     }
 
@@ -189,6 +214,7 @@ impl IndexStore for VecStore {
             return Err(StoreError::DuplicateDocument(index.document_id));
         }
         self.by_id.insert(index.document_id, self.documents.len());
+        self.plane.push(&index);
         self.documents.push(index);
         Ok(())
     }
@@ -218,6 +244,11 @@ impl IndexStore for VecStore {
     fn shard_of(&self, document_id: u64) -> Option<usize> {
         self.by_id.get(&document_id).map(|_| 0)
     }
+
+    fn scan_plane(&self, shard: usize) -> Option<&ScanPlane> {
+        assert_eq!(shard, 0, "VecStore has a single shard");
+        Some(&self.plane)
+    }
 }
 
 /// A store that partitions documents **round-robin** across `num_shards` shards.
@@ -229,6 +260,8 @@ impl IndexStore for VecStore {
 pub struct ShardedStore {
     params: SystemParams,
     shards: Vec<Vec<RankedDocumentIndex>>,
+    /// Per-shard block-major mirrors, appended in lockstep with `shards`.
+    planes: Vec<ScanPlane>,
     /// document id → (shard, slot): O(1) metadata lookup instead of a linear scan.
     by_id: HashMap<u64, (u32, u32)>,
     total: usize,
@@ -241,6 +274,7 @@ impl ShardedStore {
         ShardedStore {
             params,
             shards: vec![Vec::new(); num_shards],
+            planes: vec![ScanPlane::new(); num_shards],
             by_id: HashMap::new(),
             total: 0,
         }
@@ -266,6 +300,7 @@ impl IndexStore for ShardedStore {
         let slot = self.shards[shard].len();
         self.by_id
             .insert(index.document_id, (shard as u32, slot as u32));
+        self.planes[shard].push(&index);
         self.shards[shard].push(index);
         self.total += 1;
         Ok(())
@@ -297,6 +332,10 @@ impl IndexStore for ShardedStore {
         self.by_id
             .get(&document_id)
             .map(|&(shard, _)| shard as usize)
+    }
+
+    fn scan_plane(&self, shard: usize) -> Option<&ScanPlane> {
+        Some(&self.planes[shard])
     }
 }
 
@@ -360,6 +399,42 @@ mod tests {
             .map(|d| d.document_id)
             .collect();
         assert_eq!(ordered, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scan_planes_stay_in_lockstep_with_shard_documents() {
+        let params = SystemParams::default();
+        let keys = indexer_fixture(&params);
+        let indexer = DocumentIndexer::new(&params, &keys);
+
+        let mut vec_store = VecStore::new(params.clone());
+        let mut sharded = ShardedStore::new(params.clone(), 3);
+        for id in 0..10u64 {
+            let idx = indexer.index_keywords(id, &["kw", &format!("kw{id}")]);
+            vec_store.insert(idx.clone()).unwrap();
+            sharded.insert(idx).unwrap();
+        }
+        // A rejected insert must not dirty any plane.
+        assert!(sharded.insert(indexer.index_keywords(3, &["dup"])).is_err());
+
+        let plane = vec_store.scan_plane(0).expect("VecStore maintains a plane");
+        assert_eq!(plane.len(), vec_store.len());
+        let ids: Vec<u64> = vec_store
+            .documents()
+            .iter()
+            .map(|d| d.document_id)
+            .collect();
+        assert_eq!(plane.ids(), &ids[..]);
+
+        for shard in 0..sharded.num_shards() {
+            let plane = sharded.scan_plane(shard).expect("per-shard plane");
+            let docs = sharded.shard_documents(shard);
+            assert_eq!(plane.len(), docs.len(), "shard {shard}");
+            let ids: Vec<u64> = docs.iter().map(|d| d.document_id).collect();
+            assert_eq!(plane.ids(), &ids[..], "shard {shard}");
+            assert_eq!(plane.bits(), params.index_bits);
+            assert_eq!(plane.levels(), params.rank_levels());
+        }
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Exact equivalence of the plane-backed shard scan and the sequential reference.
+//!
+//! The scan plane is a pure layout change: for any document set (arbitrary bit
+//! patterns, not just scheme-generated ones), any query — all-ones, all-zeros,
+//! random, or a stored document's own base level — any index size `r` (multiples
+//! of 64 and ragged tails alike) and any shard count, the plane-backed
+//! [`SearchEngine`] must return **byte-identical** matches, ranks, order,
+//! [`SearchStats`] and cache counters to the AoS reference scan of
+//! [`CloudIndex`]. Inserts between queries must keep both the planes and the
+//! result cache fresh, and a snapshot/restore cycle must rebuild the planes.
+//!
+//! This suite runs in **release mode on CI** (`cargo test --release -q -p
+//! mkse-core scanplane`): the kernel is unrolled for the autovectorizer, and
+//! masking/UB bugs in optimized builds must not be able to hide behind
+//! debug-only testing.
+
+use mkse_core::{
+    BitIndex, CacheConfig, CloudIndex, IndexStore, QueryIndex, RankedDocumentIndex, ScanPlane,
+    SearchEngine, SystemParams,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
+
+/// Minimal valid parameters for an arbitrary index size and level count — the
+/// scan is a function of the stored bits alone, so nothing else matters here.
+fn params_for(r: usize, eta: usize) -> SystemParams {
+    SystemParams::new(r, 4, 16, 0, 0, (1..=eta as u32).collect()).expect("valid parameters")
+}
+
+fn random_bitindex(rng: &mut StdRng, len: usize, zero_prob: f64) -> BitIndex {
+    let bits: Vec<bool> = (0..len)
+        .map(|_| rng.gen_range(0.0..1.0) >= zero_prob)
+        .collect();
+    BitIndex::from_bits(&bits)
+}
+
+/// Random document indices with *dense-ones* levels so random queries genuinely
+/// match some documents (an all-reject workload would not exercise rank walks).
+fn random_docs(rng: &mut StdRng, n: usize, r: usize, eta: usize) -> Vec<RankedDocumentIndex> {
+    (0..n)
+        .map(|i| RankedDocumentIndex {
+            document_id: 1000 + i as u64,
+            levels: (0..eta).map(|_| random_bitindex(rng, r, 0.05)).collect(),
+        })
+        .collect()
+}
+
+/// A query workload covering the pruning extremes: sparse- and dense-zero random
+/// queries, the all-ones query (every block pruned: zero active columns), the
+/// all-zeros query (no block pruned), and one stored document's own base level
+/// (guaranteed matches, deep rank walks).
+fn query_workload(rng: &mut StdRng, r: usize, docs: &[RankedDocumentIndex]) -> Vec<QueryIndex> {
+    let mut queries = vec![
+        QueryIndex::from_bits(random_bitindex(rng, r, 0.02)),
+        QueryIndex::from_bits(random_bitindex(rng, r, 0.3)),
+        QueryIndex::from_bits(BitIndex::all_ones(r)),
+        QueryIndex::from_bits(BitIndex::all_zeros(r)),
+    ];
+    if let Some(doc) = docs.first() {
+        queries.push(QueryIndex::from_bits(doc.base_level().clone()));
+    }
+    queries
+}
+
+fn assert_engine_equals_reference<S: IndexStore>(
+    engine: &SearchEngine<S>,
+    reference: &CloudIndex,
+    queries: &[QueryIndex],
+    ctx: &str,
+) {
+    for (qi, query) in queries.iter().enumerate() {
+        let (seq_matches, seq_stats) = reference.search_ranked_with_stats(query);
+        let (par_matches, par_stats) = engine.search_ranked_with_stats(query);
+        assert_eq!(
+            par_matches, seq_matches,
+            "ranked matches differ: {ctx}, query {qi}"
+        );
+        assert_eq!(par_stats, seq_stats, "stats differ: {ctx}, query {qi}");
+        assert_eq!(
+            engine.search_unranked(query),
+            reference.search_unranked(query),
+            "unranked order differs: {ctx}, query {qi}"
+        );
+        assert_eq!(
+            engine.matching_metadata(query),
+            reference.matching_metadata(query),
+            "metadata differs: {ctx}, query {qi}"
+        );
+        assert_eq!(
+            engine.search_top(query, 3),
+            reference.search_top(query, 3),
+            "top-k differs: {ctx}, query {qi}"
+        );
+    }
+}
+
+#[test]
+fn scanplane_engine_is_byte_identical_to_reference_at_all_shard_counts() {
+    let mut rng = StdRng::seed_from_u64(91);
+    // r straddles block boundaries: 64 | r, ragged tails (r % 64 ∈ {1, 36}), and
+    // the paper's 448; η covers the unranked and deep-ranking shapes.
+    for &r in &[64usize, 65, 100, 448] {
+        for &eta in &[1usize, 3] {
+            let params = params_for(r, eta);
+            let docs = random_docs(&mut rng, 61, r, eta);
+            let queries = query_workload(&mut rng, r, &docs);
+            let mut reference = CloudIndex::new(params.clone());
+            reference.insert_all(docs.iter().cloned()).unwrap();
+
+            for shards in SHARD_COUNTS {
+                let mut engine = SearchEngine::sharded(params.clone(), shards);
+                engine.insert_all(docs.iter().cloned()).unwrap();
+                let ctx = format!("r={r}, eta={eta}, {shards} shards");
+                assert_engine_equals_reference(&engine, &reference, &queries, &ctx);
+            }
+        }
+    }
+}
+
+#[test]
+fn scanplane_all_ones_and_all_zeros_queries_hit_pruning_extremes() {
+    let mut rng = StdRng::seed_from_u64(92);
+    let r = 100; // ragged tail: the phantom 28 bits must never reject or match
+    let params = params_for(r, 2);
+    let mut docs = random_docs(&mut rng, 33, r, 2);
+    // An all-zero document is the only one the all-zeros query may match.
+    docs.push(RankedDocumentIndex {
+        document_id: 7,
+        levels: vec![BitIndex::all_zeros(r), BitIndex::all_zeros(r)],
+    });
+    let mut reference = CloudIndex::new(params.clone());
+    reference.insert_all(docs.iter().cloned()).unwrap();
+
+    let all_ones = QueryIndex::from_bits(BitIndex::all_ones(r));
+    let all_zeros = QueryIndex::from_bits(BitIndex::all_zeros(r));
+    for shards in SHARD_COUNTS {
+        let mut engine = SearchEngine::sharded(params.clone(), shards);
+        engine.insert_all(docs.iter().cloned()).unwrap();
+
+        let (matches, stats) = engine.search_ranked_with_stats(&all_ones);
+        assert_eq!(
+            (matches.clone(), stats),
+            reference.search_ranked_with_stats(&all_ones),
+            "{shards} shards, all-ones"
+        );
+        assert_eq!(matches.len(), docs.len(), "all-ones matches everything");
+        assert!(matches.iter().all(|m| m.rank == 2), "and at the top rank");
+
+        let (matches, stats) = engine.search_ranked_with_stats(&all_zeros);
+        assert_eq!(
+            (matches.clone(), stats),
+            reference.search_ranked_with_stats(&all_zeros),
+            "{shards} shards, all-zeros"
+        );
+        assert!(matches.iter().any(|m| m.document_id == 7));
+    }
+}
+
+#[test]
+fn scanplane_inserts_between_queries_keep_planes_and_cache_fresh() {
+    let mut rng = StdRng::seed_from_u64(93);
+    let r = 129; // two full blocks + 1-bit tail
+    let params = params_for(r, 3);
+    let docs = random_docs(&mut rng, 59, r, 3);
+    let queries = query_workload(&mut rng, r, &docs);
+
+    for shards in [1usize, 2, 7] {
+        let mut reference = CloudIndex::new(params.clone());
+        let mut engine =
+            SearchEngine::sharded(params.clone(), shards).with_result_cache(CacheConfig::default());
+        // Upload a chunk, query everything twice (cache admit + hit), repeat:
+        // neither a stale plane nor a stale cache entry may survive an insert.
+        for chunk in docs.chunks(13) {
+            reference.insert_all(chunk.iter().cloned()).unwrap();
+            engine.insert_all(chunk.iter().cloned()).unwrap();
+            for pass in ["cold", "warm"] {
+                let ctx = format!("{shards} shards, {} docs, {pass}", reference.len());
+                assert_engine_equals_reference(&engine, &reference, &queries, &ctx);
+            }
+        }
+        // Planes track their shards exactly.
+        for shard in 0..engine.store().num_shards() {
+            let plane = engine.store().scan_plane(shard).expect("plane maintained");
+            assert_eq!(plane.len(), engine.store().shard_documents(shard).len());
+        }
+    }
+}
+
+#[test]
+fn scanplane_snapshot_restore_rebuilds_planes() {
+    let mut rng = StdRng::seed_from_u64(94);
+    let r = 448;
+    let params = params_for(r, 3);
+    let docs = random_docs(&mut rng, 47, r, 3);
+    let queries = query_workload(&mut rng, r, &docs);
+    let mut reference = CloudIndex::new(params.clone());
+    reference.insert_all(docs.iter().cloned()).unwrap();
+
+    let mut original = SearchEngine::sharded(params.clone(), 5);
+    original.insert_all(docs.iter().cloned()).unwrap();
+    let bytes = original.snapshot();
+
+    for shards in SHARD_COUNTS {
+        let mut restored =
+            SearchEngine::sharded(params.clone(), shards).with_result_cache(CacheConfig::default());
+        assert_eq!(restored.restore_snapshot(&bytes).unwrap(), docs.len());
+        // The snapshot carries no plane bytes; restore rebuilt them via insert.
+        for shard in 0..restored.store().num_shards() {
+            let plane = restored.store().scan_plane(shard).expect("plane rebuilt");
+            let shard_docs = restored.store().shard_documents(shard);
+            assert_eq!(
+                plane.len(),
+                shard_docs.len(),
+                "{shards} shards, shard {shard}"
+            );
+            let ids: Vec<u64> = shard_docs.iter().map(|d| d.document_id).collect();
+            assert_eq!(plane.ids(), &ids[..], "{shards} shards, shard {shard}");
+        }
+        let ctx = format!("restored into {shards} shards");
+        assert_engine_equals_reference(&restored, &reference, &queries, &ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core contract under arbitrary geometry and bit patterns: a plane built
+    /// by incremental pushes scans exactly like the reference loop over the same
+    /// slice, and the plane-backed 2-shard engine agrees with the reference
+    /// index — including r values with ragged tails and degenerate stores.
+    #[test]
+    fn scanplane_prop_equivalence_on_arbitrary_workloads(
+        seed in 0u64..1_000_000,
+        r in 1usize..=200,
+        eta in 1usize..=3,
+        num_docs in 0usize..24,
+        query_zero_prob in 0.0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let docs: Vec<RankedDocumentIndex> = (0..num_docs)
+            .map(|i| RankedDocumentIndex {
+                document_id: i as u64,
+                levels: (0..eta).map(|_| random_bitindex(&mut rng, r, 0.2)).collect(),
+            })
+            .collect();
+        let query = QueryIndex::from_bits(random_bitindex(&mut rng, r, query_zero_prob));
+
+        // Direct: plane vs the reference scan loop.
+        let mut plane = ScanPlane::new();
+        for d in &docs {
+            plane.push(d);
+        }
+        let expected = mkse_core::search::scan_ranked(&docs, &query);
+        prop_assert_eq!(plane.scan_ranked(query.bits()), expected);
+
+        // Engine-level: plane-backed shards vs the AoS reference index.
+        let params = params_for(r, eta);
+        let mut reference = CloudIndex::new(params.clone());
+        reference.insert_all(docs.iter().cloned()).unwrap();
+        let mut engine = SearchEngine::sharded(params, 2);
+        engine.insert_all(docs.iter().cloned()).unwrap();
+        prop_assert_eq!(
+            engine.search_ranked_with_stats(&query),
+            reference.search_ranked_with_stats(&query)
+        );
+        prop_assert_eq!(engine.search_unranked(&query), reference.search_unranked(&query));
+    }
+}

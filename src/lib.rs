@@ -40,15 +40,41 @@
 //!        │         QueryFingerprint, write-         the shard scan entirely
 //!        ▼         generation invalidation
 //!  mkse-core       storage::IndexStore (trait)      geometry-validated inserts,
-//!                  ├─ storage::VecStore             O(1) id lookup, shard slices,
-//!                  └─ storage::ShardedStore         insertion-ordinal bookkeeping,
-//!                                                   shard_of() for cache invalidation
+//!        │         ├─ storage::VecStore             O(1) id lookup, shard slices,
+//!        ▼         └─ storage::ShardedStore         insertion-ordinal bookkeeping,
+//!        │                                          shard_of() for cache invalidation
+//!  mkse-core       scanplane::ScanPlane (per shard) block-major (bit-sliced) arena the
+//!                                                   stores maintain on insert: level-1
+//!                                                   blocks in contiguous columns, upper
+//!                                                   levels doc-major (walked on match);
+//!                                                   query-aware block pruning + unrolled
+//!                                                   column sweep — the hot r-bit scan
+//!                                                   streams instead of pointer-chasing
 //! ```
 //!
 //! * **Storage** ([`core::storage`]): [`core::storage::VecStore`] is the single-shard
 //!   contiguous layout (the sequential reference); [`core::storage::ShardedStore`]
 //!   partitions documents round-robin across N shards and keeps an
 //!   id → (shard, slot) map so metadata lookup is O(1) instead of the old O(σ) scan.
+//! * **Scan plane** ([`core::scanplane`]): each shard's hot loop — the σ r-bit
+//!   comparisons of Eq. (3) that dominate Figure 4(b) — runs on a bit-sliced
+//!   [`core::ScanPlane`]: level-1 blocks of all documents packed into one
+//!   contiguous arena (column = 64-bit block position, rows = slot order, chunked
+//!   so appends never re-layout), upper levels packed document-major and walked
+//!   only on match. Before sweeping, the query's **active block list** is
+//!   computed once per query: any block where the query word is all-ones can
+//!   never reject a document under `doc AND NOT query ≠ 0`, so it is skipped for
+//!   the whole shard. The remaining columns stream through an unrolled,
+//!   autovectorizer-friendly kernel into a per-shard match bitmap. All of this is
+//!   a layout change only — matches, ranks, order, `SearchStats` (block skipping
+//!   happens *inside* one r-bit comparison, so comparison counts are unchanged)
+//!   and cache counters are byte-identical to the AoS reference, enforced in
+//!   release mode by `mkse-core/tests/scanplane_equivalence.rs`. Pruning leaks
+//!   nothing beyond §6's search-pattern observation: it is a function of the
+//!   query bytes the server already sees plus the public geometry `r`, and the
+//!   skipped work is the same for every document in the shard. The
+//!   `fig4b_search` bench's layout sweep writes `BENCH_scan.json` tracking
+//!   ns/query across layouts and shard counts.
 //! * **Engine** ([`core::engine`]): executes queries shard-by-shard in parallel and
 //!   merges per-shard matches and [`core::SearchStats`]. Merged output is provably
 //!   identical to the sequential scan: the (rank, id) sort key is a total order, the

@@ -13,6 +13,13 @@
 //! return byte-identical matches, ranks, order and merged `SearchStats` on cold
 //! lookups, warm hits, after interleaved inserts (per-shard invalidation) and
 //! across a snapshot/restore cycle.
+//!
+//! Since PR 4 the engine's shard scans run on the block-major scan plane
+//! (`mkse_core::scanplane`), so every assertion here also holds the bit-sliced
+//! layout to the AoS reference; the plane-specific corners (ragged r, pruning
+//! extremes, arbitrary bit patterns) live in
+//! `mkse-core/tests/scanplane_equivalence.rs`, which CI additionally runs in
+//! release mode.
 
 use mkse::core::{
     CacheConfig, CloudIndex, DocumentIndexer, QueryBuilder, QueryIndex, SchemeKeys, SearchEngine,
