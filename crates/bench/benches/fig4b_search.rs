@@ -273,15 +273,15 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-/// Mean wall-clock ns of `routine`, calibrated to a ~300 ms budget (one warm-up
-/// call first). In `--test` smoke runs the routine executes once and 0 is
-/// returned.
-fn measure_ns<O, F: FnMut() -> O>(quick: bool, mut routine: F) -> f64 {
+/// Mean wall-clock ns of `routine` over one calibrated window of `budget_ms`
+/// (one warm-up call first). In `--test` smoke runs the routine executes once
+/// and 0 is returned.
+fn measure_ns_window<O, F: FnMut() -> O>(quick: bool, budget_ms: u64, mut routine: F) -> f64 {
     std::hint::black_box(routine());
     if quick {
         return 0.0;
     }
-    let budget = Duration::from_millis(300);
+    let budget = Duration::from_millis(budget_ms);
     let mut iters: u64 = 1;
     loop {
         let start = Instant::now();
@@ -295,6 +295,31 @@ fn measure_ns<O, F: FnMut() -> O>(quick: bool, mut routine: F) -> f64 {
         let scale = (budget.as_nanos() as f64 / elapsed.as_nanos().max(1) as f64).ceil();
         iters = (iters as f64 * scale.clamp(2.0, 100.0)) as u64;
     }
+}
+
+/// Measure two routines that are being *compared*: three calibrated windows
+/// each, interleaved A/B/A/B/A/B so slow host phases (frequency scaling, noisy
+/// neighbors) hit both sides alike, reporting the per-routine medians. Shared
+/// wall-clock noise then largely cancels out of the A/B ratio.
+fn measure_ns_pair<OA, OB>(
+    quick: bool,
+    mut a: impl FnMut() -> OA,
+    mut b: impl FnMut() -> OB,
+) -> (f64, f64) {
+    let mut samples_a = Vec::new();
+    let mut samples_b = Vec::new();
+    for round in 0..3 {
+        samples_a.push(measure_ns_window(quick, 300, &mut a));
+        samples_b.push(measure_ns_window(quick, 300, &mut b));
+        if quick && round == 0 {
+            return (0.0, 0.0);
+        }
+    }
+    let median = |samples: &mut Vec<f64>| {
+        samples.sort_by(|x, y| x.partial_cmp(y).expect("finite timings"));
+        samples[samples.len() / 2]
+    };
+    (median(&mut samples_a), median(&mut samples_b))
 }
 
 /// Layout sweep: the PR-3 AoS scan (one heap `BitIndex` per level per document,
@@ -317,9 +342,10 @@ fn bench_scan_layout(_c: &mut Criterion) {
     if filtered_out {
         return;
     }
-    // Each configuration is measured exactly once by `measure_ns` (the JSON and
-    // the report line share the number), so the group is reported directly
-    // instead of registering the same routines with the harness a second time.
+    // Each configuration's number is the best of many short interleaved
+    // windows (see the measurement loop below); the JSON and the report line
+    // share it, so the group is reported directly instead of registering the
+    // same routines with the harness a second time.
     let report = |id: &str, ns: f64| {
         if quick {
             println!("fig4b_scan_layout/{id}  ok (smoke run)");
@@ -347,7 +373,8 @@ fn bench_scan_layout(_c: &mut Criterion) {
         engines.push((shards, engine));
     }
 
-    // Equivalence before timing: the plane is a layout change only.
+    // Equivalence before timing: the plane is a layout change only, and
+    // sharding must never change results.
     let (aos_matches, aos_stats) = scan_ranked(&indices, &query);
     let plane = engines[0]
         .1
@@ -360,21 +387,65 @@ fn bench_scan_layout(_c: &mut Criterion) {
         assert_eq!(&engine.search(&query), &reference, "{shards} shards");
     }
 
-    let mut json_entries = Vec::new();
-
-    let aos_ns = measure_ns(quick, || scan_ranked(&indices, &query));
-    report("aos_scan/1", aos_ns);
-    json_entries.push(("aos", 1usize, aos_ns));
-
-    let plane_ns = measure_ns(quick, || plane.scan_ranked(query.bits()));
-    report("plane_scan/1", plane_ns);
-    json_entries.push(("plane", 1, plane_ns));
-
+    // The configurations are *compared against each other* in the committed
+    // record, so they are measured in interleaved rounds (one window per
+    // configuration per round, best window kept): host-speed drift across the
+    // run — frequency scaling, noisy neighbors — then hits every configuration
+    // alike instead of whichever one happened to be measured last. Windows are
+    // deliberately short: sustained saturation of every core throttles shared
+    // hosts by ±30%, and that phase noise outlasts any single round — many
+    // short windows measure the code, not the container's power management.
+    let (query, indices) = (&query, &indices);
+    let ids = ["aos_scan/1", "plane_scan/1"];
+    let mut routines: Vec<(String, Box<dyn FnMut()>)> = vec![
+        (
+            ids[0].to_string(),
+            Box::new(move || {
+                std::hint::black_box(scan_ranked(indices, query));
+            }),
+        ),
+        (
+            ids[1].to_string(),
+            Box::new(move || {
+                std::hint::black_box(plane.scan_ranked(query.bits()));
+            }),
+        ),
+    ];
     for (shards, engine) in &engines {
-        let ns = measure_ns(quick, || engine.search(&query));
-        report(&format!("plane_engine_shards/{shards}"), ns);
-        json_entries.push(("plane_engine", *shards, ns));
+        routines.push((
+            format!("plane_engine_shards/{shards}"),
+            Box::new(move || {
+                std::hint::black_box(engine.search(query));
+            }),
+        ));
     }
+    let mut best = vec![f64::MAX; routines.len()];
+    for round in 0..25 {
+        for ((_, routine), slot) in routines.iter_mut().zip(best.iter_mut()) {
+            *slot = slot.min(measure_ns_window(quick, 20, routine));
+        }
+        if quick && round == 0 {
+            break;
+        }
+    }
+    let mut json_entries = Vec::new();
+    for ((id, _), &ns) in routines.iter().zip(&best) {
+        let ns = if quick { 0.0 } else { ns };
+        report(id, ns);
+        let (layout, shards) = match id.rsplit_once('/') {
+            Some((prefix, n)) => (
+                match prefix {
+                    "aos_scan" => "aos",
+                    "plane_scan" => "plane",
+                    _ => "plane_engine",
+                },
+                n.parse::<usize>().expect("shard suffix"),
+            ),
+            None => unreachable!("bench ids carry a /shards suffix"),
+        };
+        json_entries.push((layout, shards, ns));
+    }
+    let (aos_ns, plane_ns) = (json_entries[0].2, json_entries[1].2);
     println!();
 
     if plane_ns > 0.0 {
@@ -414,5 +485,132 @@ fn bench_scan_layout(_c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_search, bench_scan_layout);
+/// Batch-depth sweep: the fused multi-query sweep
+/// (`ScanPlane::scan_ranked_batch`, reached through
+/// `SearchEngine::search_batch_with_stats`) against per-query execution of the
+/// same workload, at batch depths 1/4/16/64 on the 64k-document r = 448 store.
+/// Per-query execution streams the whole arena once per query; the fused sweep
+/// streams it once per batch, so the gap is the memory-traffic amortization the
+/// batch kernel exists for (target: ≥3× per-query throughput at depth 16).
+/// Results are asserted byte-identical before timing, and every configuration is
+/// written to `BENCH_batch.json` at the workspace root — committed per PR like
+/// `BENCH_scan.json`; smoke runs (`--test`) never overwrite it.
+fn bench_batch_sweep(_c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--test");
+    let filtered_out = std::env::args()
+        .skip(1)
+        .any(|a| !a.starts_with('-') && !"fig4b_batch_sweep".contains(a.as_str()));
+    if filtered_out {
+        return;
+    }
+    let report = |id: &str, ns_per_query: f64| {
+        if quick {
+            println!("fig4b_batch_sweep/{id}  ok (smoke run)");
+        } else {
+            println!(
+                "fig4b_batch_sweep/{id}  time: {:.3} µs/query",
+                ns_per_query / 1e3
+            );
+        }
+    };
+
+    const BATCH_DOCS: usize = 64_000;
+    const DEPTHS: [usize; 4] = [1, 4, 16, 64];
+    let fixture = BenchFixture::new(BATCH_DOCS, 3, 11);
+    let indexer = fixture.indexer();
+    let indices = indexer.index_documents(&fixture.corpus.documents);
+    let r = fixture.params.index_bits;
+    // Distinct queries: dedup must not shortcut the sweep being measured.
+    let queries: Vec<QueryIndex> = (0..DEPTHS[DEPTHS.len() - 1])
+        .map(|i| build_query(&fixture, 200 + i as u64))
+        .collect();
+    for (i, a) in queries.iter().enumerate() {
+        for b in &queries[i + 1..] {
+            assert_ne!(
+                a.bits(),
+                b.bits(),
+                "colliding queries would let dedup skip scans"
+            );
+        }
+    }
+
+    let mut engine = SearchEngine::sharded(fixture.params.clone(), 1);
+    engine.insert_all(indices.iter().cloned()).expect("upload");
+
+    // Equivalence before timing: the fused sweep is an execution-order change
+    // only — byte-identical matches, ranks, order and per-query stats.
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| engine.search_ranked_with_stats(q))
+        .collect();
+    assert_eq!(engine.search_batch_with_stats(&queries), expected);
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut per_query_ns_at = [0.0f64; DEPTHS.len()];
+    let mut fused_ns_at = [0.0f64; DEPTHS.len()];
+    for (d, &depth) in DEPTHS.iter().enumerate() {
+        let batch = &queries[..depth];
+        // The two execution modes are measured in interleaved windows so host
+        // noise cancels out of the recorded fused-vs-per-query ratio.
+        let (per_query_total, fused_total) = measure_ns_pair(
+            quick,
+            || {
+                batch
+                    .iter()
+                    .map(|q| engine.search_ranked_with_stats(q))
+                    .collect::<Vec<_>>()
+            },
+            || engine.search_batch_with_stats(batch),
+        );
+        let per_query_ns = per_query_total / depth as f64;
+        let fused_ns = fused_total / depth as f64;
+        report(&format!("per_query/b{depth}"), per_query_ns);
+        report(&format!("fused/b{depth}"), fused_ns);
+        per_query_ns_at[d] = per_query_ns;
+        fused_ns_at[d] = fused_ns;
+        let speedup = if fused_ns > 0.0 {
+            per_query_ns / fused_ns
+        } else {
+            0.0
+        };
+        for (mode, ns) in [("per_query", per_query_ns), ("fused", fused_ns)] {
+            entries.push(format!(
+                "    {{\"mode\": \"{mode}\", \"batch\": {depth}, \"shards\": 1, \
+                 \"ns_per_query\": {ns:.1}, \"speedup_vs_per_query\": {:.2}}}",
+                if mode == "fused" { speedup } else { 1.0 }
+            ));
+        }
+    }
+    println!();
+    if !quick {
+        let b16 = DEPTHS
+            .iter()
+            .position(|&d| d == 16)
+            .expect("depth 16 swept");
+        eprintln!(
+            "fig4b_batch_sweep: per-query {:.0} ns/query vs fused {:.0} ns/query at b=16 \
+             = {:.2}x on {BATCH_DOCS} docs, r={r}",
+            per_query_ns_at[b16],
+            fused_ns_at[b16],
+            per_query_ns_at[b16] / fused_ns_at[b16]
+        );
+    }
+
+    if quick {
+        return;
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fig4b_batch_sweep\",\n  \"docs\": {BATCH_DOCS},\n  \"r\": {r},\n  \
+         \"eta\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        fixture.params.rank_levels(),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("fig4b_batch_sweep: wrote {path}"),
+        Err(e) => eprintln!("fig4b_batch_sweep: could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_search, bench_scan_layout, bench_batch_sweep);
 criterion_main!(benches);

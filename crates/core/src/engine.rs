@@ -21,8 +21,16 @@
 //!   the sequential counts.
 //!
 //! Batched execution ([`SearchEngine::search_batch_with_stats`]) evaluates many
-//! queries per shard-scan pass, so a multi-query round trip pays the thread fan-out
-//! once instead of once per query.
+//! queries per shard-scan pass: each shard worker receives the whole (cache-missed,
+//! intra-batch-deduplicated) query set and makes **one fused pass** over the
+//! shard's scan plane ([`crate::scanplane::ScanPlane::scan_ranked_batch`]), so a
+//! b-query round trip streams each arena once instead of b times *and* pays the
+//! thread fan-out once instead of once per query. Queries with identical
+//! [`QueryFingerprint`]s inside one batch are scanned once and fanned out to every
+//! duplicate position; with the cache enabled the duplicates are resolved through
+//! real cache lookups against what the first occurrence admitted — exactly the
+//! hits sequential execution would produce, counted in the same
+//! [`CacheEffect`]/[`CacheStats`] counters.
 //!
 //! ## The result cache
 //!
@@ -48,6 +56,7 @@ use crate::persistence::PersistenceError;
 use crate::query::QueryIndex;
 use crate::search::{scan_ranked, sort_matches, SearchMatch, SearchStats};
 use crate::storage::{IndexStore, ShardedStore, StoreError, VecStore};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
@@ -346,6 +355,36 @@ impl<S: IndexStore> SearchEngine<S> {
         }
     }
 
+    /// One shard's **fused** ranked scan of a whole query set — the batch
+    /// counterpart of [`SearchEngine::scan_shard`]. Plane-backed stores stream
+    /// the shard's arena once for all queries
+    /// ([`crate::scanplane::ScanPlane::scan_ranked_batch`]); stores without a
+    /// plane fall back to one reference scan per query. Results are aligned with
+    /// `queries` and byte-identical to per-query [`SearchEngine::scan_shard`]
+    /// calls.
+    fn scan_shard_batch(&self, shard: usize, queries: &[&QueryIndex]) -> Vec<ShardScan> {
+        match self.store.scan_plane(shard) {
+            Some(plane) => {
+                let bits: Vec<&BitIndex> = queries.iter().map(|q| q.bits()).collect();
+                plane.scan_ranked_batch(&bits)
+            }
+            None => queries
+                .iter()
+                .map(|q| scan_ranked(self.store.shard_documents(shard), q))
+                .collect(),
+        }
+    }
+
+    /// Number of parallel scan lanes this engine fans out to: persistent pool
+    /// workers plus the calling thread (which always takes one lane). Clamped at
+    /// construction to `min(shards, available_parallelism)` — an oversharded
+    /// store (more shards than cores) coalesces several shards per lane rather
+    /// than oversubscribing the host, so lanes never exceed the parallelism the
+    /// hardware actually offers.
+    pub fn scan_lanes(&self) -> usize {
+        self.pool.as_ref().map_or(1, |pool| pool.workers() + 1)
+    }
+
     /// Scan every shard for documents whose level-1 index matches `query`, extract a
     /// value per match, and merge across shards in storage (insertion-ordinal)
     /// order. The single home of the ordinal-merge logic that makes parallel
@@ -499,9 +538,32 @@ impl<S: IndexStore> SearchEngine<S> {
             .collect()
     }
 
-    /// Batched ranked search with per-query statistics and cache effects. With the
-    /// cache enabled, each shard is scanned once for exactly the subset of queries
-    /// that missed it; fully cached queries trigger no scan at all.
+    /// Batched ranked search with per-query statistics and cache effects.
+    ///
+    /// Execution is **fused and deduplicated**: queries carrying identical
+    /// [`QueryFingerprint`]s are scanned once (the first occurrence is the
+    /// representative; every duplicate position receives a copy of its reply),
+    /// and each shard worker receives its whole remaining query set in one
+    /// fused [`crate::scanplane::ScanPlane::scan_ranked_batch`] pass — the
+    /// shard's arena crosses the memory bus once per batch, not once per query.
+    /// With the cache enabled, each shard scans exactly the unique queries that
+    /// missed it (fully cached queries trigger no scan at all), and duplicates
+    /// are resolved through real cache lookups against what the representative
+    /// admitted — so their [`CacheEffect`]s report the same hits, and the same
+    /// saved comparisons, that issuing the b queries one at a time would have
+    /// produced. Replies, per-query [`SearchStats`] and merge order are
+    /// byte-identical to b independent single-query executions either way.
+    ///
+    /// One scoped caveat on the *diagnostics*: the distinct queries' cache
+    /// lookups are phased (all before the fused scans — that is what makes one
+    /// plane pass per shard possible), so when the cache is under eviction
+    /// pressure **within a single batch** (`capacity_per_shard` smaller than the
+    /// batch's distinct working set plus the warm entries it displaces), a
+    /// [`CacheEffect`]/[`CacheStats`] entry may differ from strict one-at-a-time
+    /// issue order — an earlier query's admission cannot evict an entry a later
+    /// distinct query already looked up. Replies and [`SearchStats`] are never
+    /// affected (the cache may change work accounting, never bytes), and
+    /// duplicate positions always replay sequential cache traffic exactly.
     pub fn search_batch_with_effects(
         &self,
         queries: &[QueryIndex],
@@ -510,31 +572,46 @@ impl<S: IndexStore> SearchEngine<S> {
             return Vec::new();
         }
         let shards = self.store.num_shards();
-        let Some(cache_mutex) = &self.cache else {
-            // per_shard[shard][query] = (matches, stats); transpose to per-query
-            // rows so every execution path merges through merge_ranked.
-            let mut per_shard = self.map_shards(|shard| {
-                queries
-                    .iter()
-                    .map(|q| self.scan_shard(shard, q))
-                    .collect::<Vec<_>>()
-            });
-            return (0..queries.len())
-                .map(|q| {
-                    Self::merge_ranked(
-                        per_shard
-                            .iter_mut()
-                            .map(|rows| std::mem::take(&mut rows[q])),
-                        CacheEffect::default(),
-                    )
-                })
-                .collect();
-        };
-
         let fingerprints: Vec<QueryFingerprint> =
             queries.iter().map(Self::ranked_fingerprint).collect();
-        // resolved[query][shard]
-        let mut resolved: Vec<Vec<Option<ShardScan>>> = queries
+        // Intra-batch dedup: rep[i] is the batch position of the first query with
+        // fingerprints[i]; positions where rep[i] == i are the unique set.
+        let mut first_of: HashMap<&QueryFingerprint, usize> = HashMap::with_capacity(queries.len());
+        let mut rep: Vec<usize> = Vec::with_capacity(queries.len());
+        for (i, fingerprint) in fingerprints.iter().enumerate() {
+            rep.push(*first_of.entry(fingerprint).or_insert(i));
+        }
+        let uniques: Vec<usize> = (0..queries.len()).filter(|&i| rep[i] == i).collect();
+        // unique_pos[rep[i]] is rep[i]'s row in the per-unique tables below.
+        let unique_pos: HashMap<usize, usize> = uniques
+            .iter()
+            .enumerate()
+            .map(|(pos, &u)| (u, pos))
+            .collect();
+        let mut out: Vec<Option<(Vec<SearchMatch>, SearchStats, CacheEffect)>> =
+            (0..queries.len()).map(|_| None).collect();
+
+        let Some(cache_mutex) = &self.cache else {
+            // per_shard[shard][pos] over the unique set; transpose to per-query
+            // rows so every execution path merges through merge_ranked.
+            let subset: Vec<&QueryIndex> = uniques.iter().map(|&u| &queries[u]).collect();
+            let mut per_shard = self.map_shards(|shard| self.scan_shard_batch(shard, &subset));
+            for (pos, &u) in uniques.iter().enumerate() {
+                out[u] = Some(Self::merge_ranked(
+                    per_shard
+                        .iter_mut()
+                        .map(|rows| std::mem::take(&mut rows[pos])),
+                    CacheEffect::default(),
+                ));
+            }
+            // Duplicates: identical reply bytes, and — matching b independent
+            // cache-less executions exactly — an all-zero effect.
+            return Self::fan_out_duplicates(out, &rep, |_| CacheEffect::default());
+        };
+
+        // Phase 1 — lookups for the unique queries, in batch order.
+        // resolved[pos][shard], rows aligned with `uniques`.
+        let mut resolved: Vec<Vec<Option<ShardScan>>> = uniques
             .iter()
             .map(|_| (0..shards).map(|_| None).collect())
             .collect();
@@ -544,9 +621,9 @@ impl<S: IndexStore> SearchEngine<S> {
             for shard in 0..shards {
                 generations.push(cache.generation(shard));
             }
-            for (fingerprint, rows) in fingerprints.iter().zip(resolved.iter_mut()) {
+            for (&u, rows) in uniques.iter().zip(resolved.iter_mut()) {
                 for (shard, row) in rows.iter_mut().enumerate() {
-                    *row = cache.lookup(shard, fingerprint);
+                    *row = cache.lookup(shard, &fingerprints[u]);
                 }
             }
         }
@@ -566,12 +643,18 @@ impl<S: IndexStore> SearchEngine<S> {
             })
             .collect();
 
-        // Each shard scans exactly the queries that missed it, in one pass.
+        // Phase 2 — fused scans: each shard sweeps exactly the unique queries
+        // that missed it, in one plane pass. Results only fill `resolved` here;
+        // admissions happen in phase 3, in batch order.
         let mut queries_for_shard: Vec<Vec<usize>> = (0..shards).map(|_| Vec::new()).collect();
-        for (q, rows) in resolved.iter().enumerate() {
+        // missing_of_pos[pos] = the shards `pos` was freshly scanned on (its
+        // phase-1 misses) — the shards sequential execution would admit.
+        let mut missing_of_pos: Vec<Vec<usize>> = (0..uniques.len()).map(|_| Vec::new()).collect();
+        for (pos, rows) in resolved.iter().enumerate() {
             for (shard, row) in rows.iter().enumerate() {
                 if row.is_none() {
-                    queries_for_shard[shard].push(q);
+                    queries_for_shard[shard].push(pos);
+                    missing_of_pos[pos].push(shard);
                 }
             }
         }
@@ -580,31 +663,105 @@ impl<S: IndexStore> SearchEngine<S> {
             .collect();
         if !shard_ids.is_empty() {
             let fresh = self.map_selected_shards(&shard_ids, |shard| {
-                queries_for_shard[shard]
+                let subset: Vec<&QueryIndex> = queries_for_shard[shard]
                     .iter()
-                    .map(|&q| self.scan_shard(shard, &queries[q]))
-                    .collect::<Vec<_>>()
+                    .map(|&pos| &queries[uniques[pos]])
+                    .collect();
+                self.scan_shard_batch(shard, &subset)
             });
-            let mut cache = cache_mutex.lock().unwrap();
             for (&shard, shard_results) in shard_ids.iter().zip(fresh) {
-                for (&q, (matches, stats)) in queries_for_shard[shard].iter().zip(shard_results) {
-                    cache.admit(
-                        shard,
-                        fingerprints[q].clone(),
-                        matches.clone(),
-                        stats,
-                        generations[shard],
-                    );
-                    resolved[q][shard] = Some((matches, stats));
+                for (&pos, scan) in queries_for_shard[shard].iter().zip(shard_results) {
+                    resolved[pos][shard] = Some(scan);
                 }
             }
         }
-        resolved
-            .into_iter()
-            .zip(effects)
-            .map(|(rows, effect)| {
-                Self::merge_ranked(rows.into_iter().map(|r| r.expect("shard resolved")), effect)
-            })
+
+        // Phase 3 — one pass over the batch in position order, replaying the
+        // cache traffic sequential execution would generate: a representative
+        // admits its freshly scanned shards; a duplicate resolves through real
+        // lookups, hitting whatever is cached *at its position in the batch*
+        // (normally what its representative just admitted — but under LRU
+        // pressure an intervening admission may have evicted it, and then, like
+        // sequential execution, the duplicate reports a miss and re-admits; the
+        // "rescan" result is the representative's identical row). Distinct
+        // queries' *lookups* stay phased (see the method docs), so only their
+        // diagnostics can deviate under intra-batch eviction pressure; the
+        // admission order and every duplicate's traffic match sequential
+        // execution exactly.
+        let mut duplicate_effects: Vec<CacheEffect> = vec![CacheEffect::default(); queries.len()];
+        {
+            let mut cache = cache_mutex.lock().unwrap();
+            for (i, fingerprint) in fingerprints.iter().enumerate() {
+                let pos = unique_pos[&rep[i]];
+                if rep[i] == i {
+                    for &shard in &missing_of_pos[pos] {
+                        let (matches, stats) =
+                            resolved[pos][shard].as_ref().expect("shard resolved");
+                        cache.admit(
+                            shard,
+                            fingerprint.clone(),
+                            matches.clone(),
+                            *stats,
+                            generations[shard],
+                        );
+                    }
+                    continue;
+                }
+                let mut effect = CacheEffect::default();
+                for shard in 0..shards {
+                    match cache.lookup(shard, fingerprint) {
+                        Some((_, stats)) => {
+                            effect.shard_hits += 1;
+                            effect.saved_comparisons += stats.comparisons;
+                        }
+                        None => {
+                            effect.shard_misses += 1;
+                            let (matches, stats) = resolved[pos][shard]
+                                .clone()
+                                .expect("representative resolved");
+                            cache.admit(
+                                shard,
+                                fingerprint.clone(),
+                                matches,
+                                stats,
+                                generations[shard],
+                            );
+                        }
+                    }
+                }
+                duplicate_effects[i] = effect;
+            }
+        }
+
+        for ((rows, effect), &u) in resolved.into_iter().zip(effects).zip(&uniques) {
+            out[u] = Some(Self::merge_ranked(
+                rows.into_iter().map(|r| r.expect("shard resolved")),
+                effect,
+            ));
+        }
+        Self::fan_out_duplicates(out, &rep, |i| duplicate_effects[i])
+    }
+
+    /// Finish a batch execution: every representative position of `out` is
+    /// filled; copy its reply into each duplicate position (pairing it with that
+    /// position's own [`CacheEffect`]) and unwrap the batch-ordered result.
+    fn fan_out_duplicates(
+        mut out: Vec<Option<(Vec<SearchMatch>, SearchStats, CacheEffect)>>,
+        rep: &[usize],
+        effect_of: impl Fn(usize) -> CacheEffect,
+    ) -> Vec<(Vec<SearchMatch>, SearchStats, CacheEffect)> {
+        for i in 0..out.len() {
+            if rep[i] != i {
+                let (matches, stats) = {
+                    let (matches, stats, _) =
+                        out[rep[i]].as_ref().expect("representative resolved first");
+                    (matches.clone(), *stats)
+                };
+                out[i] = Some((matches, stats, effect_of(i)));
+            }
+        }
+        out.into_iter()
+            .map(|reply| reply.expect("every batch position resolved"))
             .collect()
     }
 
@@ -718,6 +875,145 @@ mod tests {
             assert_eq!(stats, &single_stats);
         }
         assert!(engine.search_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn duplicate_batch_queries_scan_once_and_reply_like_sequential_execution() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 30);
+        let q_a = query(&mut fx, &["shared"]);
+        let q_b = query(&mut fx, &["kw3"]);
+        // The batch repeats q_a (positions 0, 2, 3) and q_b (positions 1, 4).
+        let batch = vec![
+            q_a.clone(),
+            q_b.clone(),
+            q_a.clone(),
+            q_a.clone(),
+            q_b.clone(),
+        ];
+
+        // Cache off: duplicates are scanned once and fanned out; replies and
+        // effects are byte-identical to independent executions (all-zero effects).
+        let mut plain = SearchEngine::sharded(fx.params.clone(), 4);
+        plain.insert_all(indices.iter().cloned()).unwrap();
+        let results = plain.search_batch_with_effects(&batch);
+        for (query, (matches, stats, effect)) in batch.iter().zip(&results) {
+            let (sm, ss) = plain.search_ranked_with_stats(query);
+            assert_eq!(matches, &sm);
+            assert_eq!(stats, &ss);
+            assert_eq!(effect, &CacheEffect::default());
+        }
+
+        // Cache on: issuing the 5 queries one at a time admits on first sight and
+        // hits on every repeat — the batch must report exactly those effects.
+        let mut sequential =
+            SearchEngine::sharded(fx.params.clone(), 4).with_result_cache(CacheConfig::default());
+        sequential.insert_all(indices.iter().cloned()).unwrap();
+        let expected: Vec<_> = batch
+            .iter()
+            .map(|q| sequential.search_ranked_with_effect(q))
+            .collect();
+        let expected_stats = sequential.cache_stats().unwrap();
+
+        let mut cached =
+            SearchEngine::sharded(fx.params.clone(), 4).with_result_cache(CacheConfig::default());
+        cached.insert_all(indices.iter().cloned()).unwrap();
+        let got = cached.search_batch_with_effects(&batch);
+        assert_eq!(got, expected, "batched execution must equal sequential");
+        assert!(got[2].2.fully_cached(), "duplicate is a pure cache hit");
+        assert_eq!(got[2].2.saved_comparisons, got[2].1.comparisons);
+        assert_eq!(
+            cached.cache_stats().unwrap(),
+            expected_stats,
+            "dedup must leave the same CacheStats trail as sequential execution"
+        );
+    }
+
+    #[test]
+    fn duplicate_batch_queries_under_lru_pressure_match_sequential() {
+        // capacity 1 with batch [A, A, B]: sequential execution admits A, hits
+        // A, then B's admission evicts A — so B ends up cached and the
+        // duplicate's reply reports a hit. The batched path must replay exactly
+        // that cache traffic (admissions and duplicate lookups interleaved in
+        // batch order), not admit everything first and let B's admission evict
+        // A before the duplicate looks up.
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 24);
+        let q_a = query(&mut fx, &["shared"]);
+        let q_b = query(&mut fx, &["kw1"]);
+        let batch = vec![q_a.clone(), q_a.clone(), q_b.clone()];
+        let tiny = CacheConfig {
+            capacity_per_shard: 1,
+        };
+
+        let mut sequential = SearchEngine::sharded(fx.params.clone(), 3).with_result_cache(tiny);
+        sequential.insert_all(indices.iter().cloned()).unwrap();
+        let expected: Vec<_> = batch
+            .iter()
+            .map(|q| sequential.search_ranked_with_effect(q))
+            .collect();
+        assert!(
+            expected[1].2.fully_cached(),
+            "sequential duplicate must hit before B evicts A"
+        );
+
+        let mut batched = SearchEngine::sharded(fx.params.clone(), 3).with_result_cache(tiny);
+        batched.insert_all(indices.iter().cloned()).unwrap();
+        let got = batched.search_batch_with_effects(&batch);
+        assert_eq!(got, expected);
+        assert_eq!(
+            batched.cache_stats().unwrap(),
+            sequential.cache_stats().unwrap()
+        );
+        // And the surviving LRU contents match: B (the last admission) is the
+        // cached entry in both worlds, so a follow-up B fully hits.
+        assert_eq!(
+            batched.search_ranked_with_effect(&q_b),
+            sequential.search_ranked_with_effect(&q_b)
+        );
+        assert!(batched.search_ranked_with_effect(&q_b).2.fully_cached());
+    }
+
+    #[test]
+    fn duplicate_batch_queries_with_zero_capacity_cache_match_sequential() {
+        // capacity 0: nothing is ever admitted, so sequential execution rescans
+        // every repeat and reports misses — the deduplicated batch must report
+        // the same effects even though it physically scans once.
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 20);
+        let q = query(&mut fx, &["shared"]);
+        let batch = vec![q.clone(), q.clone(), q.clone()];
+        let mut sequential =
+            SearchEngine::sharded(fx.params.clone(), 3).with_result_cache(CacheConfig {
+                capacity_per_shard: 0,
+            });
+        sequential.insert_all(indices.iter().cloned()).unwrap();
+        let expected: Vec<_> = batch
+            .iter()
+            .map(|q| sequential.search_ranked_with_effect(q))
+            .collect();
+        let mut cached =
+            SearchEngine::sharded(fx.params.clone(), 3).with_result_cache(CacheConfig {
+                capacity_per_shard: 0,
+            });
+        cached.insert_all(indices.iter().cloned()).unwrap();
+        assert_eq!(cached.search_batch_with_effects(&batch), expected);
+    }
+
+    #[test]
+    fn scan_lanes_never_exceed_available_parallelism() {
+        let fx = fixture();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        for shards in [1usize, 2, 3, 4, 7, 16, 32] {
+            let engine = SearchEngine::sharded(fx.params.clone(), shards);
+            let lanes = engine.scan_lanes();
+            assert!(lanes >= 1);
+            assert!(
+                lanes <= cores,
+                "{shards} shards fanned out to {lanes} lanes on a {cores}-core host"
+            );
+            assert!(lanes <= shards, "more lanes than shards is pure overhead");
+        }
     }
 
     #[test]

@@ -27,15 +27,33 @@
 //! per stored document; each upper level walked contributes one more, failing level
 //! included).
 //!
+//! **Fused multi-query sweeps**: [`ScanPlane::scan_ranked_batch`] evaluates a
+//! whole batch of queries against each 1024-document chunk while its columns are
+//! hot. A single-query sweep is bandwidth-bound — every r-bit column word is
+//! fetched from DRAM, used once, and evicted before the next query arrives — so a
+//! b-query batch executed query-at-a-time pays b full passes over the same arena.
+//! The fused kernel inverts the loop nest (chunk-major outside, query inside, the
+//! column-at-a-time discipline of vectorized engines): chunk `c`'s columns are
+//! streamed from memory once, every query's active blocks are tested against them
+//! into a query-major reject-accumulator matrix (one [`CHUNK`]-word row per
+//! query), and only then does the sweep advance to chunk `c + 1`. The arena
+//! crosses the memory bus once per batch instead of once per query; the per-query
+//! work (identical word count, identical unrolled kernels) becomes compute-bound.
+//! Upper levels are still walked doc-major, per query, only on match.
+//!
 //! **Leakage note (§6)**: pruning is a function of the query index bytes alone —
 //! which the server already holds — plus the public geometry `r`. It reveals
 //! nothing beyond the search-pattern observation the paper's §6 adversary is
 //! already granted; the per-document work it skips is data-independent (the same
-//! blocks are skipped for every document in the shard).
+//! blocks are skipped for every document in the shard). The same holds for the
+//! fused batch sweep: it reads exactly the query bytes and public geometry the
+//! server already observes for b sequential queries — batching changes the
+//! *order* of memory accesses, never what is observed.
 
 use crate::bitindex::BitIndex;
 use crate::document_index::RankedDocumentIndex;
 use crate::search::{SearchMatch, SearchStats};
+use std::cell::RefCell;
 
 /// Documents per block-major chunk. With the paper's r = 448 (7 blocks) a chunk's
 /// columns span 56 KiB — resident in L2 while its 8 KiB reject accumulator stays
@@ -66,6 +84,45 @@ pub struct ScanPlane {
 /// One active column of a query: the block position and the query's negated
 /// (zero-selecting) word there, already masked to the valid `r` bits.
 type ActiveBlock = (usize, u64);
+
+/// Reusable per-worker scan buffers: the active-block lists (flattened, one span
+/// per query) and the reject-accumulator matrix (one [`CHUNK`]-word row per
+/// query). Scans used to allocate a fresh active-block `Vec` per query and —
+/// in the batch path — an accumulator per query per pass; the engine's scan
+/// lanes are persistent threads, so one thread-local scratch per worker turns
+/// every scan after the first into an allocation-free sweep (visible on the
+/// b = 1 profile too).
+#[derive(Default)]
+struct ScanScratch {
+    /// Every query's active blocks, back to back.
+    active: Vec<ActiveBlock>,
+    /// Per-query spans into `active`: query `q` owns `active[ranges[q].0..ranges[q].1]`.
+    ranges: Vec<(usize, usize)>,
+    /// Query-major reject-accumulator matrix: row `q` is `acc[q·CHUNK..(q+1)·CHUNK]`.
+    acc: Vec<u64>,
+    /// Per-group fused active lists (the union of each [`GROUP`]-query group's
+    /// active blocks, inactive lanes zero-padded), back to back. Each lane's
+    /// negated word is stored **pre-broadcast** (four copies) so the kernel's
+    /// AND folds a plain vector load instead of re-broadcasting per strip.
+    unions: Vec<(usize, GroupNq)>,
+    /// Per-group spans into `unions`.
+    union_ranges: Vec<(usize, usize)>,
+    /// Per-query match-summary bitmaps for the chunk being swept (one bit per
+    /// strip), written by the kernel while the tile is register-resident.
+    summaries: Vec<MatchSummary>,
+}
+
+thread_local! {
+    /// One scratch per thread — i.e. one per persistent engine scan lane.
+    static SCRATCH: RefCell<ScanScratch> = RefCell::new(ScanScratch::default());
+}
+
+/// Run `f` with the calling thread's scan scratch. Scans never nest (the plane
+/// never calls back into itself while the scratch is borrowed), so the borrow is
+/// always free.
+fn with_scratch<T>(f: impl FnOnce(&mut ScanScratch) -> T) -> T {
+    SCRATCH.with(|cell| f(&mut cell.borrow_mut()))
+}
 
 impl ScanPlane {
     /// An empty plane. Geometry (r, η) is adopted from the first packed document,
@@ -128,27 +185,33 @@ impl ScanPlane {
         self.ids.push(index.document_id);
     }
 
-    /// The query's active block list: every block position where the query has at
-    /// least one zero among the valid `r` bits, paired with the negated query word
-    /// (masked to valid bits). A block absent from this list can never reject any
-    /// document — `doc AND NOT query` is zero there for the whole shard.
-    fn active_blocks(&self, query: &BitIndex) -> Vec<ActiveBlock> {
+    /// Append the query's active block list to `out`: every block position where
+    /// the query has at least one zero among the valid `r` bits, paired with the
+    /// negated query word (masked to valid bits). A block absent from this list
+    /// can never reject any document — `doc AND NOT query` is zero there for the
+    /// whole shard. Appending into a caller-owned buffer keeps the hot path free
+    /// of per-query allocations (see [`ScanScratch`]).
+    fn active_blocks_into(&self, query: &BitIndex, out: &mut Vec<ActiveBlock>) {
         assert_eq!(query.len(), self.bits, "length mismatch");
         let tail = self.bits % 64;
-        query
-            .as_blocks()
-            .iter()
-            .enumerate()
-            .filter_map(|(b, &q)| {
-                let valid = if tail != 0 && b == self.blocks - 1 {
-                    (1u64 << tail) - 1
-                } else {
-                    u64::MAX
-                };
-                let nq = !q & valid;
-                (nq != 0).then_some((b, nq))
-            })
-            .collect()
+        out.extend(query.as_blocks().iter().enumerate().filter_map(|(b, &q)| {
+            let valid = if tail != 0 && b == self.blocks - 1 {
+                (1u64 << tail) - 1
+            } else {
+                u64::MAX
+            };
+            let nq = !q & valid;
+            (nq != 0).then_some((b, nq))
+        }));
+    }
+
+    /// The query's active block list as an owned `Vec` (test/diagnostic helper;
+    /// the scan paths use [`ScanPlane::active_blocks_into`] with reused buffers).
+    #[cfg(test)]
+    fn active_blocks(&self, query: &BitIndex) -> Vec<ActiveBlock> {
+        let mut out = Vec::new();
+        self.active_blocks_into(query, &mut out);
+        out
     }
 
     /// Sweep one chunk's active columns into the reject accumulator: after the
@@ -199,16 +262,20 @@ impl ScanPlane {
         if self.ids.is_empty() {
             return;
         }
-        let active = self.active_blocks(query);
-        let mut acc = [0u64; CHUNK];
-        for (chunk, chunk_ids) in self.ids.chunks(CHUNK).enumerate() {
-            self.sweep_chunk(chunk, chunk_ids.len(), &active, &mut acc);
-            for (i, &a) in acc[..chunk_ids.len()].iter().enumerate() {
-                if a == 0 {
-                    visit(chunk * CHUNK + i, &active);
+        with_scratch(|scratch| {
+            scratch.active.clear();
+            self.active_blocks_into(query, &mut scratch.active);
+            scratch.acc.resize(CHUNK.max(scratch.acc.len()), 0);
+            let (active, acc) = (&scratch.active, &mut scratch.acc[..CHUNK]);
+            for (chunk, chunk_ids) in self.ids.chunks(CHUNK).enumerate() {
+                self.sweep_chunk(chunk, chunk_ids.len(), active, acc);
+                for (i, &a) in acc[..chunk_ids.len()].iter().enumerate() {
+                    if a == 0 {
+                        visit(chunk * CHUNK + i, active);
+                    }
                 }
             }
-        }
+        })
     }
 
     /// The ranked scan of Algorithm 1 over the whole plane — the plane-backed
@@ -243,6 +310,312 @@ impl ScanPlane {
         self.for_each_matching_slot(query, |slot, _| slots.push(slot));
         slots
     }
+
+    /// The **fused multi-query sweep**: Algorithm 1 for every query of a batch in
+    /// one pass over the plane, amortizing the arena's memory traffic across the
+    /// whole batch (see the [module docs](self)).
+    ///
+    /// Each chunk's columns are streamed once; every query's active blocks are
+    /// swept against them while they are cache-hot, each query rejecting into its
+    /// own row of a query-major accumulator matrix; matching documents then walk
+    /// the doc-major upper levels per query, in slot order. The result is
+    /// **byte-identical** to `queries.len()` independent [`ScanPlane::scan_ranked`]
+    /// calls — same matches, same scan order, same per-query [`SearchStats`]
+    /// (the batch changes memory access order, not what is computed; the
+    /// release-mode proptest in `scanplane_equivalence.rs` holds it to that).
+    pub fn scan_ranked_batch(&self, queries: &[&BitIndex]) -> Vec<(Vec<SearchMatch>, SearchStats)> {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // A batch of one is exactly the single-query sweep; skip the group
+            // machinery (the two paths are byte-identical, this is just faster).
+            return vec![self.scan_ranked(queries[0])];
+        }
+        if self.ids.is_empty() {
+            // Geometry is unknown while empty; match the single-query contract
+            // (empty matches, zeroed stats) for any query length.
+            return (0..n)
+                .map(|_| (Vec::new(), SearchStats::default()))
+                .collect();
+        }
+        let mut results: Vec<(Vec<SearchMatch>, SearchStats)> = (0..n)
+            .map(|_| {
+                (
+                    Vec::new(),
+                    SearchStats {
+                        comparisons: self.ids.len() as u64,
+                        matches: 0,
+                    },
+                )
+            })
+            .collect();
+        with_scratch(|scratch| {
+            scratch.active.clear();
+            scratch.ranges.clear();
+            for query in queries {
+                let start = scratch.active.len();
+                self.active_blocks_into(query, &mut scratch.active);
+                scratch.ranges.push((start, scratch.active.len()));
+            }
+            // Fuse the per-query active lists into per-GROUP union lists: one
+            // entry per block where any lane of the group is active, inactive
+            // lanes zero-padded (`col & 0` contributes nothing, so each lane
+            // still sees exactly its own active blocks).
+            scratch.unions.clear();
+            scratch.union_ranges.clear();
+            for group in scratch.ranges.chunks(GROUP) {
+                let start = scratch.unions.len();
+                for b in 0..self.blocks {
+                    let mut nqs: GroupNq = [[0u64; 4]; GROUP];
+                    let mut any = false;
+                    for (lane, &(lo, hi)) in group.iter().enumerate() {
+                        if let Some(&(_, nq)) =
+                            scratch.active[lo..hi].iter().find(|&&(ab, _)| ab == b)
+                        {
+                            nqs[lane] = [nq; 4];
+                            any = true;
+                        }
+                    }
+                    if any {
+                        scratch.unions.push((b, nqs));
+                    }
+                }
+                scratch.union_ranges.push((start, scratch.unions.len()));
+            }
+            scratch.acc.resize((n * CHUNK).max(scratch.acc.len()), 0);
+            scratch.summaries.clear();
+            scratch.summaries.resize(n, 0);
+            for (chunk, chunk_ids) in self.ids.chunks(CHUNK).enumerate() {
+                let docs = chunk_ids.len();
+                // Sweep every query group over this chunk's columns while they
+                // are resident: one column load serves the whole group, the
+                // group's accumulator tiles live in registers, and only the
+                // first group pays the DRAM fetch — the rest hit cache.
+                let cols = &self.base[chunk * CHUNK * self.blocks..];
+                for (g, &(lo, hi)) in scratch.union_ranges.iter().enumerate() {
+                    let lanes = GROUP.min(n - g * GROUP);
+                    let union_active = &scratch.unions[lo..hi];
+                    let acc = &mut scratch.acc[g * GROUP * CHUNK..];
+                    let summary = &mut scratch.summaries[g * GROUP..];
+                    match lanes {
+                        4 => sweep_chunk_group::<4>(cols, docs, union_active, acc, summary),
+                        3 => sweep_chunk_group::<3>(cols, docs, union_active, acc, summary),
+                        2 => sweep_chunk_group::<2>(cols, docs, union_active, acc, summary),
+                        _ => sweep_chunk_group::<1>(cols, docs, union_active, acc, summary),
+                    }
+                }
+                // Then resolve matches per query, in slot order — identical to
+                // the single-query visit. Rejections dominate (a handful of
+                // matches per tens of thousands of documents), so the visit
+                // skims each row's match-summary bitmap and inspects only the
+                // strips that actually hold a match.
+                for (q, &(lo, hi)) in scratch.ranges.iter().enumerate() {
+                    let mut summary = scratch.summaries[q];
+                    if summary == 0 {
+                        continue;
+                    }
+                    let active = &scratch.active[lo..hi];
+                    let (matches, stats) = &mut results[q];
+                    let row = &scratch.acc[q * CHUNK..q * CHUNK + docs];
+                    while summary != 0 {
+                        let s = summary.trailing_zeros() as usize;
+                        summary &= summary - 1;
+                        for (j, &a) in row[s * STRIP..docs.min((s + 1) * STRIP)].iter().enumerate()
+                        {
+                            if a != 0 {
+                                continue;
+                            }
+                            let slot = chunk * CHUNK + s * STRIP + j;
+                            stats.matches += 1;
+                            let rank = if self.levels > 1 {
+                                self.walk_upper(slot, active, stats)
+                            } else {
+                                1
+                            };
+                            matches.push(SearchMatch {
+                                document_id: self.ids[slot],
+                                rank,
+                            });
+                        }
+                    }
+                }
+            }
+        });
+        results
+    }
+}
+
+/// Queries per fused sweep group: each group's accumulators live in registers
+/// while a column strip is swept, so one column load serves [`GROUP`] queries.
+const GROUP: usize = 4;
+
+/// Documents per match-summary bit and per register strip of the portable fused
+/// kernel: 8 docs × 4 queries is 16 vector accumulators on AVX2 (two ymm per
+/// lane) plus the two-register column strip — spill-free, with the
+/// pre-broadcast negated words folded from memory. The AVX-512 build widens its
+/// strip to [`WIDE_STRIP`] but keeps this summary granularity.
+const STRIP: usize = 8;
+
+/// Documents per register strip of the AVX-512 kernel: a 16-doc tile is two zmm
+/// registers per lane (8 of 32 total), and each negated-word broadcast is
+/// reused for both halves — the per-strip fixed costs (broadcasts, summary,
+/// loop) amortize over twice the documents.
+const WIDE_STRIP: usize = 16;
+
+/// One group's negated query words for one block, each lane pre-broadcast to a
+/// vector-width quadruple so the kernel's AND reads it as a plain 32-byte load.
+type GroupNq = [[u64; 4]; GROUP];
+
+/// One bit per [`STRIP`] of a chunk (`CHUNK / STRIP` = 128 bits): set whenever
+/// the strip **may** contain a matching document (the kernel tests once per
+/// register tile, so the bits over-approximate at tile granularity; a zero bit
+/// is a guaranteed miss). Computed inside the sweep while the accumulator tile
+/// is register-resident, so the match-visit pass skims two words per row — and
+/// verifies the flagged strips word by word — instead of re-reading the whole
+/// 8 KiB row.
+type MatchSummary = u128;
+
+/// The fused group sweep over one chunk: `G ≤ GROUP` queries' reject rows
+/// computed in a single pass over the chunk's columns. `acc` holds the group's
+/// rows back to back with stride [`CHUNK`] (`acc[g·CHUNK + i]` is document `i`'s
+/// word for lane `g`); `union_active` lists every block where **any** lane is
+/// active, with inactive lanes' words zeroed (OR-ing `col & 0` is the identity,
+/// so per-lane pruning semantics are preserved exactly).
+///
+/// The loop nest is the point: a [`STRIP`]-document accumulator tile lives in
+/// registers across all blocks, so each column word is **loaded once for the
+/// whole group** and the accumulators never round-trip through memory — the
+/// single-query kernels pay one accumulator load *and* store per column word.
+#[inline(always)]
+fn sweep_chunk_group_body<const G: usize, const S: usize>(
+    cols: &[u64],
+    docs: usize,
+    union_active: &[(usize, GroupNq)],
+    acc: &mut [u64],
+    summary: &mut [MatchSummary],
+) {
+    debug_assert!(G <= GROUP && acc.len() >= (G - 1) * CHUNK + docs);
+    debug_assert!(S.is_multiple_of(STRIP) && summary.len() >= G);
+    let mut found = [0 as MatchSummary; G];
+    let mut i = 0;
+    while i + S <= docs {
+        let mut tile = [[0u64; S]; G];
+        for &(b, ref nqs) in union_active {
+            let col: &[u64; S] = cols[b * CHUNK + i..b * CHUNK + i + S]
+                .try_into()
+                .expect("strip-sized column slice");
+            for (lane, nq) in tile.iter_mut().zip(nqs) {
+                for (j, a) in lane.iter_mut().enumerate() {
+                    *a |= col[j] & nq[j % 4];
+                }
+            }
+        }
+        for (g, lane) in tile.iter().enumerate() {
+            // While the tile is still in registers, note whether this strip may
+            // hold a match (a zero word): the visit pass then skims the summary
+            // bitmap instead of re-reading the whole accumulator row. One test
+            // covers the whole tile — the bits over-approximate at tile
+            // granularity and the (rare) visit verifies word by word.
+            if lane.contains(&0) {
+                found[g] |= (((1 as MatchSummary) << (S / STRIP)) - 1) << (i / STRIP);
+            }
+            acc[g * CHUNK + i..g * CHUNK + i + S].copy_from_slice(lane);
+        }
+        i += S;
+    }
+    if i < docs {
+        // Ragged tail of the last (partial) chunk — full chunks are a multiple
+        // of every strip width.
+        let rem = docs - i;
+        let mut tile = [[0u64; S]; G];
+        for &(b, ref nqs) in union_active {
+            let col = &cols[b * CHUNK + i..b * CHUNK + i + rem];
+            for (lane, nq) in tile.iter_mut().zip(nqs) {
+                for (j, (a, &c)) in lane.iter_mut().zip(col).enumerate() {
+                    *a |= c & nq[j % 4];
+                }
+            }
+        }
+        for (g, lane) in tile.iter().enumerate() {
+            if lane[..rem].contains(&0) {
+                found[g] |= (((1 as MatchSummary) << rem.div_ceil(STRIP)) - 1) << (i / STRIP);
+            }
+            acc[g * CHUNK + i..g * CHUNK + docs].copy_from_slice(&lane[..rem]);
+        }
+    }
+    summary[..G].copy_from_slice(&found);
+}
+
+/// [`sweep_chunk_group_body`] compiled for the baseline target (SSE2 on x86-64).
+fn sweep_chunk_group_generic<const G: usize>(
+    cols: &[u64],
+    docs: usize,
+    union_active: &[(usize, GroupNq)],
+    acc: &mut [u64],
+    summary: &mut [MatchSummary],
+) {
+    sweep_chunk_group_body::<G, STRIP>(cols, docs, union_active, acc, summary);
+}
+
+/// [`sweep_chunk_group_body`] compiled with AVX2 enabled: the strip tile fits in
+/// ymm registers (two per lane plus the column strip), doubling the
+/// per-instruction width over the portable build. Selected at runtime by
+/// [`sweep_chunk_group`]; never called unless the CPU reports AVX2.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn sweep_chunk_group_avx2<const G: usize>(
+    cols: &[u64],
+    docs: usize,
+    union_active: &[(usize, GroupNq)],
+    acc: &mut [u64],
+    summary: &mut [MatchSummary],
+) {
+    sweep_chunk_group_body::<G, STRIP>(cols, docs, union_active, acc, summary);
+}
+
+/// [`sweep_chunk_group_body`] compiled with AVX-512F enabled: a lane's whole
+/// [`STRIP`]-document tile is one zmm register, halving the instruction count
+/// again over AVX2. Selected at runtime by [`sweep_chunk_group`]; never called
+/// unless the CPU reports the feature.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+fn sweep_chunk_group_avx512<const G: usize>(
+    cols: &[u64],
+    docs: usize,
+    union_active: &[(usize, GroupNq)],
+    acc: &mut [u64],
+    summary: &mut [MatchSummary],
+) {
+    sweep_chunk_group_body::<G, WIDE_STRIP>(cols, docs, union_active, acc, summary);
+}
+
+/// Runtime-dispatched fused group sweep (see [`sweep_chunk_group_body`]).
+#[inline]
+fn sweep_chunk_group<const G: usize>(
+    cols: &[u64],
+    docs: usize,
+    union_active: &[(usize, GroupNq)],
+    acc: &mut [u64],
+    summary: &mut [MatchSummary],
+) {
+    // SAFETY (both arms): the feature requirement is checked right above each
+    // call; the detection macro caches, so the branch costs one predictable
+    // load per call.
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx512f") {
+        unsafe {
+            return sweep_chunk_group_avx512::<G>(cols, docs, union_active, acc, summary);
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        unsafe {
+            return sweep_chunk_group_avx2::<G>(cols, docs, union_active, acc, summary);
+        }
+    }
+    sweep_chunk_group_generic::<G>(cols, docs, union_active, acc, summary);
 }
 
 /// `acc[i] = col[i] & nq`, 4-wide unrolled so the autovectorizer stays on the
@@ -470,6 +843,58 @@ mod tests {
             levels: vec![BitIndex::all_ones(64)],
         });
         let _ = plane.scan_ranked(&BitIndex::all_ones(65));
+    }
+
+    #[test]
+    fn scanplane_batch_sweep_equals_independent_scans() {
+        let mut rng = StdRng::seed_from_u64(47);
+        // Straddle block and chunk boundaries; include duplicate queries and the
+        // pruning extremes in one batch.
+        for &(n_docs, r, eta) in &[(37usize, 65usize, 3usize), (2 * CHUNK + 321, 448, 3)] {
+            let docs = random_docs(&mut rng, n_docs, r, eta);
+            let plane = plane_of(&docs);
+            let mut queries: Vec<BitIndex> = (0..5)
+                .map(|i| random_bitindex(&mut rng, r, [0.0, 0.02, 0.3, 0.9, 1.0][i]))
+                .collect();
+            queries.push(queries[1].clone()); // exact duplicate
+            queries.push(BitIndex::all_ones(r));
+            queries.push(BitIndex::all_zeros(r));
+            let refs: Vec<&BitIndex> = queries.iter().collect();
+            let batched = plane.scan_ranked_batch(&refs);
+            assert_eq!(batched.len(), queries.len());
+            for (qi, (q, got)) in queries.iter().zip(&batched).enumerate() {
+                assert_eq!(got, &plane.scan_ranked(q), "n={n_docs} r={r} query {qi}");
+            }
+        }
+    }
+
+    #[test]
+    fn scanplane_batch_sweep_edge_batches() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let docs = random_docs(&mut rng, 30, 129, 2);
+        let plane = plane_of(&docs);
+        // Empty batch.
+        assert!(plane.scan_ranked_batch(&[]).is_empty());
+        // Batch of one equals the single scan.
+        let q = random_bitindex(&mut rng, 129, 0.1);
+        assert_eq!(plane.scan_ranked_batch(&[&q]), vec![plane.scan_ranked(&q)]);
+        // Empty plane: zeroed stats for every query, any length.
+        let empty = ScanPlane::new();
+        let out = empty.scan_ranked_batch(&[&q, &q]);
+        assert_eq!(out, vec![(Vec::new(), SearchStats::default()); 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scanplane_batch_rejects_mismatched_query_length() {
+        let mut plane = ScanPlane::new();
+        plane.push(&RankedDocumentIndex {
+            document_id: 0,
+            levels: vec![BitIndex::all_ones(64)],
+        });
+        let good = BitIndex::all_ones(64);
+        let bad = BitIndex::all_ones(65);
+        let _ = plane.scan_ranked_batch(&[&good, &bad]);
     }
 
     #[test]

@@ -224,6 +224,42 @@ fn scanplane_snapshot_restore_rebuilds_planes() {
     }
 }
 
+#[test]
+fn scanplane_fused_batch_equals_sequential_engine_at_all_shard_counts() {
+    // Engine-level fused-batch parity: for every shard count, with the cache off
+    // and on (cold and warm), a batch containing duplicates and the pruning
+    // extremes must reply exactly like the sequential reference answers each
+    // query alone.
+    let mut rng = StdRng::seed_from_u64(95);
+    let r = 193; // three full blocks + 1-bit tail
+    let params = params_for(r, 3);
+    let docs = random_docs(&mut rng, 67, r, 3);
+    let mut batch = query_workload(&mut rng, r, &docs);
+    let dup = batch[0].clone();
+    batch.push(dup); // intra-batch duplicate: deduped scan, identical reply
+    let mut reference = CloudIndex::new(params.clone());
+    reference.insert_all(docs.iter().cloned()).unwrap();
+
+    for shards in SHARD_COUNTS {
+        for cached in [false, true] {
+            let mut engine = SearchEngine::sharded(params.clone(), shards);
+            if cached {
+                engine.enable_cache(CacheConfig::default());
+            }
+            engine.insert_all(docs.iter().cloned()).unwrap();
+            for pass in ["cold", "warm"] {
+                let batched = engine.search_batch_with_stats(&batch);
+                for (qi, (query, (matches, stats))) in batch.iter().zip(&batched).enumerate() {
+                    let (seq_matches, seq_stats) = reference.search_ranked_with_stats(query);
+                    let ctx = format!("{shards} shards, cached={cached}, {pass}, query {qi}");
+                    assert_eq!(matches, &seq_matches, "fused batch differs: {ctx}");
+                    assert_eq!(stats, &seq_stats, "fused batch stats differ: {ctx}");
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -267,5 +303,64 @@ proptest! {
             reference.search_ranked_with_stats(&query)
         );
         prop_assert_eq!(engine.search_unranked(&query), reference.search_unranked(&query));
+    }
+
+    /// The fused-batch contract under arbitrary geometry: for any batch size in
+    /// 1..=64 — with duplicate queries and the all-ones/all-zeros pruning
+    /// extremes mixed in — `scan_ranked_batch` returns exactly what b
+    /// independent `scan_ranked` calls return, and the 2-shard engine's fused
+    /// batch equals the reference answering each query alone.
+    #[test]
+    fn scanplane_prop_batch_equals_independent_scans(
+        seed in 0u64..1_000_000,
+        r in 1usize..=200,
+        eta in 1usize..=3,
+        num_docs in 0usize..24,
+        batch_size in 1usize..=64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let docs: Vec<RankedDocumentIndex> = (0..num_docs)
+            .map(|i| RankedDocumentIndex {
+                document_id: i as u64,
+                levels: (0..eta).map(|_| random_bitindex(&mut rng, r, 0.2)).collect(),
+            })
+            .collect();
+        let queries: Vec<BitIndex> = (0..batch_size)
+            .map(|q| match q % 5 {
+                // Duplicates of the first query land in the batch whenever
+                // batch_size > 3, alongside both pruning extremes.
+                0 => random_bitindex(&mut rng, r, 0.3),
+                1 => BitIndex::all_ones(r),
+                2 => BitIndex::all_zeros(r),
+                _ => random_bitindex(&mut rng, r, 0.05),
+            })
+            .collect();
+        let mut queries = queries;
+        if batch_size > 3 {
+            queries[3] = queries[0].clone();
+        }
+
+        let mut plane = ScanPlane::new();
+        for d in &docs {
+            plane.push(d);
+        }
+        let refs: Vec<&BitIndex> = queries.iter().collect();
+        let batched = plane.scan_ranked_batch(&refs);
+        prop_assert_eq!(batched.len(), queries.len());
+        for (q, got) in queries.iter().zip(&batched) {
+            prop_assert_eq!(got, &plane.scan_ranked(q));
+        }
+
+        // Engine-level: the fused 2-shard batch vs the AoS reference.
+        let params = params_for(r, eta);
+        let mut reference = CloudIndex::new(params.clone());
+        reference.insert_all(docs.iter().cloned()).unwrap();
+        let mut engine = SearchEngine::sharded(params, 2);
+        engine.insert_all(docs.iter().cloned()).unwrap();
+        let wrapped: Vec<QueryIndex> = queries.iter().cloned().map(QueryIndex::from_bits).collect();
+        let engine_batch = engine.search_batch_with_stats(&wrapped);
+        for (query, got) in wrapped.iter().zip(engine_batch) {
+            prop_assert_eq!(got, reference.search_ranked_with_stats(query));
+        }
     }
 }

@@ -244,10 +244,15 @@ impl CloudServer {
     }
 
     /// Handle a batched query: every query of the batch is evaluated in a single
-    /// pass over each shard (with the cache enabled, each shard scans exactly the
-    /// queries that missed it), and the reply carries one [`SearchReply`] per query
-    /// in request order. Logical comparison counts accumulate exactly as if the
-    /// queries had been sent individually.
+    /// **fused** pass over each shard — the shard's scan-plane arena is streamed
+    /// once for the whole (cache-missed, intra-batch-deduplicated) query set, so a
+    /// b-query round trip pays one sweep's memory traffic instead of b (with the
+    /// cache enabled, each shard scans exactly the unique queries that missed it;
+    /// repeated query indices inside one batch scan once and fan out, reported in
+    /// each reply's [`CacheReport`] exactly as if the queries had been sent one at
+    /// a time). The reply carries one [`SearchReply`] per query in request order,
+    /// and logical comparison counts accumulate exactly as if the queries had been
+    /// sent individually.
     #[deprecated(
         note = "route batched queries through `Service::call` or a `crate::Client` \
                          (`Request::BatchQuery`); this shim forwards there unchanged"
@@ -557,6 +562,53 @@ mod tests {
         assert_eq!(server.counters().binary_comparisons, logical);
         assert_eq!(server.counters().comparisons_saved_by_cache, logical);
         assert_eq!(server.counters().cache_served_replies, 2);
+    }
+
+    #[test]
+    fn duplicate_queries_in_one_batch_dedup_and_account_like_sequential() {
+        let (owner, mut server, mut rng) = populated_server();
+        let q1 = query_for(&owner, &["cloud"], &mut rng);
+        let q2 = query_for(&owner, &["weather"], &mut rng);
+        // The batch repeats q1: a Zipf-style hot-keyword round trip.
+        let batch = BatchQueryMessage {
+            queries: vec![q1.query.clone(), q2.query.clone(), q1.query.clone()],
+            top: None,
+        };
+
+        // Reference: the same three queries issued one at a time on an
+        // identically configured server.
+        let mut sequential = CloudServer::with_shards(owner.params().clone(), server.num_shards());
+        let snapshot = server.snapshot_index();
+        sequential.restore_index(&snapshot).unwrap();
+        sequential.enable_result_cache(64);
+        sequential.reset_counters();
+        let individual = vec![
+            sequential.handle_query(&q1),
+            sequential.handle_query(&q2),
+            sequential.handle_query(&q1),
+        ];
+        let sequential_counters = *sequential.counters();
+
+        server.enable_result_cache(64);
+        server.reset_counters();
+        let batched = server.handle_batch_query(&batch);
+        // Byte-identical replies, including each reply's CacheReport: the
+        // duplicate is served as the cache hit sequential execution produces.
+        assert_eq!(batched.replies, individual);
+        assert!(batched.replies[2].cache.served_from_cache);
+        assert!(batched.replies[2].cache.saved_comparisons > 0);
+        // And the work accounting matches: the duplicate's comparisons are
+        // counted as saved, not performed.
+        let counters = server.counters();
+        assert_eq!(
+            counters.binary_comparisons,
+            sequential_counters.binary_comparisons
+        );
+        assert_eq!(
+            counters.comparisons_saved_by_cache,
+            sequential_counters.comparisons_saved_by_cache
+        );
+        assert_eq!(counters.cache_served_replies, 1);
     }
 
     #[test]

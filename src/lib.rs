@@ -34,9 +34,11 @@
 //!        │                                          (incl. the batched-query message,
 //!        ▼                                          CacheReport reply diagnostics)
 //!  mkse-core       engine::SearchEngine<S>          single / batched / top-k ranked
-//!        │    ├──  cache::ResultCache (optional)    search, one scan lane per shard,
-//!        ▼    │                                     merge by (rank desc, doc id asc);
-//!        │    └──  per-shard LRU keyed by           repeated query fingerprints skip
+//!        │    ├──  cache::ResultCache (optional)    search; scan lanes ≤ cores; merge
+//!        ▼    │                                     by (rank desc, doc id asc); batches
+//!        │    │                                     dedup repeated fingerprints and run
+//!        │    │                                     ONE fused plane pass per shard
+//!        ▼    └──  per-shard LRU keyed by           repeated query fingerprints skip
 //!        │         QueryFingerprint, write-         the shard scan entirely
 //!        ▼         generation invalidation
 //!  mkse-core       storage::IndexStore (trait)      geometry-validated inserts,
@@ -75,12 +77,32 @@
 //!   skipped work is the same for every document in the shard. The
 //!   `fig4b_search` bench's layout sweep writes `BENCH_scan.json` tracking
 //!   ns/query across layouts and shard counts.
+//! * **Fused batch sweep** ([`core::ScanPlane::scan_ranked_batch`]): a b-query
+//!   batch executed query-at-a-time would stream the whole arena b times; the
+//!   fused kernel sweeps each 1024-document chunk **once** for the entire batch,
+//!   testing every query's active blocks against the cache-hot columns into a
+//!   query-major reject-accumulator matrix (queries grouped four to a register
+//!   tile, with runtime-dispatched AVX2/AVX-512 variants over the same portable
+//!   body). The arena crosses the memory bus once per batch instead of once per
+//!   query (`BENCH_batch.json` records the depth sweep — ≥3× per-query
+//!   throughput at depth 16 on the 64k-document workload), and the result is
+//!   byte-identical to b independent single-query scans: same matches, ranks,
+//!   order and per-query stats, enforced by the release-mode batch proptest in
+//!   `scanplane_equivalence.rs`. Batching changes the *order* of memory
+//!   accesses, never what the server observes — the §6 leakage story of the
+//!   single sweep carries over verbatim.
 //! * **Engine** ([`core::engine`]): executes queries shard-by-shard in parallel and
 //!   merges per-shard matches and [`core::SearchStats`]. Merged output is provably
 //!   identical to the sequential scan: the (rank, id) sort key is a total order, the
 //!   stats are sums, and unranked results are re-ordered by insertion ordinal
 //!   (`tests/sharded_engine_equivalence.rs` asserts all of this for shard counts
-//!   1, 2, 7 and 16 on randomized corpora).
+//!   1, 2, 7 and 16 on randomized corpora). Scan lanes are clamped to the host's
+//!   available parallelism ([`core::engine::SearchEngine::scan_lanes`]) — an
+//!   oversharded store coalesces shards onto lanes rather than oversubscribing
+//!   cores. Batched execution deduplicates repeated query fingerprints inside
+//!   one batch (hot Zipf keywords scan once and fan out, with the duplicates
+//!   accounted as the cache hits sequential execution would report) and hands
+//!   each shard worker its whole remaining query set for one fused plane pass.
 //! * **Cache** ([`core::cache`]): an optional per-shard LRU of shard-scan results,
 //!   keyed by a collision-checked [`core::QueryFingerprint`] of the query bits.
 //!   Per-shard **write generations** invalidate exactly the shard an insert landed

@@ -148,6 +148,42 @@ fn batched_execution_is_identical_to_sequential_singles() {
 }
 
 #[test]
+fn fused_batch_with_duplicates_is_identical_to_sequential_singles() {
+    // The fused batch sweep (one plane pass per shard for the whole batch, with
+    // intra-batch dedup of repeated query indices) must be indistinguishable —
+    // matches, ranks, order, per-query stats — from the sequential reference
+    // answering each query alone, at every shard count, cache on and off.
+    let wl = random_workload(17, 53);
+    let mut reference = CloudIndex::new(wl.params.clone());
+    reference.insert_all(wl.indices.iter().cloned()).unwrap();
+    let mut batch = wl.queries.clone();
+    batch.push(wl.queries[0].clone()); // duplicate of the first query
+    batch.push(wl.queries[2].clone()); // and a duplicate further along
+
+    for shards in SHARD_COUNTS {
+        for cached in [false, true] {
+            let mut engine = SearchEngine::sharded(wl.params.clone(), shards);
+            if cached {
+                engine.enable_cache(CacheConfig {
+                    capacity_per_shard: 4,
+                });
+            }
+            engine.insert_all(wl.indices.iter().cloned()).unwrap();
+            for pass in ["cold", "warm"] {
+                let batched = engine.search_batch_with_stats(&batch);
+                assert_eq!(batched.len(), batch.len());
+                for (qi, (query, (matches, stats))) in batch.iter().zip(&batched).enumerate() {
+                    let ctx = format!("{shards} shards, cached={cached}, {pass}, query {qi}");
+                    let (seq_matches, seq_stats) = reference.search_ranked_with_stats(query);
+                    assert_eq!(matches, &seq_matches, "fused batch differs: {ctx}");
+                    assert_eq!(stats, &seq_stats, "fused batch stats differ: {ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn per_document_lookup_agrees_across_layouts() {
     let wl = random_workload(11, 37);
     let mut reference = CloudIndex::new(wl.params.clone());
