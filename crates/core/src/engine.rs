@@ -20,6 +20,28 @@
 //! * merged [`SearchStats`] are the field-wise sums of per-shard stats, which equal
 //!   the sequential counts.
 //!
+//! ## Scheduling: work-stealing over chunk ranges
+//!
+//! Parallelism is a property of the **executor**, not the data layout. By
+//! default the engine runs the [`ScanScheduler::WorkStealing`] scheduler: every
+//! selected shard's scan plane is carved into fixed-size chunk-range work units
+//! ([`SearchEngine::steal_granularity`] chunks of [`crate::scanplane::CHUNK`]
+//! documents each), the units are dealt contiguously onto the engine's scan
+//! lanes, and a lane that drains its own deal **steals** units from the tail of
+//! another lane's — so an oversharded store (more shards than lanes) degrades
+//! to the balanced schedule instead of serializing whole shards behind one
+//! lane, and a host with more lanes than shards splits single shards across
+//! lanes instead of idling. Stitching is deterministic: every unit writes into
+//! its pre-assigned result slot, a shard's unit results concatenate in chunk
+//! (slot) order and its stats sum, so replies, [`SearchStats`] and cache
+//! traffic are byte-identical to sequential execution no matter which lane ran
+//! which unit. [`ScanScheduler::Static`] — the original shard-per-lane fan-out
+//! — remains selectable, and is the automatic fallback for stores without a
+//! scan plane and for a single effective lane (with nobody to steal from,
+//! unit dispatch is pure overhead — one lane scans whole shards). The cache is
+//! scheduler-invisible either way: lookups and admissions happen per whole
+//! shard, on the stitched per-shard results.
+//!
 //! Batched execution ([`SearchEngine::search_batch_with_stats`]) evaluates many
 //! queries per shard-scan pass: each shard worker receives the whole (cache-missed,
 //! intra-batch-deduplicated) query set and makes **one fused pass** over the
@@ -61,11 +83,41 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 mod pool;
-use pool::WorkerPool;
+use pool::{StealDeques, WorkerPool};
 
 /// One shard's ranked-scan output: scan-order matches plus the shard's stats —
 /// exactly what [`scan_ranked`] returns and what the cache memoizes.
 type ShardScan = (Vec<SearchMatch>, SearchStats);
+
+/// How the engine schedules shard scans onto its lanes (see the
+/// [module docs](self)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanScheduler {
+    /// Whole shards dealt round-robin onto lanes — one lane sweeps a shard end
+    /// to end. Predictable, but an oversharded store serializes its surplus
+    /// shards behind busy lanes, and a single-shard store can never use more
+    /// than one lane.
+    Static,
+    /// Chunk-range work units on per-lane deques with tail stealing (the
+    /// default): load-balances across lanes at [`SearchEngine::steal_granularity`]
+    /// granularity while producing byte-identical results. Falls back to
+    /// [`ScanScheduler::Static`] for stores without a scan plane.
+    #[default]
+    WorkStealing,
+}
+
+/// Default chunks per work unit: 8 × [`crate::scanplane::CHUNK`] = 8192
+/// documents — a few tens of microseconds of sweeping, coarse enough that
+/// deque traffic is noise yet fine enough to balance shards across lanes.
+const DEFAULT_STEAL_GRANULARITY: usize = 8;
+
+/// One work unit of the stealing scheduler: a chunk range of one selected
+/// shard's plane. `pos` indexes the *selection* (result slot), not the store.
+struct ChunkUnit {
+    pos: usize,
+    shard: usize,
+    chunks: std::ops::Range<usize>,
+}
 
 /// A pluggable, shard-parallel search engine over an [`IndexStore`].
 ///
@@ -77,6 +129,12 @@ type ShardScan = (Vec<SearchMatch>, SearchStats);
 pub struct SearchEngine<S: IndexStore> {
     store: S,
     pool: Option<WorkerPool>,
+    /// Scan lanes (pool workers + the calling thread). Always `1..=cores`;
+    /// `pool` is `Some` iff `lanes > 1`.
+    lanes: usize,
+    scheduler: ScanScheduler,
+    /// Chunks per work-stealing unit (≥ 1).
+    steal_granularity: usize,
     /// The optional per-shard result cache. Interior mutability because searches
     /// take `&self` (and must be able to run concurrently from many sessions);
     /// all cache access happens on the calling thread, never inside scan jobs.
@@ -86,6 +144,9 @@ pub struct SearchEngine<S: IndexStore> {
 impl<S: IndexStore + Clone> Clone for SearchEngine<S> {
     fn clone(&self) -> Self {
         let mut engine = SearchEngine::new(self.store.clone());
+        engine.set_scan_lanes(self.lanes);
+        engine.scheduler = self.scheduler;
+        engine.steal_granularity = self.steal_granularity;
         // The clone keeps the cache *configuration* but starts with an empty
         // cache: entries are cheap to recompute and a fresh engine should not
         // carry another engine's LRU history.
@@ -117,26 +178,82 @@ impl SearchEngine<ShardedStore> {
 }
 
 impl<S: IndexStore> SearchEngine<S> {
-    /// Run queries on an existing store. Stores with more than one shard get a
-    /// persistent scan pool sized so that scan lanes (pool workers plus the calling
-    /// thread, which always takes one lane) never exceed the host's cores — more
-    /// busy threads than cores only adds scheduler thrash to a CPU-bound scan.
+    /// Run queries on an existing store. The engine starts with one scan lane
+    /// per host core (pool workers plus the calling thread, which always takes
+    /// one lane) — *not* per shard: the work-stealing scheduler splits shards
+    /// into chunk-range units, so even a single-shard store fills every lane,
+    /// and more busy threads than cores would only add scheduler thrash to a
+    /// CPU-bound scan. Use [`SearchEngine::with_scan_lanes`] to pin a count.
     ///
     /// The result cache starts disabled; see [`SearchEngine::enable_cache`].
     pub fn new(store: S) -> Self {
-        let shards = store.num_shards();
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let lanes = shards.min(cores);
-        let pool = if lanes > 1 {
-            Some(WorkerPool::new(lanes - 1))
-        } else {
-            None
-        };
-        SearchEngine {
+        let mut engine = SearchEngine {
             store,
-            pool,
+            pool: None,
+            lanes: 1,
+            scheduler: ScanScheduler::default(),
+            steal_granularity: DEFAULT_STEAL_GRANULARITY,
             cache: None,
+        };
+        engine.set_scan_lanes(usize::MAX);
+        engine
+    }
+
+    /// Builder-style [`SearchEngine::set_scan_lanes`].
+    pub fn with_scan_lanes(mut self, lanes: usize) -> Self {
+        self.set_scan_lanes(lanes);
+        self
+    }
+
+    /// Set the number of parallel scan lanes at runtime, clamped to
+    /// `1..=available_parallelism` (lanes beyond the host's cores only thrash a
+    /// CPU-bound scan; the bench sweep and multi-node deployments pin explicit
+    /// counts with this). Rebuilds the persistent worker pool when the count
+    /// actually changes; results are identical at any lane count.
+    pub fn set_scan_lanes(&mut self, lanes: usize) {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let lanes = lanes.clamp(1, cores);
+        if lanes == self.lanes && self.pool.is_some() == (lanes > 1) {
+            return;
         }
+        self.pool = (lanes > 1).then(|| WorkerPool::new(lanes - 1));
+        self.lanes = lanes;
+    }
+
+    /// Builder-style [`SearchEngine::set_scan_scheduler`].
+    pub fn with_scan_scheduler(mut self, scheduler: ScanScheduler) -> Self {
+        self.set_scan_scheduler(scheduler);
+        self
+    }
+
+    /// Select how shard scans are scheduled onto lanes (see [`ScanScheduler`]).
+    /// Replies are byte-identical under either scheduler.
+    pub fn set_scan_scheduler(&mut self, scheduler: ScanScheduler) {
+        self.scheduler = scheduler;
+    }
+
+    /// The active scan scheduler.
+    pub fn scan_scheduler(&self) -> ScanScheduler {
+        self.scheduler
+    }
+
+    /// Builder-style [`SearchEngine::set_steal_granularity`].
+    pub fn with_steal_granularity(mut self, chunks: usize) -> Self {
+        self.set_steal_granularity(chunks);
+        self
+    }
+
+    /// Set the work-stealing unit size in plane chunks (clamped to ≥ 1;
+    /// [`crate::scanplane::CHUNK`] documents per chunk). Smaller units balance
+    /// better, larger units amortize deque traffic; results are identical at
+    /// any granularity.
+    pub fn set_steal_granularity(&mut self, chunks: usize) {
+        self.steal_granularity = chunks.max(1);
+    }
+
+    /// Chunks per work-stealing unit.
+    pub fn steal_granularity(&self) -> usize {
+        self.steal_granularity
     }
 
     /// Builder-style cache enablement: `SearchEngine::sharded(p, 4).with_result_cache(cfg)`.
@@ -275,18 +392,20 @@ impl<S: IndexStore> SearchEngine<S> {
         self.store.document_index(document_id)
     }
 
-    /// Run `scan` once per selected shard — inline when there is no pool or a
-    /// single shard is selected, on the persistent worker pool otherwise. Results
-    /// come back aligned with `shard_ids`. A panicking scan is re-raised with the
-    /// failing shard named, and the pool adds the failing lane (job) index.
+    /// Run `scan(pos, shard)` once per selected shard — inline when there is no
+    /// pool or a single shard is selected, statically dealt round-robin over the
+    /// persistent worker pool otherwise (`pos` is the index into `shard_ids`).
+    /// Results come back aligned with `shard_ids`. A panicking scan is re-raised
+    /// with the failing shard named, and the pool adds the failing lane (job)
+    /// index.
     fn map_selected_shards<T, F>(&self, shard_ids: &[usize], scan: F) -> Vec<T>
     where
         T: Send,
-        F: Fn(usize) -> T + Sync,
+        F: Fn(usize, usize) -> T + Sync,
     {
         // Name the shard in any scan panic before it crosses the pool boundary.
-        let scan_named = |shard: usize| -> T {
-            match catch_unwind(AssertUnwindSafe(|| scan(shard))) {
+        let scan_named = |pos: usize, shard: usize| -> T {
+            match catch_unwind(AssertUnwindSafe(|| scan(pos, shard))) {
                 Ok(value) => value,
                 Err(payload) => {
                     let message = pool::panic_message(payload.as_ref());
@@ -295,11 +414,12 @@ impl<S: IndexStore> SearchEngine<S> {
             }
         };
         let selected = shard_ids.len();
+        let inline = |(pos, &shard): (usize, &usize)| scan_named(pos, shard);
         let Some(pool) = &self.pool else {
-            return shard_ids.iter().map(|&s| scan_named(s)).collect();
+            return shard_ids.iter().enumerate().map(inline).collect();
         };
         if selected <= 1 {
-            return shard_ids.iter().map(|&s| scan_named(s)).collect();
+            return shard_ids.iter().enumerate().map(inline).collect();
         }
         let lanes = (pool.workers() + 1).min(selected);
         let mut lane_results: Vec<Vec<(usize, T)>> = (0..lanes).map(|_| Vec::new()).collect();
@@ -312,7 +432,7 @@ impl<S: IndexStore> SearchEngine<S> {
                     Box::new(move || {
                         let mut pos = lane;
                         while pos < selected {
-                            out.push((pos, scan_named(shard_ids[pos])));
+                            out.push((pos, scan_named(pos, shard_ids[pos])));
                             pos += lanes;
                         }
                     }) as Box<dyn FnOnce() + Send + '_>
@@ -330,14 +450,173 @@ impl<S: IndexStore> SearchEngine<S> {
             .collect()
     }
 
-    /// Run `scan` once per shard. Results come back in shard order.
+    /// Run `scan(shard)` once per shard. Results come back in shard order.
     fn map_shards<T, F>(&self, scan: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         let all: Vec<usize> = (0..self.store.num_shards()).collect();
-        self.map_selected_shards(&all, scan)
+        self.map_selected_shards(&all, |_, shard| scan(shard))
+    }
+
+    /// Execute `run(unit)` for units `0..total` on the work-stealing scheduler:
+    /// units are dealt contiguously onto the lanes' deques, each lane drains its
+    /// own deal head-first and then steals from other lanes' tails, and every
+    /// unit's result lands in its own slot — so the returned vector is in unit
+    /// order regardless of which lane ran what. Runs inline (in unit order) with
+    /// one lane or one unit.
+    fn run_units<T, F>(&self, total: usize, run: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let lanes = match &self.pool {
+            Some(pool) => (pool.workers() + 1).min(total),
+            None => 1,
+        };
+        if lanes <= 1 {
+            return (0..total).map(run).collect();
+        }
+        let deques = StealDeques::new(total, lanes);
+        let mut lane_results: Vec<Vec<(usize, T)>> = (0..lanes).map(|_| Vec::new()).collect();
+        {
+            let (deques, run) = (&deques, &run);
+            let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = lane_results
+                .iter_mut()
+                .enumerate()
+                .map(|(lane, out)| {
+                    Box::new(move || {
+                        while let Some(unit) = deques.next(lane) {
+                            out.push((unit, run(unit)));
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            self.pool
+                .as_ref()
+                .expect("multi-lane run_units implies a pool")
+                .run_scoped(jobs);
+        }
+        let mut results: Vec<Option<T>> = (0..total).map(|_| None).collect();
+        for (unit, value) in lane_results.into_iter().flatten() {
+            results[unit] = Some(value);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every unit claimed exactly once"))
+            .collect()
+    }
+
+    /// Carve the selected shards' planes into chunk-range work units, in
+    /// selection order with ascending ranges (= slot order within each shard).
+    /// `None` if any selected shard has no plane — the caller falls back to the
+    /// static whole-shard schedule, whose scan seam handles plane-less stores.
+    fn chunk_units(&self, shard_ids: &[usize]) -> Option<Vec<ChunkUnit>> {
+        let granularity = self.steal_granularity.max(1);
+        let mut units = Vec::new();
+        for (pos, &shard) in shard_ids.iter().enumerate() {
+            let chunks = self.store.scan_plane(shard)?.num_chunks();
+            let mut lo = 0;
+            while lo < chunks {
+                let hi = (lo + granularity).min(chunks);
+                units.push(ChunkUnit {
+                    pos,
+                    shard,
+                    chunks: lo..hi,
+                });
+                lo = hi;
+            }
+        }
+        Some(units)
+    }
+
+    /// Scan the selected shards' units on the stealing scheduler and stitch the
+    /// per-unit results back into per-shard rows aligned with `subsets`: within
+    /// a shard, unit results concatenate in chunk (slot) order and stats sum —
+    /// byte-identical to one whole-shard scan per selected shard. A shard with
+    /// no units (an empty plane) yields the whole-shard scan's empty result.
+    fn scan_units(&self, subsets: &[Vec<&QueryIndex>], units: &[ChunkUnit]) -> Vec<Vec<ShardScan>> {
+        let unit_scans = self.run_units(units.len(), |u| {
+            let unit = &units[u];
+            // Name the shard in any scan panic, like the static path does.
+            match catch_unwind(AssertUnwindSafe(|| {
+                let plane = self
+                    .store
+                    .scan_plane(unit.shard)
+                    .expect("units are only built from planes");
+                let bits: Vec<&BitIndex> = subsets[unit.pos].iter().map(|q| q.bits()).collect();
+                plane.scan_ranked_batch_chunks(&bits, unit.chunks.clone())
+            })) {
+                Ok(scans) => scans,
+                Err(payload) => {
+                    let message = pool::panic_message(payload.as_ref());
+                    resume_unwind(Box::new(format!("shard {}: {message}", unit.shard)));
+                }
+            }
+        });
+        let mut out: Vec<Vec<ShardScan>> = subsets
+            .iter()
+            .map(|subset| vec![(Vec::new(), SearchStats::default()); subset.len()])
+            .collect();
+        for (unit, scans) in units.iter().zip(unit_scans) {
+            for ((matches, stats), (row_matches, row_stats)) in
+                scans.into_iter().zip(&mut out[unit.pos])
+            {
+                row_matches.extend(matches);
+                row_stats.merge(&stats);
+            }
+        }
+        out
+    }
+
+    /// The scheduling seam of every ranked execution: scan each selected shard
+    /// for its query subset (`subsets[pos]` belongs to `shard_ids[pos]`),
+    /// returning per-shard rows aligned with `queries` order within each subset.
+    /// Work-stealing over chunk units when the scheduler (and every selected
+    /// shard's plane) allows; the static whole-shard fan-out otherwise. Both
+    /// produce byte-identical rows.
+    ///
+    /// A single effective lane short-circuits to the static path even under
+    /// `WorkStealing`: with nobody to steal from, splitting shards into units
+    /// buys nothing and costs per-range setup (active-block lists, result
+    /// buffers), so one lane scans whole shards — still byte-identical, just
+    /// without the dispatch overhead.
+    fn scan_selected_shards(
+        &self,
+        shard_ids: &[usize],
+        subsets: &[Vec<&QueryIndex>],
+    ) -> Vec<Vec<ShardScan>> {
+        debug_assert_eq!(shard_ids.len(), subsets.len());
+        if self.scheduler == ScanScheduler::WorkStealing && self.pool.is_some() {
+            if let Some(units) = self.chunk_units(shard_ids) {
+                return self.scan_units(subsets, &units);
+            }
+        }
+        self.map_selected_shards(shard_ids, |pos, shard| {
+            self.scan_shard_batch(shard, &subsets[pos])
+        })
+    }
+
+    /// Single-query form of [`SearchEngine::scan_selected_shards`]: one
+    /// [`ShardScan`] per selected shard.
+    fn scan_selected_shards_single(
+        &self,
+        shard_ids: &[usize],
+        query: &QueryIndex,
+    ) -> Vec<ShardScan> {
+        if self.scheduler == ScanScheduler::WorkStealing && self.pool.is_some() {
+            if let Some(units) = self.chunk_units(shard_ids) {
+                let subsets: Vec<Vec<&QueryIndex>> =
+                    shard_ids.iter().map(|_| vec![query]).collect();
+                return self
+                    .scan_units(&subsets, &units)
+                    .into_iter()
+                    .map(|mut row| row.pop().expect("one query per selected shard"))
+                    .collect();
+            }
+        }
+        self.map_selected_shards(shard_ids, |_, shard| self.scan_shard(shard, query))
     }
 
     /// One shard's ranked scan — **the** seam the layout optimization plugs into.
@@ -376,13 +655,14 @@ impl<S: IndexStore> SearchEngine<S> {
     }
 
     /// Number of parallel scan lanes this engine fans out to: persistent pool
-    /// workers plus the calling thread (which always takes one lane). Clamped at
-    /// construction to `min(shards, available_parallelism)` — an oversharded
-    /// store (more shards than cores) coalesces several shards per lane rather
-    /// than oversubscribing the host, so lanes never exceed the parallelism the
-    /// hardware actually offers.
+    /// workers plus the calling thread (which always takes one lane). Defaults
+    /// to the host's available parallelism — independent of the shard count,
+    /// because the work-stealing scheduler splits and coalesces shards across
+    /// lanes freely — and is always clamped to `1..=available_parallelism`
+    /// (see [`SearchEngine::set_scan_lanes`]): more busy threads than cores
+    /// only adds scheduler thrash to a CPU-bound scan.
     pub fn scan_lanes(&self) -> usize {
-        self.pool.as_ref().map_or(1, |pool| pool.workers() + 1)
+        self.lanes
     }
 
     /// Scan every shard for documents whose level-1 index matches `query`, extract a
@@ -445,8 +725,9 @@ impl<S: IndexStore> SearchEngine<S> {
         query: &QueryIndex,
     ) -> (Vec<SearchMatch>, SearchStats, CacheEffect) {
         let shards = self.store.num_shards();
+        let all: Vec<usize> = (0..shards).collect();
         let Some(cache_mutex) = &self.cache else {
-            let per_shard = self.map_shards(|shard| self.scan_shard(shard, query));
+            let per_shard = self.scan_selected_shards_single(&all, query);
             return Self::merge_ranked(per_shard, CacheEffect::default());
         };
 
@@ -476,7 +757,7 @@ impl<S: IndexStore> SearchEngine<S> {
                 .sum(),
         };
         if !missing.is_empty() {
-            let fresh = self.map_selected_shards(&missing, |shard| self.scan_shard(shard, query));
+            let fresh = self.scan_selected_shards_single(&missing, query);
             let mut cache = cache_mutex.lock().unwrap();
             for (&shard, (matches, stats)) in missing.iter().zip(fresh) {
                 cache.admit(
@@ -594,8 +875,11 @@ impl<S: IndexStore> SearchEngine<S> {
         let Some(cache_mutex) = &self.cache else {
             // per_shard[shard][pos] over the unique set; transpose to per-query
             // rows so every execution path merges through merge_ranked.
-            let subset: Vec<&QueryIndex> = uniques.iter().map(|&u| &queries[u]).collect();
-            let mut per_shard = self.map_shards(|shard| self.scan_shard_batch(shard, &subset));
+            let all: Vec<usize> = (0..shards).collect();
+            let subsets: Vec<Vec<&QueryIndex>> = (0..shards)
+                .map(|_| uniques.iter().map(|&u| &queries[u]).collect())
+                .collect();
+            let mut per_shard = self.scan_selected_shards(&all, &subsets);
             for (pos, &u) in uniques.iter().enumerate() {
                 out[u] = Some(Self::merge_ranked(
                     per_shard
@@ -662,13 +946,16 @@ impl<S: IndexStore> SearchEngine<S> {
             .filter(|&s| !queries_for_shard[s].is_empty())
             .collect();
         if !shard_ids.is_empty() {
-            let fresh = self.map_selected_shards(&shard_ids, |shard| {
-                let subset: Vec<&QueryIndex> = queries_for_shard[shard]
-                    .iter()
-                    .map(|&pos| &queries[uniques[pos]])
-                    .collect();
-                self.scan_shard_batch(shard, &subset)
-            });
+            let subsets: Vec<Vec<&QueryIndex>> = shard_ids
+                .iter()
+                .map(|&shard| {
+                    queries_for_shard[shard]
+                        .iter()
+                        .map(|&pos| &queries[uniques[pos]])
+                        .collect()
+                })
+                .collect();
+            let fresh = self.scan_selected_shards(&shard_ids, &subsets);
             for (&shard, shard_results) in shard_ids.iter().zip(fresh) {
                 for (&pos, scan) in queries_for_shard[shard].iter().zip(shard_results) {
                     resolved[pos][shard] = Some(scan);
@@ -1012,7 +1299,144 @@ mod tests {
                 lanes <= cores,
                 "{shards} shards fanned out to {lanes} lanes on a {cores}-core host"
             );
-            assert!(lanes <= shards, "more lanes than shards is pure overhead");
+            // Lanes are decoupled from the shard count: the stealing scheduler
+            // splits shards into chunk units, so even one shard uses them all.
+            assert_eq!(lanes, cores, "default lane count is the host parallelism");
+        }
+    }
+
+    #[test]
+    fn scan_lanes_runtime_knob_clamps_and_rebuilds() {
+        let fx = fixture();
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut engine = SearchEngine::sharded(fx.params.clone(), 4);
+        // Requests are clamped to [1, cores], from either direction.
+        engine.set_scan_lanes(0);
+        assert_eq!(engine.scan_lanes(), 1);
+        engine.set_scan_lanes(usize::MAX);
+        assert_eq!(engine.scan_lanes(), cores);
+        for request in [1usize, 2, 3, 4, 64] {
+            engine.set_scan_lanes(request);
+            assert_eq!(engine.scan_lanes(), request.clamp(1, cores));
+        }
+        // The builder form composes with the other scheduler knobs, and the
+        // knobs survive a clone.
+        let engine = SearchEngine::sharded(fx.params.clone(), 2)
+            .with_scan_lanes(1)
+            .with_scan_scheduler(ScanScheduler::Static)
+            .with_steal_granularity(0);
+        assert_eq!(engine.scan_lanes(), 1);
+        assert_eq!(engine.scan_scheduler(), ScanScheduler::Static);
+        assert_eq!(engine.steal_granularity(), 1, "granularity clamps to >= 1");
+        let clone = engine.clone();
+        assert_eq!(clone.scan_lanes(), 1);
+        assert_eq!(clone.scan_scheduler(), ScanScheduler::Static);
+        assert_eq!(clone.steal_granularity(), 1);
+    }
+
+    #[test]
+    fn lane_knob_does_not_change_results() {
+        let mut fx = fixture();
+        let indices = corpus_indices(&fx, 40);
+        let q = query(&mut fx, &["shared"]);
+        let mut engine = SearchEngine::sharded(fx.params.clone(), 3);
+        engine.insert_all(indices).unwrap();
+        let baseline = engine.search_ranked_with_stats(&q);
+        for lanes in [1usize, 2, 5] {
+            engine.set_scan_lanes(lanes);
+            assert_eq!(
+                engine.search_ranked_with_stats(&q),
+                baseline,
+                "lanes={lanes}"
+            );
+        }
+    }
+
+    /// Force a multi-lane pool regardless of the host's core count (the struct
+    /// literal bypasses `set_scan_lanes`' clamp) so genuine concurrent stealing
+    /// runs even on single-core CI hosts.
+    fn forced_lane_engine(
+        store: ShardedStore,
+        lanes: usize,
+        scheduler: ScanScheduler,
+        granularity: usize,
+    ) -> SearchEngine<ShardedStore> {
+        SearchEngine {
+            store,
+            pool: (lanes > 1).then(|| WorkerPool::new(lanes - 1)),
+            lanes,
+            scheduler,
+            steal_granularity: granularity.max(1),
+            cache: None,
+        }
+    }
+
+    #[test]
+    fn work_stealing_on_forced_multi_lane_pool_matches_sequential_reference() {
+        use crate::scanplane::CHUNK;
+        // Multi-chunk shards without the (slow) real indexer: raw pseudo-random
+        // indices through the geometry-validating insert path. 3 shards × ~2.1
+        // chunks at granularity 1 gives ~7 units over 3 lanes, so pops and
+        // steals genuinely interleave.
+        let params = SystemParams::new(64, 4, 16, 0, 0, vec![1, 2]).unwrap();
+        let mut state = 0x9e37_79b9_97f4_a7c1u64;
+        let mut next_bits = |n: usize| {
+            let bits: Vec<bool> = (0..n)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    state >> 63 == 1
+                })
+                .collect();
+            crate::bitindex::BitIndex::from_bits(&bits)
+        };
+        let mut store = ShardedStore::new(params.clone(), 3);
+        for id in 0..(3 * (2 * CHUNK + 100)) as u64 {
+            store
+                .insert(RankedDocumentIndex {
+                    document_id: id,
+                    levels: vec![next_bits(64), next_bits(64)],
+                })
+                .unwrap();
+        }
+        let reference = SearchEngine::new(store.clone())
+            .with_scan_lanes(1)
+            .with_scan_scheduler(ScanScheduler::Static);
+        let queries: Vec<QueryIndex> = (0..5)
+            .map(|_| QueryIndex::from_bits(next_bits(64)))
+            .collect();
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| reference.search_ranked_with_stats(q))
+            .collect();
+        let expected_batch = reference.search_batch_with_stats(&queries);
+        for lanes in [2usize, 3] {
+            for granularity in [1usize, 2, 64] {
+                let engine = forced_lane_engine(
+                    store.clone(),
+                    lanes,
+                    ScanScheduler::WorkStealing,
+                    granularity,
+                );
+                for (q, want) in queries.iter().zip(&expected) {
+                    assert_eq!(
+                        &engine.search_ranked_with_stats(q),
+                        want,
+                        "lanes={lanes} g={granularity}"
+                    );
+                }
+                assert_eq!(
+                    engine.search_batch_with_stats(&queries),
+                    expected_batch,
+                    "fused batch, lanes={lanes} g={granularity}"
+                );
+            }
+            // The static scheduler on the same forced pool agrees too.
+            let engine = forced_lane_engine(store.clone(), lanes, ScanScheduler::Static, 8);
+            for (q, want) in queries.iter().zip(&expected) {
+                assert_eq!(&engine.search_ranked_with_stats(q), want, "static {lanes}");
+            }
         }
     }
 

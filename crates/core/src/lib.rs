@@ -87,7 +87,7 @@ pub use bins::{bins_for_keywords, get_bin, BinId, BinOccupancy};
 pub use bitindex::BitIndex;
 pub use cache::{CacheConfig, CacheEffect, CacheStats, QueryFingerprint, RankingMode, ResultCache};
 pub use document_index::{DocumentIndexer, RankedDocumentIndex};
-pub use engine::SearchEngine;
+pub use engine::{ScanScheduler, SearchEngine};
 pub use keys::{trapdoor_from_bin_key, RandomKeywordPool, SchemeKeys, Trapdoor};
 pub use keyword::keyword_index;
 pub use params::{ParamError, SystemParams};

@@ -41,6 +41,20 @@
 //! work (identical word count, identical unrolled kernels) becomes compute-bound.
 //! Upper levels are still walked doc-major, per query, only on match.
 //!
+//! **Chunk-range entry points**: every scan has a range-restricted form
+//! ([`ScanPlane::scan_ranked_chunks`], [`ScanPlane::scan_ranked_batch_chunks`])
+//! that sweeps only `chunks.start..chunks.end` of the plane's [`CHUNK`]-document
+//! chunks. These are the work units of the engine's work-stealing scheduler: a
+//! shard's plane is carved into fixed-size chunk ranges, each range is scanned
+//! independently (same active-block pruning, same fused register tiles — the
+//! pruning work is per-query, not per-range, and a range's sweep is exactly the
+//! full sweep's iterations over those chunks), and the per-range results
+//! concatenate back — matches in slot order, [`SearchStats`] summed — to the
+//! byte-identical whole-shard result, because the full scan already processes
+//! chunks independently in ascending order and counts one level-1 comparison
+//! per stored document (ranges partition the documents) plus one per upper
+//! level walked (walks are per-matching-slot, which ranges partition too).
+//!
 //! **Leakage note (§6)**: pruning is a function of the query index bytes alone —
 //! which the server already holds — plus the public geometry `r`. It reveals
 //! nothing beyond the search-pattern observation the paper's §6 adversary is
@@ -139,6 +153,30 @@ impl ScanPlane {
     /// True if no documents are packed.
     pub fn is_empty(&self) -> bool {
         self.ids.is_empty()
+    }
+
+    /// Number of [`CHUNK`]-document chunks (the last may be partial) — the unit
+    /// grid the chunk-range entry points and the engine's work-stealing
+    /// scheduler carve into ranges.
+    pub fn num_chunks(&self) -> usize {
+        self.ids.len().div_ceil(CHUNK)
+    }
+
+    /// Clamp a chunk range to the plane's grid (empty stays empty, and
+    /// `start > end` collapses to empty).
+    fn clamp_chunks(&self, chunks: std::ops::Range<usize>) -> std::ops::Range<usize> {
+        let n = self.num_chunks();
+        let start = chunks.start.min(n);
+        start..chunks.end.clamp(start, n)
+    }
+
+    /// Documents covered by an (already clamped) chunk range.
+    fn docs_in(&self, chunks: &std::ops::Range<usize>) -> usize {
+        if chunks.is_empty() {
+            0
+        } else {
+            (chunks.end * CHUNK).min(self.ids.len()) - chunks.start * CHUNK
+        }
     }
 
     /// Bits per level (r); zero while the plane is empty.
@@ -254,12 +292,20 @@ impl ScanPlane {
     /// slot in scan order (the active list is passed along for rank walks).
     /// Both public scans are thin consumers, so the iteration and accumulator
     /// scheme can never diverge between the ranked and unranked paths.
-    fn for_each_matching_slot<F: FnMut(usize, &[ActiveBlock])>(
+    fn for_each_matching_slot<F: FnMut(usize, &[ActiveBlock])>(&self, query: &BitIndex, visit: F) {
+        self.for_each_matching_slot_in(query, 0..self.num_chunks(), visit)
+    }
+
+    /// [`ScanPlane::for_each_matching_slot`] restricted to a chunk range: the
+    /// same pruned sweep over `chunks.start..chunks.end` only. Slots are global
+    /// (`chunk · CHUNK + i`), so range results splice back verbatim.
+    fn for_each_matching_slot_in<F: FnMut(usize, &[ActiveBlock])>(
         &self,
         query: &BitIndex,
+        chunks: std::ops::Range<usize>,
         mut visit: F,
     ) {
-        if self.ids.is_empty() {
+        if self.ids.is_empty() || chunks.is_empty() {
             return;
         }
         with_scratch(|scratch| {
@@ -267,9 +313,10 @@ impl ScanPlane {
             self.active_blocks_into(query, &mut scratch.active);
             scratch.acc.resize(CHUNK.max(scratch.acc.len()), 0);
             let (active, acc) = (&scratch.active, &mut scratch.acc[..CHUNK]);
-            for (chunk, chunk_ids) in self.ids.chunks(CHUNK).enumerate() {
-                self.sweep_chunk(chunk, chunk_ids.len(), active, acc);
-                for (i, &a) in acc[..chunk_ids.len()].iter().enumerate() {
+            for chunk in chunks {
+                let docs = (self.ids.len() - chunk * CHUNK).min(CHUNK);
+                self.sweep_chunk(chunk, docs, active, acc);
+                for (i, &a) in acc[..docs].iter().enumerate() {
                     if a == 0 {
                         visit(chunk * CHUNK + i, active);
                     }
@@ -283,12 +330,28 @@ impl ScanPlane {
     /// Matches come back in slot (scan) order with identical ranks and identical
     /// [`SearchStats`]; callers sort with [`crate::search::sort_matches`].
     pub fn scan_ranked(&self, query: &BitIndex) -> (Vec<SearchMatch>, SearchStats) {
+        self.scan_ranked_chunks(query, 0..self.num_chunks())
+    }
+
+    /// [`ScanPlane::scan_ranked`] restricted to a chunk range — one work unit of
+    /// the engine's work-stealing scheduler. The range's sweep is exactly the
+    /// full scan's iterations over those chunks (pruning, accumulator, rank
+    /// walks), so concatenating a partition's matches in range order and summing
+    /// its [`SearchStats`] (level 1 counts one comparison per document in range)
+    /// reproduces [`ScanPlane::scan_ranked`] byte for byte. Out-of-bounds ranges
+    /// are clamped to the grid.
+    pub fn scan_ranked_chunks(
+        &self,
+        query: &BitIndex,
+        chunks: std::ops::Range<usize>,
+    ) -> (Vec<SearchMatch>, SearchStats) {
+        let chunks = self.clamp_chunks(chunks);
         let mut stats = SearchStats {
-            comparisons: self.ids.len() as u64,
+            comparisons: self.docs_in(&chunks) as u64,
             matches: 0,
         };
         let mut matches = Vec::new();
-        self.for_each_matching_slot(query, |slot, active| {
+        self.for_each_matching_slot_in(query, chunks, |slot, active| {
             stats.matches += 1;
             let rank = if self.levels > 1 {
                 self.walk_upper(slot, active, &mut stats)
@@ -324,18 +387,33 @@ impl ScanPlane {
     /// (the batch changes memory access order, not what is computed; the
     /// release-mode proptest in `scanplane_equivalence.rs` holds it to that).
     pub fn scan_ranked_batch(&self, queries: &[&BitIndex]) -> Vec<(Vec<SearchMatch>, SearchStats)> {
+        self.scan_ranked_batch_chunks(queries, 0..self.num_chunks())
+    }
+
+    /// [`ScanPlane::scan_ranked_batch`] restricted to a chunk range — the fused
+    /// work unit of the engine's work-stealing scheduler. Exactly the full fused
+    /// sweep's iterations over those chunks (group unions, register tiles, match
+    /// summaries, rank walks), so a partition's per-query results concatenate
+    /// and sum back to [`ScanPlane::scan_ranked_batch`] byte for byte, query by
+    /// query. Out-of-bounds ranges are clamped to the grid.
+    pub fn scan_ranked_batch_chunks(
+        &self,
+        queries: &[&BitIndex],
+        chunks: std::ops::Range<usize>,
+    ) -> Vec<(Vec<SearchMatch>, SearchStats)> {
         let n = queries.len();
         if n == 0 {
             return Vec::new();
         }
+        let chunks = self.clamp_chunks(chunks);
         if n == 1 {
             // A batch of one is exactly the single-query sweep; skip the group
             // machinery (the two paths are byte-identical, this is just faster).
-            return vec![self.scan_ranked(queries[0])];
+            return vec![self.scan_ranked_chunks(queries[0], chunks)];
         }
-        if self.ids.is_empty() {
-            // Geometry is unknown while empty; match the single-query contract
-            // (empty matches, zeroed stats) for any query length.
+        if self.ids.is_empty() || chunks.is_empty() {
+            // Empty plane (geometry unknown; match the single-query contract for
+            // any query length) or empty range: empty matches, zeroed stats.
             return (0..n)
                 .map(|_| (Vec::new(), SearchStats::default()))
                 .collect();
@@ -345,7 +423,7 @@ impl ScanPlane {
                 (
                     Vec::new(),
                     SearchStats {
-                        comparisons: self.ids.len() as u64,
+                        comparisons: self.docs_in(&chunks) as u64,
                         matches: 0,
                     },
                 )
@@ -387,8 +465,8 @@ impl ScanPlane {
             scratch.acc.resize((n * CHUNK).max(scratch.acc.len()), 0);
             scratch.summaries.clear();
             scratch.summaries.resize(n, 0);
-            for (chunk, chunk_ids) in self.ids.chunks(CHUNK).enumerate() {
-                let docs = chunk_ids.len();
+            for chunk in chunks {
+                let docs = (self.ids.len() - chunk * CHUNK).min(CHUNK);
                 // Sweep every query group over this chunk's columns while they
                 // are resident: one column load serves the whole group, the
                 // group's accumulator tiles live in registers, and only the
@@ -895,6 +973,64 @@ mod tests {
         let good = BitIndex::all_ones(64);
         let bad = BitIndex::all_ones(65);
         let _ = plane.scan_ranked_batch(&[&good, &bad]);
+    }
+
+    #[test]
+    fn scanplane_chunk_range_scans_stitch_to_the_full_scan() {
+        let mut rng = StdRng::seed_from_u64(71);
+        // > 2 chunks with a partial tail, straddling a block boundary.
+        let docs = random_docs(&mut rng, 2 * CHUNK + 321, 65, 3);
+        let plane = plane_of(&docs);
+        assert_eq!(plane.num_chunks(), 3);
+        let queries: Vec<BitIndex> = [0.02, 0.3, 1.0, 0.3]
+            .iter()
+            .map(|&zp| random_bitindex(&mut rng, 65, zp))
+            .collect();
+        let refs: Vec<&BitIndex> = queries.iter().collect();
+        let full = plane.scan_ranked_batch(&refs);
+        // Every partition granularity must stitch back byte-identically: matches
+        // concatenated in range order, stats summed per query.
+        for granularity in [1usize, 2, 3, 7] {
+            let mut stitched: Vec<(Vec<SearchMatch>, SearchStats)> =
+                vec![(Vec::new(), SearchStats::default()); queries.len()];
+            let mut lo = 0;
+            while lo < plane.num_chunks() {
+                let range = lo..(lo + granularity).min(plane.num_chunks());
+                let ranged = plane.scan_ranked_batch_chunks(&refs, range.clone());
+                for (q, (matches, stats)) in ranged.into_iter().enumerate() {
+                    // The batch range equals the single-query range, per query.
+                    assert_eq!(
+                        plane.scan_ranked_chunks(&queries[q], range.clone()),
+                        (matches.clone(), stats),
+                        "g={granularity} range={range:?} q={q}"
+                    );
+                    stitched[q].0.extend(matches);
+                    stitched[q].1.merge(&stats);
+                }
+                lo = range.end;
+            }
+            assert_eq!(stitched, full, "granularity {granularity}");
+        }
+        // Out-of-bounds ranges clamp; inverted and empty ranges are empty.
+        let q = &queries[0];
+        assert_eq!(
+            plane.scan_ranked_chunks(q, 0..usize::MAX),
+            plane.scan_ranked(q)
+        );
+        let (matches, stats) = plane.scan_ranked_chunks(q, 5..7);
+        assert!(matches.is_empty());
+        assert_eq!(stats, SearchStats::default());
+        #[allow(clippy::reversed_empty_ranges)] // inverted range IS the case under test
+        let (matches, stats) = plane.scan_ranked_chunks(q, 2..1);
+        assert!(matches.is_empty());
+        assert_eq!(stats, SearchStats::default());
+        for got in plane.scan_ranked_batch_chunks(&refs, 3..3) {
+            assert_eq!(got, (Vec::new(), SearchStats::default()));
+        }
+        // A range's level-1 comparison count is exactly the documents it covers
+        // (an all-zeros query matches no random document, so no rank walks).
+        let (_, tail_stats) = plane.scan_ranked_chunks(&BitIndex::all_zeros(65), 2..3);
+        assert_eq!(tail_stats.comparisons, 321);
     }
 
     #[test]

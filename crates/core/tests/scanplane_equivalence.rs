@@ -14,9 +14,10 @@
 //! masking/UB bugs in optimized builds must not be able to hide behind
 //! debug-only testing.
 
+use mkse_core::scanplane::CHUNK;
 use mkse_core::{
     BitIndex, CacheConfig, CloudIndex, IndexStore, QueryIndex, RankedDocumentIndex, ScanPlane,
-    SearchEngine, SystemParams,
+    ScanScheduler, SearchEngine, SystemParams,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -260,6 +261,83 @@ fn scanplane_fused_batch_equals_sequential_engine_at_all_shard_counts() {
     }
 }
 
+#[test]
+fn scanplane_steal_scheduler_heavy_configs_are_byte_identical() {
+    // The work-stealing scheduler's correctness oracle at scale: a corpus big
+    // enough that every shard's plane splits into several chunk-range work
+    // units, swept under every (shards × lanes × granularity) combination of
+    // the runtime knobs, with the cache off and on — every reply, every stat
+    // and every cache counter must match the sequential reference (and a
+    // static-scheduler twin) byte for byte.
+    let mut rng = StdRng::seed_from_u64(96);
+    let r = 65; // ragged tail: 64 valid bits + 1
+    let eta = 2;
+    let params = params_for(r, eta);
+    // ~2.3 chunks single-sharded; still multi-unit at granularity 1 after
+    // sharding (and granularity 64 exceeds every plane: one unit per shard).
+    let docs = random_docs(&mut rng, 2 * CHUNK + 321, r, eta);
+    let queries = query_workload(&mut rng, r, &docs);
+    let mut batch = queries.clone();
+    batch.push(batch[0].clone()); // intra-batch duplicates ride along
+    batch.push(batch[1].clone());
+    let mut reference = CloudIndex::new(params.clone());
+    reference.insert_all(docs.iter().cloned()).unwrap();
+    let expected_batch: Vec<_> = batch
+        .iter()
+        .map(|q| reference.search_ranked_with_stats(q))
+        .collect();
+
+    for shards in SHARD_COUNTS {
+        let mut engine = SearchEngine::sharded(params.clone(), shards);
+        engine.insert_all(docs.iter().cloned()).unwrap();
+        let mut cached =
+            SearchEngine::sharded(params.clone(), shards).with_result_cache(CacheConfig::default());
+        cached.insert_all(docs.iter().cloned()).unwrap();
+        // A static-scheduler twin with the same cache config: sub-shard
+        // execution must be invisible to the cache counters too.
+        let mut static_cached = SearchEngine::sharded(params.clone(), shards)
+            .with_scan_scheduler(ScanScheduler::Static)
+            .with_result_cache(CacheConfig::default());
+        static_cached.insert_all(docs.iter().cloned()).unwrap();
+        assert_eq!(engine.scan_scheduler(), ScanScheduler::WorkStealing);
+
+        for lanes in [1usize, 2, 3] {
+            for granularity in [1usize, 8, 64] {
+                engine.set_scan_lanes(lanes);
+                engine.set_steal_granularity(granularity);
+                let ctx = format!("{shards} shards, lanes={lanes}, g={granularity}");
+                assert_engine_equals_reference(&engine, &reference, &queries, &ctx);
+                assert_eq!(
+                    engine.search_batch_with_stats(&batch),
+                    expected_batch,
+                    "fused batch differs: {ctx}"
+                );
+
+                cached.set_scan_lanes(lanes);
+                cached.set_steal_granularity(granularity);
+                cached.clear_cache();
+                cached.reset_cache_stats();
+                static_cached.set_scan_lanes(lanes);
+                static_cached.clear_cache();
+                static_cached.reset_cache_stats();
+                for pass in ["cold", "warm"] {
+                    assert_eq!(
+                        cached.search_batch_with_stats(&batch),
+                        expected_batch,
+                        "cached fused batch differs: {ctx}, {pass}"
+                    );
+                    let _ = static_cached.search_batch_with_stats(&batch);
+                }
+                assert_eq!(
+                    cached.cache_stats(),
+                    static_cached.cache_stats(),
+                    "cache counters must be scheduler-invisible: {ctx}"
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -308,8 +386,10 @@ proptest! {
     /// The fused-batch contract under arbitrary geometry: for any batch size in
     /// 1..=64 — with duplicate queries and the all-ones/all-zeros pruning
     /// extremes mixed in — `scan_ranked_batch` returns exactly what b
-    /// independent `scan_ranked` calls return, and the 2-shard engine's fused
-    /// batch equals the reference answering each query alone.
+    /// independent `scan_ranked` calls return, and the engine's fused batch
+    /// equals the reference answering each query alone, under any scheduler
+    /// configuration (shard count, lane count, steal granularity, cache on or
+    /// off).
     #[test]
     fn scanplane_prop_batch_equals_independent_scans(
         seed in 0u64..1_000_000,
@@ -317,6 +397,10 @@ proptest! {
         eta in 1usize..=3,
         num_docs in 0usize..24,
         batch_size in 1usize..=64,
+        shards_idx in 0usize..4,
+        lanes in 1usize..=3,
+        granularity_idx in 0usize..3,
+        cached in any::<bool>(),
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let docs: Vec<RankedDocumentIndex> = (0..num_docs)
@@ -351,11 +435,19 @@ proptest! {
             prop_assert_eq!(got, &plane.scan_ranked(q));
         }
 
-        // Engine-level: the fused 2-shard batch vs the AoS reference.
+        // Engine-level: the fused batch vs the AoS reference, under an
+        // arbitrary steal-heavy scheduler configuration.
+        let shards = SHARD_COUNTS[shards_idx];
+        let granularity = [1usize, 8, 64][granularity_idx];
         let params = params_for(r, eta);
         let mut reference = CloudIndex::new(params.clone());
         reference.insert_all(docs.iter().cloned()).unwrap();
-        let mut engine = SearchEngine::sharded(params, 2);
+        let mut engine = SearchEngine::sharded(params, shards)
+            .with_scan_lanes(lanes)
+            .with_steal_granularity(granularity);
+        if cached {
+            engine.enable_cache(CacheConfig::default());
+        }
         engine.insert_all(docs.iter().cloned()).unwrap();
         let wrapped: Vec<QueryIndex> = queries.iter().cloned().map(QueryIndex::from_bits).collect();
         let engine_batch = engine.search_batch_with_stats(&wrapped);

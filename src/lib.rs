@@ -34,8 +34,12 @@
 //!        │                                          (incl. the batched-query message,
 //!        ▼                                          CacheReport reply diagnostics)
 //!  mkse-core       engine::SearchEngine<S>          single / batched / top-k ranked
-//!        │    ├──  cache::ResultCache (optional)    search; scan lanes ≤ cores; merge
-//!        ▼    │                                     by (rank desc, doc id asc); batches
+//!        │    ├──  cache::ResultCache (optional)    search; scan lanes ≤ cores, decoupled
+//!        ▼    │                                     from shard count; a work-stealing
+//!        │    │                                     scheduler deals chunk-range units to
+//!        │    │                                     per-lane deques (idle lanes steal),
+//!        ▼    │                                     stitches results in unit order; merge
+//!        │    │                                     by (rank desc, doc id asc); batches
 //!        │    │                                     dedup repeated fingerprints and run
 //!        │    │                                     ONE fused plane pass per shard
 //!        ▼    └──  per-shard LRU keyed by           repeated query fingerprints skip
@@ -97,12 +101,24 @@
 //!   stats are sums, and unranked results are re-ordered by insertion ordinal
 //!   (`tests/sharded_engine_equivalence.rs` asserts all of this for shard counts
 //!   1, 2, 7 and 16 on randomized corpora). Scan lanes are clamped to the host's
-//!   available parallelism ([`core::engine::SearchEngine::scan_lanes`]) — an
-//!   oversharded store coalesces shards onto lanes rather than oversubscribing
-//!   cores. Batched execution deduplicates repeated query fingerprints inside
-//!   one batch (hot Zipf keywords scan once and fan out, with the duplicates
-//!   accounted as the cache hits sequential execution would report) and hands
-//!   each shard worker its whole remaining query set for one fused plane pass.
+//!   available parallelism and fully decoupled from the shard count: the
+//!   `set_scan_lanes(n)` runtime knob resizes the persistent worker pool, and a
+//!   **work-stealing scheduler** ([`core::ScanScheduler`], the default) carves
+//!   every shard's plane into chunk-range units (`set_steal_granularity` chunks
+//!   each), deals them to per-lane lock-free deques, and lets idle lanes steal
+//!   from victims' tails — an oversharded store no longer serializes whole
+//!   shards onto lanes, and a wide host keeps every lane busy regardless of the
+//!   shard geometry. Each unit's partial result counts exactly the documents of
+//!   its range, and results are stitched in unit order before the (rank, id)
+//!   merge, so replies, per-query stats and cache counters are byte-identical
+//!   to the static fan-out (`ScanScheduler::Static` stays selectable; the
+//!   steal-heavy sweeps in both equivalence suites enforce this at every
+//!   shards × lanes × granularity point, and `BENCH_sched.json` records the
+//!   static-vs-stealing trajectory). Batched execution deduplicates repeated
+//!   query fingerprints inside one batch (hot Zipf keywords scan once and fan
+//!   out, with the duplicates accounted as the cache hits sequential execution
+//!   would report) and hands the scheduler the whole remaining query set for
+//!   fused plane passes over the missed shards.
 //! * **Cache** ([`core::cache`]): an optional per-shard LRU of shard-scan results,
 //!   keyed by a collision-checked [`core::QueryFingerprint`] of the query bits.
 //!   Per-shard **write generations** invalidate exactly the shard an insert landed
@@ -145,6 +161,14 @@
 //! repeated keyword searches arrive as *different* bytes, which correctly miss the
 //! cache: the privacy knob and the performance knob are the same dial, and the
 //! `cached_session` example shows both positions.
+//!
+//! The same argument covers the work-stealing scheduler: which lane scans which
+//! chunk range reorders only the server's *own* memory accesses across its own
+//! threads. The work performed is identical (same comparisons, same per-range
+//! arithmetic, same replies, stats and counters), and the access pattern remains
+//! a function of the query bytes the server already observes plus the public
+//! geometry — scheduling, like batching, decides *when and where* the server
+//! computes, never *what* can be observed (§6's leakage model is untouched).
 //!
 //! ## Quickstart
 //!

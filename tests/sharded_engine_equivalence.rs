@@ -20,10 +20,18 @@
 //! extremes, arbitrary bit patterns) live in
 //! `mkse-core/tests/scanplane_equivalence.rs`, which CI additionally runs in
 //! release mode.
+//!
+//! Since PR 6 shard scans are dispatched by a work-stealing scheduler over
+//! chunk-range work units, so the contract gains two more knobs: lane count and
+//! steal granularity. The steal-heavy sweep below holds every combination of
+//! shards × lanes × granularity — cache on and off, fused batches with
+//! duplicates — to the same byte-identical bar, including the cache hit/miss
+//! counters, which must not be able to tell the schedulers apart.
 
+use mkse::core::scanplane::CHUNK;
 use mkse::core::{
-    CacheConfig, CloudIndex, DocumentIndexer, QueryBuilder, QueryIndex, SchemeKeys, SearchEngine,
-    SystemParams,
+    CacheConfig, CloudIndex, DocumentIndexer, QueryBuilder, QueryIndex, ScanScheduler, SchemeKeys,
+    SearchEngine, SystemParams,
 };
 use mkse::textproc::corpus::{CorpusSpec, FrequencyModel, SyntheticCorpus};
 use rand::rngs::StdRng;
@@ -177,6 +185,103 @@ fn fused_batch_with_duplicates_is_identical_to_sequential_singles() {
                     let (seq_matches, seq_stats) = reference.search_ranked_with_stats(query);
                     assert_eq!(matches, &seq_matches, "fused batch differs: {ctx}");
                     assert_eq!(stats, &seq_stats, "fused batch stats differ: {ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn steal_scheduler_heavy_configs_are_byte_identical() {
+    // The work-stealing scheduler partitions every shard's plane into
+    // chunk-range units and lets idle lanes steal; nothing about the reply —
+    // matches, ranks, order, merged stats, cache counters — may depend on which
+    // lane scanned which range. A corpus spanning several chunks makes the
+    // granularity knob meaningful at low shard counts.
+    let wl = random_workload(43, CHUNK + 200);
+    let mut reference = CloudIndex::new(wl.params.clone());
+    reference.insert_all(wl.indices.iter().cloned()).unwrap();
+    let expected: Vec<_> = wl
+        .queries
+        .iter()
+        .map(|q| reference.search_ranked_with_stats(q))
+        .collect();
+    // Fused batch with intra-batch duplicates: dedup must compose with stealing.
+    let mut batch = wl.queries.clone();
+    batch.push(wl.queries[0].clone());
+    batch.push(wl.queries[1].clone());
+    let expected_batch: Vec<_> = batch
+        .iter()
+        .map(|q| reference.search_ranked_with_stats(q))
+        .collect();
+
+    for shards in SHARD_COUNTS {
+        let mut engine = SearchEngine::sharded(wl.params.clone(), shards);
+        engine.insert_all(wl.indices.iter().cloned()).unwrap();
+        let mut cached = SearchEngine::sharded(wl.params.clone(), shards)
+            .with_result_cache(CacheConfig::default());
+        cached.insert_all(wl.indices.iter().cloned()).unwrap();
+        // A statically scheduled cached twin: the cache layer sits above the
+        // scheduler, so its hit/miss/admission counters must match exactly.
+        let mut static_cached = SearchEngine::sharded(wl.params.clone(), shards)
+            .with_scan_scheduler(ScanScheduler::Static)
+            .with_result_cache(CacheConfig::default());
+        static_cached
+            .insert_all(wl.indices.iter().cloned())
+            .unwrap();
+
+        for lanes in [1usize, 2, 3] {
+            for granularity in [1usize, 8, 64] {
+                let ctx = format!("{shards} shards, {lanes} lanes, granularity {granularity}");
+                engine.set_scan_lanes(lanes);
+                engine.set_steal_granularity(granularity);
+
+                for (qi, query) in wl.queries.iter().enumerate() {
+                    assert_eq!(
+                        engine.search_ranked_with_stats(query),
+                        expected[qi],
+                        "stealing single differs: {ctx}, query {qi}"
+                    );
+                }
+                let batched = engine.search_batch_with_stats(&batch);
+                assert_eq!(batched.len(), batch.len());
+                for (qi, got) in batched.iter().enumerate() {
+                    assert_eq!(
+                        got, &expected_batch[qi],
+                        "stealing fused batch differs: {ctx}, query {qi}"
+                    );
+                }
+
+                // Cache counters are scheduler-invisible: start both caches
+                // cold, run a cold + warm pass, compare replies and counters.
+                for eng in [&mut cached, &mut static_cached] {
+                    eng.clear_cache();
+                    eng.reset_cache_stats();
+                }
+                cached.set_scan_lanes(lanes);
+                cached.set_steal_granularity(granularity);
+                for pass in ["cold", "warm"] {
+                    for (qi, query) in wl.queries.iter().enumerate() {
+                        assert_eq!(
+                            cached.search_ranked_with_stats(query),
+                            expected[qi],
+                            "cached stealing differs: {ctx}, {pass}, query {qi}"
+                        );
+                        let _ = static_cached.search_ranked_with_stats(query);
+                    }
+                    let warm_batch = cached.search_batch_with_stats(&batch);
+                    for (qi, got) in warm_batch.iter().enumerate() {
+                        assert_eq!(
+                            got, &expected_batch[qi],
+                            "cached stealing batch differs: {ctx}, {pass}, query {qi}"
+                        );
+                    }
+                    let _ = static_cached.search_batch_with_stats(&batch);
+                    assert_eq!(
+                        cached.cache_stats(),
+                        static_cached.cache_stats(),
+                        "cache counters must be scheduler-invisible: {ctx}, {pass}"
+                    );
                 }
             }
         }
