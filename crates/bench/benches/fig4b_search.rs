@@ -20,7 +20,11 @@
 //!   `fig4b_sched_churn`): the PR-6 work-stealing chunk-range scheduler vs the
 //!   static shard-per-lane fan-out at shards 1/2/4/8 × lanes 1/2/4, plus a
 //!   Zipf(1.1) query mix with interleaved inserts at shards 4 / lanes 2,
-//!   recorded in `BENCH_sched.json`.
+//!   recorded in `BENCH_sched.json`;
+//! * an **observability-overhead scenario** (`fig4b_obs_overhead`): the same
+//!   64k-document scan with the telemetry registry at `Off`, `Counters` and
+//!   `Spans`, recorded in `BENCH_obs.json`, failing the run if always-on
+//!   `Counters` recording costs more than 3% over `Off`.
 //!
 //! The store is built once per configuration (with keyword-index memoization — only
 //! the search is timed); queries carry 2 genuine keywords plus the V = 30 random
@@ -32,6 +36,7 @@ use mkse_bench::{BenchFixture, ZipfSampler};
 use mkse_core::search::scan_ranked;
 use mkse_core::{
     CacheConfig, IndexStore, QueryBuilder, QueryIndex, ScanScheduler, SearchEngine, ShardedStore,
+    TelemetryLevel,
 };
 use mkse_protocol::{Client, CloudServer, QueryMessage, Request};
 use rand::rngs::StdRng;
@@ -835,11 +840,139 @@ fn bench_sched_sweep(_c: &mut Criterion) {
     }
 }
 
+/// Observability-overhead scenario (`fig4b_obs_overhead`), recorded in
+/// `BENCH_obs.json`.
+///
+/// Three clones of one 64k-document r = 448 store answer the same query with
+/// the telemetry registry at `Off`, `Counters` and `Spans`. Replies are
+/// asserted byte-identical across levels before timing (the invariant the
+/// equivalence suite proves at scale: telemetry observes, it never
+/// participates), then the three levels are measured in interleaved rounds of
+/// short best-of windows — like the layout sweep — so host-speed phases hit
+/// every level alike. The committed record carries each level's ns/query and
+/// its overhead over `Off`; the run **fails** if `Counters` costs more than 3%,
+/// the budget that keeps always-on production counters honest. Smoke runs
+/// (`--test`) never overwrite the committed record.
+fn bench_obs_overhead(_c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--test");
+    let filtered_out = std::env::args()
+        .skip(1)
+        .any(|a| !a.starts_with('-') && !"fig4b_obs_overhead".contains(a.as_str()));
+    if filtered_out {
+        return;
+    }
+    let report = |id: &str, ns: f64| {
+        if quick {
+            println!("fig4b_obs_overhead/{id}  ok (smoke run)");
+        } else {
+            println!("fig4b_obs_overhead/{id}  time: {:.3} µs/query", ns / 1e3);
+        }
+    };
+
+    const OBS_DOCS: usize = 64_000;
+    let fixture = BenchFixture::new(OBS_DOCS, 3, 11);
+    let indexer = fixture.indexer();
+    let indices = indexer.index_documents(&fixture.corpus.documents);
+    let r = fixture.params.index_bits;
+    let query = build_query(&fixture, 13);
+
+    // Clone symmetry, as in the scheduler sweep: every timed engine descends
+    // from the same never-timed base, so no level gets an allocator-layout
+    // advantage unrelated to the registry.
+    let mut base = SearchEngine::sharded(fixture.params.clone(), 4);
+    base.insert_all(indices.iter().cloned()).expect("upload");
+    let levels = [
+        TelemetryLevel::Off,
+        TelemetryLevel::Counters,
+        TelemetryLevel::Spans,
+    ];
+    let engines: Vec<SearchEngine<ShardedStore>> = levels
+        .iter()
+        .map(|&level| {
+            let engine = base.clone();
+            engine.set_telemetry_level(level);
+            engine
+        })
+        .collect();
+
+    // Byte-identical replies across levels before timing.
+    let reference = engines[0].search_ranked_with_stats(&query);
+    for (engine, level) in engines.iter().zip(&levels).skip(1) {
+        assert_eq!(
+            engine.search_ranked_with_stats(&query),
+            reference,
+            "telemetry level {} perturbed a reply",
+            level.name()
+        );
+    }
+
+    let mut best = [f64::MAX; 3];
+    for round in 0..25 {
+        for (engine, slot) in engines.iter().zip(best.iter_mut()) {
+            *slot = slot.min(measure_ns_window(quick, 20, || {
+                std::hint::black_box(engine.search(&query))
+            }));
+        }
+        if quick && round == 0 {
+            break;
+        }
+    }
+
+    let off_ns = best[0];
+    let mut entries: Vec<String> = Vec::new();
+    let mut counters_overhead_pct = 0.0;
+    for (&level, &ns) in levels.iter().zip(&best) {
+        let ns = if quick { 0.0 } else { ns };
+        report(level.name(), ns);
+        let overhead_pct = if quick || off_ns <= 0.0 {
+            0.0
+        } else {
+            100.0 * (ns - off_ns) / off_ns
+        };
+        if level == TelemetryLevel::Counters {
+            counters_overhead_pct = overhead_pct;
+        }
+        entries.push(format!(
+            "    {{\"level\": \"{}\", \"ns_per_query\": {ns:.1}, \
+             \"overhead_pct_vs_off\": {overhead_pct:.2}}}",
+            level.name()
+        ));
+    }
+    println!();
+    if quick {
+        return;
+    }
+    eprintln!(
+        "fig4b_obs_overhead: off {off_ns:.0} ns/query, counters {:+.2}%, spans {:+.2}% \
+         on {OBS_DOCS} docs, r={r}",
+        counters_overhead_pct,
+        100.0 * (best[2] - off_ns) / off_ns
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"fig4b_obs_overhead\",\n  \"docs\": {OBS_DOCS},\n  \"r\": {r},\n  \
+         \"eta\": {},\n  \"entries\": [\n{}\n  ]\n}}\n",
+        fixture.params.rank_levels(),
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("fig4b_obs_overhead: wrote {path}"),
+        Err(e) => eprintln!("fig4b_obs_overhead: could not write {path}: {e}"),
+    }
+    assert!(
+        counters_overhead_pct <= 3.0,
+        "Counters-level telemetry costs {counters_overhead_pct:.2}% over Off — \
+         the always-on budget is 3%"
+    );
+}
+
 criterion_group!(
     benches,
     bench_search,
     bench_scan_layout,
     bench_batch_sweep,
-    bench_sched_sweep
+    bench_sched_sweep,
+    bench_obs_overhead
 );
 criterion_main!(benches);

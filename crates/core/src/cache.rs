@@ -277,6 +277,14 @@ impl ResultCache {
         self.len() == 0
     }
 
+    /// Live entries cached for one shard (stale entries count until a lookup
+    /// discards them). The telemetry plane samples this per shard for its
+    /// cache-occupancy gauges; like [`ResultCache::len`] it is a pure
+    /// observation and never touches generations, LRU order or counters.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].entries.len()
+    }
+
     /// The current write generation of `shard`.
     pub fn generation(&self, shard: usize) -> u64 {
         self.shards[shard].generation
@@ -509,6 +517,7 @@ mod tests {
         assert!(cache.lookup(0, &fps[0]).is_some());
         cache.admit(0, fps[2].clone(), sample_matches(1), sample_stats(1), 0);
         assert_eq!(cache.len(), 2);
+        assert_eq!(cache.shard_len(0), 2, "per-shard count agrees with total");
         assert_eq!(cache.stats().evictions, 1);
         assert!(cache.lookup(0, &fps[0]).is_some());
         assert!(cache.lookup(0, &fps[1]).is_none(), "LRU entry evicted");

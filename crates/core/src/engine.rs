@@ -78,9 +78,13 @@ use crate::persistence::PersistenceError;
 use crate::query::QueryIndex;
 use crate::search::{scan_ranked, sort_matches, SearchMatch, SearchStats};
 use crate::storage::{IndexStore, ShardedStore, StoreError, VecStore};
+use crate::telemetry::{
+    Counter, Gauge, LaneStats, MetricsSnapshot, Stage, Telemetry, TelemetryLevel,
+};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Instant;
 
 mod pool;
 use pool::{StealDeques, WorkerPool};
@@ -139,6 +143,10 @@ pub struct SearchEngine<S: IndexStore> {
     /// take `&self` (and must be able to run concurrently from many sessions);
     /// all cache access happens on the calling thread, never inside scan jobs.
     cache: Option<Mutex<ResultCache>>,
+    /// The lock-free metrics registry (see [`crate::telemetry`]). Observation
+    /// only: nothing in the search path reads it back, so replies, stats and
+    /// cache counters are byte-identical at every [`TelemetryLevel`].
+    telemetry: Telemetry,
 }
 
 impl<S: IndexStore + Clone> Clone for SearchEngine<S> {
@@ -153,6 +161,10 @@ impl<S: IndexStore + Clone> Clone for SearchEngine<S> {
         if let Some(cache) = &self.cache {
             engine.enable_cache(cache.lock().unwrap().config());
         }
+        // The clone keeps the telemetry *level* but gets a fresh registry:
+        // recorded values describe the original engine's traffic, not the
+        // clone's.
+        engine.telemetry.set_level(self.telemetry.level());
         engine
     }
 }
@@ -194,6 +206,7 @@ impl<S: IndexStore> SearchEngine<S> {
             scheduler: ScanScheduler::default(),
             steal_granularity: DEFAULT_STEAL_GRANULARITY,
             cache: None,
+            telemetry: Telemetry::new(),
         };
         engine.set_scan_lanes(usize::MAX);
         engine
@@ -218,6 +231,48 @@ impl<S: IndexStore> SearchEngine<S> {
         }
         self.pool = (lanes > 1).then(|| WorkerPool::new(lanes - 1));
         self.lanes = lanes;
+        self.telemetry.set_gauge(Gauge::ScanLanes, lanes as u64);
+    }
+
+    /// Builder-style [`SearchEngine::set_telemetry_level`].
+    pub fn with_telemetry_level(self, level: TelemetryLevel) -> Self {
+        self.set_telemetry_level(level);
+        self
+    }
+
+    /// Set how much the engine's telemetry registry records (default
+    /// [`TelemetryLevel::Off`]). Takes `&self`: the level is an atomic on the
+    /// shared registry, so sessions can toggle telemetry on a live engine.
+    /// Telemetry is **invisible** to execution — replies, [`SearchStats`] and
+    /// cache counters are byte-identical at every level.
+    pub fn set_telemetry_level(&self, level: TelemetryLevel) {
+        self.telemetry.set_level(level);
+    }
+
+    /// Current telemetry recording level.
+    pub fn telemetry_level(&self) -> TelemetryLevel {
+        self.telemetry.level()
+    }
+
+    /// The engine's telemetry registry handle (cheap to clone; shared).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Snapshot the telemetry registry, refreshing the store gauges first so a
+    /// report always carries current geometry.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry
+            .set_gauge(Gauge::ScanLanes, self.lanes as u64);
+        self.telemetry
+            .set_gauge(Gauge::StoreDocuments, self.store.len() as u64);
+        self.telemetry
+            .set_gauge(Gauge::StoreShards, self.store.num_shards() as u64);
+        if let Some(cache) = &self.cache {
+            self.telemetry
+                .set_gauge(Gauge::CacheEntries, cache.lock().unwrap().len() as u64);
+        }
+        self.telemetry.snapshot()
     }
 
     /// Builder-style [`SearchEngine::set_scan_scheduler`].
@@ -315,6 +370,8 @@ impl<S: IndexStore> SearchEngine<S> {
     pub fn store_mut(&mut self) -> &mut S {
         if let Some(cache) = &self.cache {
             cache.lock().unwrap().invalidate_all();
+            self.telemetry
+                .record_cache_invalidation_all(self.store.num_shards());
         }
         &mut self.store
     }
@@ -345,13 +402,21 @@ impl<S: IndexStore> SearchEngine<S> {
     pub fn insert(&mut self, index: RankedDocumentIndex) -> Result<(), StoreError> {
         let document_id = index.document_id;
         self.store.insert(index)?;
+        self.telemetry.add(Counter::Inserts, 1);
         if let Some(cache) = &self.cache {
             let mut cache = cache.lock().unwrap();
             match self.store.shard_of(document_id) {
-                Some(shard) => cache.note_insert(shard),
+                Some(shard) => {
+                    cache.note_insert(shard);
+                    self.telemetry.record_cache_invalidation(shard);
+                }
                 // A store that cannot name the shard gets the conservative
                 // treatment: every shard's generation moves.
-                None => cache.invalidate_all(),
+                None => {
+                    cache.invalidate_all();
+                    self.telemetry
+                        .record_cache_invalidation_all(self.store.num_shards());
+                }
             }
         }
         Ok(())
@@ -383,6 +448,8 @@ impl<S: IndexStore> SearchEngine<S> {
         let count = crate::persistence::deserialize_into(&mut self.store, bytes)?;
         if let Some(cache) = &self.cache {
             cache.lock().unwrap().invalidate_all();
+            self.telemetry
+                .record_cache_invalidation_all(self.store.num_shards());
         }
         Ok(count)
     }
@@ -403,38 +470,68 @@ impl<S: IndexStore> SearchEngine<S> {
         T: Send,
         F: Fn(usize, usize) -> T + Sync,
     {
+        // The static path's unit is a whole shard: time it like the stealing
+        // path times its chunk ranges, so single-lane hosts still populate the
+        // unit-scan histogram. The gate is captured once; `Instant::now` runs
+        // on whatever lane executes the unit.
+        let time_units = self.telemetry.level().spans_enabled();
         // Name the shard in any scan panic before it crosses the pool boundary.
         let scan_named = |pos: usize, shard: usize| -> T {
-            match catch_unwind(AssertUnwindSafe(|| scan(pos, shard))) {
+            let started = time_units.then(Instant::now);
+            let value = match catch_unwind(AssertUnwindSafe(|| scan(pos, shard))) {
                 Ok(value) => value,
                 Err(payload) => {
                     let message = pool::panic_message(payload.as_ref());
                     resume_unwind(Box::new(format!("shard {shard}: {message}")));
                 }
+            };
+            if let Some(started) = started {
+                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.telemetry.record_duration(Stage::UnitScan, ns);
             }
+            value
         };
         let selected = shard_ids.len();
         let inline = |(pos, &shard): (usize, &usize)| scan_named(pos, shard);
-        let Some(pool) = &self.pool else {
-            return shard_ids.iter().enumerate().map(inline).collect();
-        };
-        if selected <= 1 {
-            return shard_ids.iter().enumerate().map(inline).collect();
+        if self.pool.is_none() || selected <= 1 {
+            let out: Vec<T> = shard_ids.iter().enumerate().map(inline).collect();
+            if selected > 0 {
+                self.telemetry.record_lane(
+                    0,
+                    &LaneStats {
+                        executed: selected as u64,
+                        ..LaneStats::default()
+                    },
+                );
+            }
+            return out;
         }
+        let pool = self.pool.as_ref().expect("checked above");
         let lanes = (pool.workers() + 1).min(selected);
         let mut lane_results: Vec<Vec<(usize, T)>> = (0..lanes).map(|_| Vec::new()).collect();
         {
-            let scan_named = &scan_named;
+            let (scan_named, telemetry) = (&scan_named, &self.telemetry);
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = lane_results
                 .iter_mut()
                 .enumerate()
                 .map(|(lane, out)| {
                     Box::new(move || {
+                        let mut executed = 0u64;
                         let mut pos = lane;
                         while pos < selected {
                             out.push((pos, scan_named(pos, shard_ids[pos])));
+                            executed += 1;
                             pos += lanes;
                         }
+                        // The static deal is round-robin: no steals, no idle
+                        // polls, just the lane's own share.
+                        telemetry.record_lane(
+                            lane,
+                            &LaneStats {
+                                executed,
+                                ..LaneStats::default()
+                            },
+                        );
                     }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
@@ -476,20 +573,35 @@ impl<S: IndexStore> SearchEngine<S> {
             None => 1,
         };
         if lanes <= 1 {
-            return (0..total).map(run).collect();
+            let out: Vec<T> = (0..total).map(run).collect();
+            if total > 0 {
+                self.telemetry.record_lane(
+                    0,
+                    &LaneStats {
+                        executed: total as u64,
+                        ..LaneStats::default()
+                    },
+                );
+            }
+            return out;
         }
         let deques = StealDeques::new(total, lanes);
         let mut lane_results: Vec<Vec<(usize, T)>> = (0..lanes).map(|_| Vec::new()).collect();
         {
-            let (deques, run) = (&deques, &run);
+            let (deques, run, telemetry) = (&deques, &run, &self.telemetry);
             let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = lane_results
                 .iter_mut()
                 .enumerate()
                 .map(|(lane, out)| {
                     Box::new(move || {
-                        while let Some(unit) = deques.next(lane) {
+                        // Scheduler stats accumulate in lane-local plain
+                        // integers and flush once after the drain: the claim
+                        // loop stays free of shared-cacheline traffic.
+                        let mut stats = LaneStats::default();
+                        while let Some(unit) = deques.next_tracked(lane, &mut stats) {
                             out.push((unit, run(unit)));
                         }
+                        telemetry.record_lane(lane, &stats);
                     }) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
@@ -537,10 +649,15 @@ impl<S: IndexStore> SearchEngine<S> {
     /// byte-identical to one whole-shard scan per selected shard. A shard with
     /// no units (an empty plane) yields the whole-shard scan's empty result.
     fn scan_units(&self, subsets: &[Vec<&QueryIndex>], units: &[ChunkUnit]) -> Vec<Vec<ShardScan>> {
+        // Capture the span gate once per execution: `Instant::now` inside the
+        // unit closure runs on worker lanes, so the drop-guard `Telemetry::span`
+        // (which borrows `&self`) is replaced by an explicit timed pair here.
+        let time_units = self.telemetry.level().spans_enabled();
         let unit_scans = self.run_units(units.len(), |u| {
             let unit = &units[u];
+            let started = time_units.then(Instant::now);
             // Name the shard in any scan panic, like the static path does.
-            match catch_unwind(AssertUnwindSafe(|| {
+            let scans = match catch_unwind(AssertUnwindSafe(|| {
                 let plane = self
                     .store
                     .scan_plane(unit.shard)
@@ -553,7 +670,12 @@ impl<S: IndexStore> SearchEngine<S> {
                     let message = pool::panic_message(payload.as_ref());
                     resume_unwind(Box::new(format!("shard {}: {message}", unit.shard)));
                 }
+            };
+            if let Some(started) = started {
+                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                self.telemetry.record_duration(Stage::UnitScan, ns);
             }
+            scans
         });
         let mut out: Vec<Vec<ShardScan>> = subsets
             .iter()
@@ -724,9 +846,12 @@ impl<S: IndexStore> SearchEngine<S> {
         &self,
         query: &QueryIndex,
     ) -> (Vec<SearchMatch>, SearchStats, CacheEffect) {
+        self.telemetry.add(Counter::Queries, 1);
+        let _query_span = self.telemetry.span(Stage::EngineQuery);
         let shards = self.store.num_shards();
         let all: Vec<usize> = (0..shards).collect();
         let Some(cache_mutex) = &self.cache else {
+            self.telemetry.add(Counter::ShardScans, shards as u64);
             let per_shard = self.scan_selected_shards_single(&all, query);
             return Self::merge_ranked(per_shard, CacheEffect::default());
         };
@@ -735,10 +860,13 @@ impl<S: IndexStore> SearchEngine<S> {
         let mut per_shard: Vec<Option<ShardScan>> = Vec::with_capacity(shards);
         let mut generations: Vec<u64> = Vec::with_capacity(shards);
         {
+            let _lookup_span = self.telemetry.span(Stage::CacheLookup);
             let mut cache = cache_mutex.lock().unwrap();
             for shard in 0..shards {
                 generations.push(cache.generation(shard));
-                per_shard.push(cache.lookup(shard, &fingerprint));
+                let found = cache.lookup(shard, &fingerprint);
+                self.telemetry.record_cache_lookup(shard, found.is_some());
+                per_shard.push(found);
             }
         }
         let missing: Vec<usize> = per_shard
@@ -757,7 +885,10 @@ impl<S: IndexStore> SearchEngine<S> {
                 .sum(),
         };
         if !missing.is_empty() {
+            self.telemetry
+                .add(Counter::ShardScans, missing.len() as u64);
             let fresh = self.scan_selected_shards_single(&missing, query);
+            let _admit_span = self.telemetry.span(Stage::CacheAdmit);
             let mut cache = cache_mutex.lock().unwrap();
             for (&shard, (matches, stats)) in missing.iter().zip(fresh) {
                 cache.admit(
@@ -852,6 +983,10 @@ impl<S: IndexStore> SearchEngine<S> {
         if queries.is_empty() {
             return Vec::new();
         }
+        self.telemetry.add(Counter::Batches, 1);
+        self.telemetry
+            .add(Counter::BatchQueries, queries.len() as u64);
+        let _batch_span = self.telemetry.span(Stage::EngineBatch);
         let shards = self.store.num_shards();
         let fingerprints: Vec<QueryFingerprint> =
             queries.iter().map(Self::ranked_fingerprint).collect();
@@ -875,6 +1010,7 @@ impl<S: IndexStore> SearchEngine<S> {
         let Some(cache_mutex) = &self.cache else {
             // per_shard[shard][pos] over the unique set; transpose to per-query
             // rows so every execution path merges through merge_ranked.
+            self.telemetry.add(Counter::ShardScans, shards as u64);
             let all: Vec<usize> = (0..shards).collect();
             let subsets: Vec<Vec<&QueryIndex>> = (0..shards)
                 .map(|_| uniques.iter().map(|&u| &queries[u]).collect())
@@ -901,6 +1037,7 @@ impl<S: IndexStore> SearchEngine<S> {
             .collect();
         let mut generations: Vec<u64> = Vec::with_capacity(shards);
         {
+            let _lookup_span = self.telemetry.span(Stage::CacheLookup);
             let mut cache = cache_mutex.lock().unwrap();
             for shard in 0..shards {
                 generations.push(cache.generation(shard));
@@ -908,6 +1045,7 @@ impl<S: IndexStore> SearchEngine<S> {
             for (&u, rows) in uniques.iter().zip(resolved.iter_mut()) {
                 for (shard, row) in rows.iter_mut().enumerate() {
                     *row = cache.lookup(shard, &fingerprints[u]);
+                    self.telemetry.record_cache_lookup(shard, row.is_some());
                 }
             }
         }
@@ -946,6 +1084,8 @@ impl<S: IndexStore> SearchEngine<S> {
             .filter(|&s| !queries_for_shard[s].is_empty())
             .collect();
         if !shard_ids.is_empty() {
+            self.telemetry
+                .add(Counter::ShardScans, shard_ids.len() as u64);
             let subsets: Vec<Vec<&QueryIndex>> = shard_ids
                 .iter()
                 .map(|&shard| {
@@ -977,6 +1117,7 @@ impl<S: IndexStore> SearchEngine<S> {
         // execution exactly.
         let mut duplicate_effects: Vec<CacheEffect> = vec![CacheEffect::default(); queries.len()];
         {
+            let _admit_span = self.telemetry.span(Stage::CacheAdmit);
             let mut cache = cache_mutex.lock().unwrap();
             for (i, fingerprint) in fingerprints.iter().enumerate() {
                 let pos = unique_pos[&rep[i]];
@@ -996,7 +1137,9 @@ impl<S: IndexStore> SearchEngine<S> {
                 }
                 let mut effect = CacheEffect::default();
                 for shard in 0..shards {
-                    match cache.lookup(shard, fingerprint) {
+                    let found = cache.lookup(shard, fingerprint);
+                    self.telemetry.record_cache_lookup(shard, found.is_some());
+                    match found {
                         Some((_, stats)) => {
                             effect.shard_hits += 1;
                             effect.saved_comparisons += stats.comparisons;
@@ -1368,6 +1511,7 @@ mod tests {
             scheduler,
             steal_granularity: granularity.max(1),
             cache: None,
+            telemetry: Telemetry::new(),
         }
     }
 
@@ -1411,6 +1555,11 @@ mod tests {
             .map(|q| reference.search_ranked_with_stats(q))
             .collect();
         let expected_batch = reference.search_batch_with_stats(&queries);
+        // Aggregated across every forced work-stealing config below: the lanes
+        // must record genuine steals (satellite: the deques are no longer
+        // opaque), and recording them must not perturb a single reply byte.
+        let mut total_steals = 0u64;
+        let mut total_executed = 0u64;
         for lanes in [2usize, 3] {
             for granularity in [1usize, 2, 64] {
                 let engine = forced_lane_engine(
@@ -1419,6 +1568,7 @@ mod tests {
                     ScanScheduler::WorkStealing,
                     granularity,
                 );
+                engine.set_telemetry_level(TelemetryLevel::Counters);
                 for (q, want) in queries.iter().zip(&expected) {
                     assert_eq!(
                         &engine.search_ranked_with_stats(q),
@@ -1431,6 +1581,9 @@ mod tests {
                     expected_batch,
                     "fused batch, lanes={lanes} g={granularity}"
                 );
+                let snap = engine.metrics_snapshot();
+                total_steals += snap.total_steals();
+                total_executed += snap.lanes.iter().map(|l| l.executed).sum::<u64>();
             }
             // The static scheduler on the same forced pool agrees too.
             let engine = forced_lane_engine(store.clone(), lanes, ScanScheduler::Static, 8);
@@ -1438,6 +1591,17 @@ mod tests {
                 assert_eq!(&engine.search_ranked_with_stats(q), want, "static {lanes}");
             }
         }
+        // Every unit execution is accounted, and at least one lane stole: the
+        // caller lane drains its own deal inline and then eats from workers
+        // still waking up, so a forced multi-lane run cannot finish steal-free.
+        assert!(
+            total_executed > 0,
+            "lane counters must see the executed units"
+        );
+        assert!(
+            total_steals > 0,
+            "forced multi-lane work-stealing runs must record steals"
+        );
     }
 
     #[test]

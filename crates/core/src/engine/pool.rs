@@ -13,6 +13,7 @@
 //! [`WorkerPool::run_scoped`] provides the scoped-thread guarantee that makes
 //! borrowed jobs sound: it does not return until every submitted job has run.
 
+use crate::telemetry::LaneStats;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Sender};
@@ -257,13 +258,38 @@ impl StealDeques {
 
     /// Claim the next unit for `lane`: the head of its own slice, or — once that
     /// is drained — the tail of the first other slice with work left. `None`
-    /// when every unit is claimed.
+    /// when every unit is claimed. (The engine always claims through
+    /// [`Self::next_tracked`]; this stat-less form serves the deque tests.)
+    #[cfg(test)]
     pub(super) fn next(&self, lane: usize) -> Option<usize> {
-        self.pop_own(lane).or_else(|| self.steal(lane))
+        self.next_tracked(lane, &mut LaneStats::default())
+    }
+
+    /// [`Self::next`] plus scheduler accounting into the caller's scratch
+    /// [`LaneStats`]: executed units, successful steals, lost CAS races and
+    /// work-less victim sweeps. The stats are plain `u64`s the lane owns — the
+    /// claim path stays lock-free and allocation-free; the caller flushes the
+    /// accumulated stats to the telemetry registry once, after draining.
+    pub(super) fn next_tracked(&self, lane: usize, stats: &mut LaneStats) -> Option<usize> {
+        if let Some(unit) = self.pop_own(lane, stats) {
+            stats.executed += 1;
+            return Some(unit);
+        }
+        match self.steal(lane, stats) {
+            Some(unit) => {
+                stats.executed += 1;
+                stats.stolen += 1;
+                Some(unit)
+            }
+            None => {
+                stats.idle_polls += 1;
+                None
+            }
+        }
     }
 
     /// Pop the head of `lane`'s own slice.
-    fn pop_own(&self, lane: usize) -> Option<usize> {
+    fn pop_own(&self, lane: usize, stats: &mut LaneStats) -> Option<usize> {
         let slot = &self.lanes[lane];
         let mut cur = slot.load(Ordering::Acquire);
         loop {
@@ -278,7 +304,10 @@ impl StealDeques {
                 Ordering::Acquire,
             ) {
                 Ok(_) => return Some(head as usize),
-                Err(seen) => cur = seen,
+                Err(seen) => {
+                    stats.failed_cas += 1;
+                    cur = seen;
+                }
             }
         }
     }
@@ -286,7 +315,7 @@ impl StealDeques {
     /// Steal the tail unit of the first non-empty victim slice, scanning the
     /// other lanes in cyclic order from `thief + 1` (spreads concurrent thieves
     /// over distinct victims instead of contending on lane 0).
-    fn steal(&self, thief: usize) -> Option<usize> {
+    fn steal(&self, thief: usize, stats: &mut LaneStats) -> Option<usize> {
         let lanes = self.lanes.len();
         for offset in 1..lanes {
             let victim = &self.lanes[(thief + offset) % lanes];
@@ -303,7 +332,10 @@ impl StealDeques {
                     Ordering::Acquire,
                 ) {
                     Ok(_) => return Some(tail as usize - 1),
-                    Err(seen) => cur = seen,
+                    Err(seen) => {
+                        stats.failed_cas += 1;
+                        cur = seen;
+                    }
                 }
             }
         }
@@ -428,9 +460,12 @@ mod tests {
     fn steal_deques_partition_is_contiguous_and_balanced() {
         // 10 units over 4 lanes: slices of 3, 3, 2, 2, in index order.
         let deques = StealDeques::new(10, 4);
+        let mut scratch = LaneStats::default();
         let mut slices = Vec::new();
         for lane in 0..4 {
-            slices.push(std::iter::from_fn(|| deques.pop_own(lane)).collect::<Vec<_>>());
+            slices.push(
+                std::iter::from_fn(|| deques.pop_own(lane, &mut scratch)).collect::<Vec<_>>(),
+            );
         }
         assert_eq!(
             slices,
@@ -438,13 +473,41 @@ mod tests {
         );
         // Fewer units than lanes: the surplus lanes start empty but can steal.
         let deques = StealDeques::new(2, 4);
-        assert_eq!(deques.pop_own(3), None);
+        assert_eq!(deques.pop_own(3, &mut scratch), None);
         assert_eq!(deques.next(3), Some(0), "lane 3 steals lane 0's only unit");
         assert_eq!(deques.next(2), Some(1));
         assert_eq!(deques.next(0), None);
         // Empty slate.
         let deques = StealDeques::new(0, 3);
         assert!((0..3).all(|lane| deques.next(lane).is_none()));
+    }
+
+    #[test]
+    fn next_tracked_accounts_pops_steals_and_idle_polls() {
+        // Lane 0 owns 0..2, lane 1 owns 2..4. Lane 0 drains its own slice,
+        // steals lane 1's tail twice, then sweeps idle.
+        let deques = StealDeques::new(4, 2);
+        let mut stats = LaneStats::default();
+        let drained: Vec<usize> =
+            std::iter::from_fn(|| deques.next_tracked(0, &mut stats)).collect();
+        assert_eq!(drained, vec![0, 1, 3, 2]);
+        assert_eq!(stats.executed, 4);
+        assert_eq!(stats.stolen, 2);
+        assert_eq!(
+            stats.idle_polls, 1,
+            "the terminating None is one idle sweep"
+        );
+        assert_eq!(stats.failed_cas, 0, "no contention single-threaded");
+        // The other lane finds nothing: pure idle polls, nothing executed.
+        let mut other = LaneStats::default();
+        assert_eq!(deques.next_tracked(1, &mut other), None);
+        assert_eq!(
+            other,
+            LaneStats {
+                idle_polls: 1,
+                ..LaneStats::default()
+            }
+        );
     }
 
     #[test]

@@ -25,6 +25,12 @@
 //! The [`cache`] module adds an optional per-shard, generation-invalidated result
 //! cache on top: repeated query indices (the search pattern the server observes
 //! anyway, §6) skip the shard scan entirely without changing a single reply byte.
+//! The [`telemetry`] module observes all of it: a lock-free registry of
+//! relaxed-atomic counters, gauges and log₂-bucketed latency histograms behind a
+//! runtime [`telemetry::TelemetryLevel`] knob on the engine — per-stage spans,
+//! per-lane scheduler stats and per-shard cache tallies, recorded without
+//! perturbing a single reply byte (the registry observes, it never
+//! participates).
 //!
 //! Document encryption, RSA blind decryption of per-document keys and the three-party protocol
 //! (data owner / user / cloud server) live in `mkse-protocol`; the baselines the paper compares
@@ -78,6 +84,7 @@ pub mod rotation;
 pub mod scanplane;
 pub mod search;
 pub mod storage;
+pub mod telemetry;
 
 pub use analysis::{
     expected_common_zeros, expected_hamming_distance, expected_random_overlap, expected_zeros,
@@ -99,6 +106,9 @@ pub use rotation::{EpochTrapdoor, RotatingKeys};
 pub use scanplane::ScanPlane;
 pub use search::{CloudIndex, SearchMatch, SearchStats};
 pub use storage::{IndexStore, ShardedStore, StoreError, VecStore};
+pub use telemetry::{
+    LaneSnapshot, LaneStats, MetricsSnapshot, ShardCacheSnapshot, Telemetry, TelemetryLevel,
+};
 
 #[cfg(test)]
 mod tests {

@@ -179,6 +179,16 @@ impl ScanPlane {
         }
     }
 
+    /// Documents a chunk range covers, after clamping it to the plane's grid —
+    /// the public form of the sizing the chunk-range scans use. Telemetry
+    /// consumers divide a recorded `unit_scan` duration by this to normalize
+    /// per-unit timings to documents swept (the last chunk may be partial, so
+    /// `range.len() * CHUNK` over-counts at the plane's tail).
+    pub fn docs_in_chunks(&self, chunks: std::ops::Range<usize>) -> usize {
+        let chunks = self.clamp_chunks(chunks);
+        self.docs_in(&chunks)
+    }
+
     /// Bits per level (r); zero while the plane is empty.
     pub fn bits(&self) -> usize {
         self.bits
@@ -808,6 +818,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scanplane_docs_in_chunks_sizes_clamped_ranges() {
+        let mut rng = StdRng::seed_from_u64(23);
+        // One full chunk plus a 7-document tail chunk.
+        let docs = random_docs(&mut rng, CHUNK + 7, 32, 1);
+        let plane = plane_of(&docs);
+        assert_eq!(plane.num_chunks(), 2);
+        assert_eq!(plane.docs_in_chunks(0..1), CHUNK);
+        assert_eq!(plane.docs_in_chunks(1..2), 7, "tail chunk is partial");
+        assert_eq!(plane.docs_in_chunks(0..2), CHUNK + 7);
+        assert_eq!(plane.docs_in_chunks(0..99), CHUNK + 7, "end clamps");
+        assert_eq!(plane.docs_in_chunks(5..9), 0, "past-the-end is empty");
+        #[allow(clippy::reversed_empty_ranges)]
+        {
+            assert_eq!(plane.docs_in_chunks(2..1), 0, "inverted collapses");
+        }
+        assert_eq!(ScanPlane::new().docs_in_chunks(0..1), 0);
     }
 
     #[test]

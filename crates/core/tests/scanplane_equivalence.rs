@@ -17,7 +17,7 @@
 use mkse_core::scanplane::CHUNK;
 use mkse_core::{
     BitIndex, CacheConfig, CloudIndex, IndexStore, QueryIndex, RankedDocumentIndex, ScanPlane,
-    ScanScheduler, SearchEngine, SystemParams,
+    ScanScheduler, SearchEngine, SystemParams, TelemetryLevel,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -332,6 +332,88 @@ fn scanplane_steal_scheduler_heavy_configs_are_byte_identical() {
                     cached.cache_stats(),
                     static_cached.cache_stats(),
                     "cache counters must be scheduler-invisible: {ctx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn scanplane_telemetry_spans_are_invisible_to_every_reply_and_counter() {
+    // The telemetry invariant (§6 note): the registry observes, it never
+    // participates. An engine recording at `Spans` must return byte-identical
+    // matches, ranks, stats and cache counters to an identical twin at `Off` —
+    // across every shard count, lane count, cache config, and fused batches
+    // with intra-batch duplicates. Only the registry itself may differ.
+    let mut rng = StdRng::seed_from_u64(97);
+    let r = 129; // two full blocks + 1-bit tail
+    let eta = 2;
+    let params = params_for(r, eta);
+    let docs = random_docs(&mut rng, CHUNK + 173, r, eta);
+    let queries = query_workload(&mut rng, r, &docs);
+    let mut batch = queries.clone();
+    batch.push(batch[0].clone()); // intra-batch duplicates ride along
+    batch.push(batch[2].clone());
+    let mut reference = CloudIndex::new(params.clone());
+    reference.insert_all(docs.iter().cloned()).unwrap();
+
+    for shards in SHARD_COUNTS {
+        for cached in [false, true] {
+            let build = || {
+                let mut e = SearchEngine::sharded(params.clone(), shards);
+                if cached {
+                    e.enable_cache(CacheConfig::default());
+                }
+                e.insert_all(docs.iter().cloned()).unwrap();
+                e
+            };
+            let mut off = build();
+            let mut spans = build();
+            spans.set_telemetry_level(TelemetryLevel::Spans);
+
+            for lanes in [1usize, 2, 3] {
+                off.set_scan_lanes(lanes);
+                spans.set_scan_lanes(lanes);
+                let ctx = format!("{shards} shards, lanes={lanes}, cached={cached}");
+                // Both twins must also agree with the sequential reference —
+                // "identical to each other but both wrong" is not equivalence.
+                // (Run it on both so their cache states stay in lockstep.)
+                assert_engine_equals_reference(&spans, &reference, &queries, &ctx);
+                assert_engine_equals_reference(&off, &reference, &queries, &ctx);
+                for (qi, query) in queries.iter().enumerate() {
+                    assert_eq!(
+                        spans.search_ranked_with_stats(query),
+                        off.search_ranked_with_stats(query),
+                        "spans vs off differ: {ctx}, query {qi}"
+                    );
+                }
+                for pass in ["cold", "warm"] {
+                    assert_eq!(
+                        spans.search_batch_with_stats(&batch),
+                        off.search_batch_with_stats(&batch),
+                        "fused batch differs: {ctx}, {pass}"
+                    );
+                }
+                if cached {
+                    assert_eq!(
+                        spans.cache_stats(),
+                        off.cache_stats(),
+                        "cache counters must be telemetry-invisible: {ctx}"
+                    );
+                }
+            }
+            // The observing twin did record: the registry is where the levels
+            // are allowed to differ.
+            if shards == SHARD_COUNTS[0] {
+                let snap = spans.telemetry().snapshot();
+                assert!(snap.counter("queries") > 0, "spans twin recorded queries");
+                assert!(
+                    snap.histograms.iter().any(|h| h.stage == "unit_scan"),
+                    "spans twin recorded unit scans"
+                );
+                assert!(
+                    off.telemetry().snapshot().histograms.is_empty(),
+                    "off twin recorded nothing"
                 );
             }
         }

@@ -34,6 +34,7 @@ use crate::wire::{self, CodecError};
 use crate::ProtocolError;
 use mkse_core::cache::CacheStats;
 use mkse_core::document_index::RankedDocumentIndex;
+use mkse_core::telemetry::{Counter, MetricsSnapshot, Stage};
 use std::collections::BTreeMap;
 
 /// Frames and framed bytes a client has moved in each direction — the measured
@@ -80,11 +81,32 @@ impl WireStats {
 /// run per connection. A frame that fails to decode aborts the wire with a
 /// [`CodecError`] (there is no trustworthy request id to correlate an error
 /// reply to).
+///
+/// When the service exposes a telemetry registry ([`Service::telemetry`]),
+/// the transport records the framed traffic it moves (frames and framed bytes
+/// in both directions) and — at the `Spans` level — the decode/encode
+/// durations. Recording only touches the registry: reply bytes are identical
+/// whether or not a registry is present.
 pub fn serve<S: Service>(service: &mut S, request_wire: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let telemetry = service.telemetry().cloned();
+    let decoded = {
+        let _decode_span = telemetry.as_ref().and_then(|t| t.span(Stage::FrameDecode));
+        wire::decode_request_stream(request_wire)?
+    };
+    let frames = decoded.len() as u64;
+    if let Some(t) = &telemetry {
+        t.add(Counter::WireFramesIn, frames);
+        t.add(Counter::WireBytesIn, request_wire.len() as u64);
+    }
     let mut reply_wire = Vec::new();
-    for (request_id, request) in wire::decode_request_stream(request_wire)? {
+    for (request_id, request) in decoded {
         let response = service.call(request);
+        let _encode_span = telemetry.as_ref().and_then(|t| t.span(Stage::FrameEncode));
         reply_wire.extend_from_slice(&wire::encode_response(request_id, &response));
+    }
+    if let Some(t) = &telemetry {
+        t.add(Counter::WireFramesOut, frames);
+        t.add(Counter::WireBytesOut, reply_wire.len() as u64);
     }
     Ok(reply_wire)
 }
@@ -381,6 +403,18 @@ impl<S: Service> Client<S> {
             _ => None,
         })
     }
+
+    /// Snapshot the remote party's telemetry registry:
+    /// `Request::MetricsSnapshot`. The reply round-trips the framed codec like
+    /// every other envelope, so the dashboard view is exactly what a remote
+    /// operator would see.
+    pub fn metrics_snapshot(&mut self) -> Result<MetricsSnapshot, ProtocolError> {
+        let response = self.call(&Request::MetricsSnapshot)?;
+        Self::expect(response, "MetricsReport", |r| match r {
+            Response::MetricsReport(snapshot) => Some(snapshot),
+            _ => None,
+        })
+    }
 }
 
 impl<S: Service> std::ops::Deref for Client<S> {
@@ -400,6 +434,7 @@ impl<S: Service> std::ops::DerefMut for Client<S> {
 mod tests {
     use super::*;
     use crate::ProtocolError;
+    use mkse_core::telemetry::{Telemetry, TelemetryLevel};
 
     /// A loopback service answering every request with `Ack` (enough to test
     /// the client's transport mechanics without a full server).
@@ -412,6 +447,45 @@ mod tests {
             self.calls += 1;
             Response::Ack
         }
+    }
+
+    /// An `Ack` loopback that additionally exposes a telemetry registry, so
+    /// the transport-level recording in [`serve`] can be observed.
+    struct MeteredAck {
+        telemetry: Telemetry,
+    }
+
+    impl Service for MeteredAck {
+        fn call(&mut self, _request: Request) -> Response {
+            Response::Ack
+        }
+
+        fn telemetry(&self) -> Option<&Telemetry> {
+            Some(&self.telemetry)
+        }
+    }
+
+    #[test]
+    fn serve_records_framed_wire_traffic_in_the_registry() {
+        let telemetry = Telemetry::new();
+        telemetry.set_level(TelemetryLevel::Counters);
+        let mut client = Client::new(MeteredAck {
+            telemetry: telemetry.clone(),
+        });
+        client.submit(&Request::CacheStats);
+        client.submit(&Request::ServerInfo);
+        client.flush().unwrap();
+
+        // The registry's wire counters agree exactly with the client-side
+        // measured WireStats: both observe the same frames and framed bytes.
+        let snap = telemetry.snapshot();
+        let stats = client.wire_stats();
+        assert_eq!(snap.counter("wire_frames_in"), 2);
+        assert_eq!(snap.counter("wire_frames_out"), 2);
+        assert_eq!(snap.counter("wire_bytes_in"), stats.bytes_sent);
+        assert_eq!(snap.counter("wire_bytes_out"), stats.bytes_received);
+        // No spans at the Counters level.
+        assert!(snap.histograms.is_empty());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::messages::{
 };
 use crate::ProtocolError;
 use mkse_core::cache::CacheStats;
+use mkse_core::telemetry::{MetricsSnapshot, Telemetry};
 
 /// Version of the envelope vocabulary (and of the wire encoding in
 /// [`crate::wire`]). Frames carrying any other version are rejected with a typed
@@ -73,6 +74,11 @@ pub enum Request {
     ResetCounters,
     /// Admin → server: static deployment facts (shards, documents, geometry).
     ServerInfo,
+    /// Admin → server: snapshot the telemetry registry (counters, gauges,
+    /// stage-latency histograms, per-lane scheduler stats, per-shard cache
+    /// stats). Read-only and side-effect-free: serving it changes nothing the
+    /// search path can observe.
+    MetricsSnapshot,
 }
 
 impl Request {
@@ -93,6 +99,7 @@ impl Request {
             Request::Counters => "Counters",
             Request::ResetCounters => "ResetCounters",
             Request::ServerInfo => "ServerInfo",
+            Request::MetricsSnapshot => "MetricsSnapshot",
         }
     }
 }
@@ -131,6 +138,9 @@ pub enum Response {
     Counters(OperationCounters),
     /// Static deployment facts.
     Info(ServerInfo),
+    /// The telemetry registry's point-in-time state, answered to
+    /// [`Request::MetricsSnapshot`].
+    MetricsReport(MetricsSnapshot),
     /// The operation failed; the exact [`ProtocolError`] travels in the envelope.
     Error(ProtocolError),
 }
@@ -151,6 +161,7 @@ impl Response {
             Response::Restored { .. } => "Restored",
             Response::Counters(_) => "Counters",
             Response::Info(_) => "Info",
+            Response::MetricsReport(_) => "MetricsReport",
             Response::Error(_) => "Error",
         }
     }
@@ -181,6 +192,15 @@ pub struct ServerInfo {
 pub trait Service {
     /// Execute one request and produce its reply.
     fn call(&mut self, request: Request) -> Response;
+
+    /// The service's telemetry registry, when it keeps one. Transports (see
+    /// [`crate::serve`]) use this to record framed wire traffic and
+    /// encode/decode durations against the same registry the engine writes,
+    /// so one [`Request::MetricsSnapshot`] covers the whole stack. The
+    /// default — for parties without a registry — opts out.
+    fn telemetry(&self) -> Option<&Telemetry> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +225,7 @@ mod tests {
                 capacity_per_shard: 4,
             },
             Request::RestoreIndex(vec![1, 2]),
+            Request::MetricsSnapshot,
         ];
         let mut names: Vec<&str> = requests.iter().map(|r| r.name()).collect();
         names.sort_unstable();

@@ -34,6 +34,7 @@ pub mod counters;
 pub mod data_owner;
 pub mod envelope;
 pub mod messages;
+pub mod metrics;
 pub mod server;
 pub mod session;
 pub mod user;
@@ -45,6 +46,7 @@ pub use counters::OperationCounters;
 pub use data_owner::{DataOwner, OwnerConfig};
 pub use envelope::{Request, Response, ServerInfo, Service, PROTOCOL_VERSION};
 pub use messages::*;
+pub use metrics::{render_json, render_prometheus};
 pub use server::CloudServer;
 pub use session::{SearchSession, SessionReport, WireReport};
 pub use user::User;

@@ -38,6 +38,7 @@ use mkse_core::params::SystemParams;
 use mkse_core::query::QueryIndex;
 use mkse_core::search::{SearchMatch, SearchStats};
 use mkse_core::storage::{IndexStore, ShardedStore};
+use mkse_core::telemetry::{Counter, MetricsSnapshot, Stage, Telemetry, TelemetryLevel};
 use std::collections::BTreeMap;
 
 /// The cloud-server actor.
@@ -45,6 +46,12 @@ pub struct CloudServer {
     engine: SearchEngine<ShardedStore>,
     documents: BTreeMap<u64, EncryptedDocumentTransfer>,
     counters: OperationCounters,
+    /// Registry value of [`Counter::RequestsServed`] at the last counter reset.
+    /// `counters.requests_served` is a mirror of `registry − baseline`: the
+    /// telemetry registry is the single source of the served-request count
+    /// (Table 1 wire frames and Table 2 request totals read the same atoms),
+    /// while the resettable Table 2 view subtracts this baseline.
+    served_baseline: u64,
 }
 
 impl CloudServer {
@@ -63,7 +70,19 @@ impl CloudServer {
             engine: SearchEngine::sharded(params, shards),
             documents: BTreeMap::new(),
             counters: OperationCounters::new(),
+            served_baseline: 0,
         }
+    }
+
+    /// Record one served request. The telemetry registry is the single source
+    /// of truth ([`Telemetry::tally`] counts even at `Off`); the Table 2
+    /// mirror is re-derived from it so `OperationCounters` and the registry
+    /// can never drift apart.
+    fn note_served(&mut self) {
+        let telemetry = self.engine.telemetry();
+        telemetry.tally(Counter::RequestsServed, 1);
+        self.counters.requests_served =
+            telemetry.counter(Counter::RequestsServed) - self.served_baseline;
     }
 
     /// Number of index shards this server scans in parallel.
@@ -105,7 +124,7 @@ impl CloudServer {
     /// the accounting (`requests_served`) matches the envelope path exactly, so
     /// counter parity holds no matter which surface a caller uses.
     pub fn snapshot_index(&mut self) -> Vec<u8> {
-        self.counters.requests_served += 1;
+        self.note_served();
         self.engine.snapshot()
     }
 
@@ -117,7 +136,7 @@ impl CloudServer {
     /// double peak memory for a request that never crosses a wire here. The
     /// accounting (`requests_served`) matches the envelope path exactly.
     pub fn restore_index(&mut self, bytes: &[u8]) -> Result<usize, ProtocolError> {
-        self.counters.requests_served += 1;
+        self.note_served();
         Ok(self.engine.restore_snapshot(bytes)?)
     }
 
@@ -280,14 +299,36 @@ impl CloudServer {
     }
 
     /// Operation counters accumulated so far (binary comparisons only — the server does no
-    /// cryptography, which is the point of the scheme).
+    /// cryptography, which is the point of the scheme). `requests_served` is a
+    /// mirror of the telemetry registry's [`Counter::RequestsServed`] minus the
+    /// last reset's baseline — one source backs both views.
     pub fn counters(&self) -> &OperationCounters {
         &self.counters
     }
 
-    /// Reset the counters.
+    /// Reset the counters. The registry itself stays monotonic (snapshots never
+    /// regress); the Table 2 view rebases on its current value instead.
     pub fn reset_counters(&mut self) {
         self.counters.reset();
+        self.served_baseline = self.engine.telemetry().counter(Counter::RequestsServed);
+    }
+
+    /// Current telemetry recording level ([`TelemetryLevel::Off`] by default).
+    pub fn telemetry_level(&self) -> TelemetryLevel {
+        self.engine.telemetry_level()
+    }
+
+    /// Change the telemetry recording level at runtime. `&self`: the knob is a
+    /// relaxed atomic on the shared registry.
+    pub fn set_telemetry_level(&self, level: TelemetryLevel) {
+        self.engine.set_telemetry_level(level);
+    }
+
+    /// Point-in-time copy of the telemetry registry (what
+    /// [`Request::MetricsSnapshot`] answers). Read-only: taking a snapshot
+    /// changes nothing the search path can observe.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.engine.metrics_snapshot()
     }
 
     /// The public parameters this server runs with.
@@ -303,9 +344,13 @@ impl Service for CloudServer {
     /// shared across parties, the serving duties are not.
     ///
     /// `requests_served` is bumped for every call, *before* execution, so a
-    /// [`Request::Counters`] reply includes the request that fetched it.
+    /// [`Request::Counters`] reply includes the request that fetched it. The
+    /// count is tallied into the telemetry registry and mirrored back into
+    /// [`OperationCounters`] — one registry-backed source for both.
     fn call(&mut self, request: Request) -> Response {
-        self.counters.requests_served += 1;
+        let telemetry = self.engine.telemetry().clone();
+        let _call_span = telemetry.span(Stage::ServiceCall);
+        self.note_served();
         match request {
             Request::Query(message) => Response::Search(self.exec_query(&message)),
             Request::BatchQuery(message) => Response::BatchSearch(self.exec_batch_query(&message)),
@@ -337,9 +382,10 @@ impl Service for CloudServer {
             },
             Request::Counters => Response::Counters(self.counters),
             Request::ResetCounters => {
-                self.counters.reset();
+                self.reset_counters();
                 Response::Ack
             }
+            Request::MetricsSnapshot => Response::MetricsReport(self.metrics_snapshot()),
             Request::ServerInfo => Response::Info(ServerInfo {
                 shards: self.num_shards() as u64,
                 documents: self.engine.len() as u64,
@@ -354,6 +400,13 @@ impl Service for CloudServer {
                 )))
             }
         }
+    }
+
+    /// The engine's registry: transports record framed wire traffic and
+    /// encode/decode durations here, so one [`Request::MetricsSnapshot`]
+    /// covers engine, scheduler, cache and wire together.
+    fn telemetry(&self) -> Option<&Telemetry> {
+        Some(self.engine.telemetry())
     }
 }
 
@@ -640,6 +693,35 @@ mod tests {
             restored.restore_index(&bytes[..3]),
             Err(ProtocolError::Persistence(_))
         ));
+    }
+
+    #[test]
+    fn metrics_snapshot_is_served_and_requests_served_reads_the_registry() {
+        let (owner, mut server, mut rng) = populated_server();
+        server.set_telemetry_level(TelemetryLevel::Counters);
+        let _ = server.handle_query(&query_for(&owner, &["cloud"], &mut rng));
+        let report = match server.call(Request::MetricsSnapshot) {
+            Response::MetricsReport(snapshot) => snapshot,
+            other => unreachable!("MetricsSnapshot answered with {}", other.name()),
+        };
+        assert_eq!(report.level, TelemetryLevel::Counters);
+        assert!(report.counter("queries") >= 1);
+        assert!(report.counter("shard_scans") >= server.num_shards() as u64);
+        // One registry-backed source: the Table 2 mirror equals the registry.
+        assert_eq!(
+            report.counter("requests_served"),
+            server.counters().requests_served
+        );
+        // Reset rebases the Table 2 view; the registry itself stays monotonic.
+        server.reset_counters();
+        assert_eq!(server.counters().requests_served, 0);
+        let after = server.metrics_snapshot();
+        assert!(after.counter("requests_served") >= report.counter("requests_served"));
+        // Served-request accounting exists independently of the observability
+        // plane: it keeps counting even at Off.
+        server.set_telemetry_level(TelemetryLevel::Off);
+        let _ = server.call(Request::ServerInfo);
+        assert_eq!(server.counters().requests_served, 1);
     }
 
     #[test]

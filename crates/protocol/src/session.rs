@@ -25,6 +25,7 @@ use crate::messages::{CacheReport, UploadMessage};
 use crate::server::CloudServer;
 use crate::user::User;
 use crate::ProtocolError;
+use mkse_core::telemetry::{MetricsSnapshot, TelemetryLevel};
 use mkse_textproc::document::Document;
 use rand::Rng;
 
@@ -85,6 +86,10 @@ pub struct SessionReport {
     pub shards: usize,
     /// Measured framed wire traffic of this round.
     pub wire: WireReport,
+    /// The server's telemetry registry at the end of the round, when its
+    /// recording level is not `Off` (cumulative, not per-round: the registry
+    /// is monotonic by design).
+    pub server_metrics: Option<MetricsSnapshot>,
 }
 
 impl SessionReport {
@@ -127,6 +132,37 @@ impl SessionReport {
         out.push_str(&self.owner_ops.render());
         out.push_str("server operations:\n");
         out.push_str(&self.server_ops.render());
+        if let Some(metrics) = &self.server_metrics {
+            out.push_str(&format!(
+                "\nserver telemetry (level {}, cumulative):\n",
+                metrics.level.name()
+            ));
+            for (name, value) in &metrics.counters {
+                if *value > 0 {
+                    out.push_str(&format!("  {name:<24} {value}\n"));
+                }
+            }
+            for lane in &metrics.lanes {
+                out.push_str(&format!(
+                    "  lane {}: executed {} (stolen {}), failed steals {}, idle polls {}\n",
+                    lane.lane, lane.executed, lane.stolen, lane.failed_steals, lane.idle_polls
+                ));
+            }
+            for shard in &metrics.shard_caches {
+                out.push_str(&format!(
+                    "  shard {} cache: {} hits / {} misses, {} invalidations\n",
+                    shard.shard, shard.hits, shard.misses, shard.invalidations
+                ));
+            }
+            for h in &metrics.histograms {
+                out.push_str(&format!(
+                    "  {:<24} {} samples, avg {} ns\n",
+                    h.stage,
+                    h.count,
+                    h.sum_ns / h.count.max(1)
+                ));
+            }
+        }
         out
     }
 }
@@ -162,20 +198,34 @@ struct WireMark {
 
 /// Record one request/reply exchange: analytic Table 1 `(request, reply)` bits
 /// both ways, plus the measured framed wire delta `moved` observed at the
-/// requester's client.
+/// requester's client. Frame counts come from the measured delta itself — not
+/// a caller-maintained literal — so the ledger's Table 1 frame totals read the
+/// same source as everything else the codec observed and cannot drift from the
+/// registry-backed served-request count.
 fn record_exchange(
     ledger: &CostLedger,
     requester: Party,
     responder: Party,
     phase: Phase,
     (request_bits, reply_bits): (u64, u64),
-    frames: u64,
     moved: WireStats,
 ) {
     ledger.record(requester, responder, phase, request_bits);
-    ledger.record_wire(requester, responder, phase, frames, moved.bytes_sent);
+    ledger.record_wire(
+        requester,
+        responder,
+        phase,
+        moved.frames_sent,
+        moved.bytes_sent,
+    );
     ledger.record(responder, requester, phase, reply_bits);
-    ledger.record_wire(responder, requester, phase, frames, moved.bytes_received);
+    ledger.record_wire(
+        responder,
+        requester,
+        phase,
+        moved.frames_received,
+        moved.bytes_received,
+    );
 }
 
 impl SearchSession {
@@ -315,7 +365,6 @@ impl SearchSession {
                 Party::DataOwner,
                 Phase::Trapdoor,
                 (request_bits, reply.bits(modulus_bits)),
-                1,
                 moved,
             );
             self.user.ingest_trapdoor_reply(&reply)?;
@@ -356,7 +405,6 @@ impl SearchSession {
             Party::Server,
             Phase::Search,
             (query.bits(), search_reply.bits()),
-            1,
             self.server.wire_stats().since(&before),
         );
 
@@ -373,7 +421,6 @@ impl SearchSession {
                 Party::Server,
                 Phase::Search,
                 (doc_request.bits(), doc_reply.bits(modulus_bits)),
-                1,
                 self.server.wire_stats().since(&before),
             );
 
@@ -400,7 +447,6 @@ impl SearchSession {
                 let id = self.owner.submit(&Request::BlindDecrypt(blind_request));
                 pending.push((id, state, transfer));
             }
-            let requests = pending.len() as u64;
             if let Err(e) = self.owner.flush() {
                 self.owner.abandon();
                 return Err(e);
@@ -410,14 +456,14 @@ impl SearchSession {
                 Party::User,
                 Party::DataOwner,
                 Phase::Decrypt,
-                requests,
+                moved.frames_sent,
                 moved.bytes_sent,
             );
             ledger.record_wire(
                 Party::DataOwner,
                 Party::User,
                 Phase::Decrypt,
-                requests,
+                moved.frames_received,
                 moved.bytes_received,
             );
             // Take EVERY reply, even after a failure, so no orphaned reply
@@ -463,6 +509,11 @@ impl SearchSession {
 
         self.ledger.merge_from(&ledger);
         let wire = self.wire_report_since(&mark);
+        // Local introspection through the client's Deref — no extra envelope,
+        // so the metrics read never perturbs the round's wire or counter view.
+        let server: &CloudServer = &self.server;
+        let server_metrics =
+            (server.telemetry_level() != TelemetryLevel::Off).then(|| server.metrics_snapshot());
 
         Ok(SessionReport {
             matches: search_reply
@@ -478,6 +529,7 @@ impl SearchSession {
             cache: search_reply.cache,
             shards: self.server.num_shards(),
             wire,
+            server_metrics,
         })
     }
 
@@ -511,7 +563,6 @@ impl SearchSession {
             Party::Server,
             Phase::Search,
             (batch.bits(), reply.bits()),
-            1,
             self.server.wire_stats().since(&before),
         );
 
@@ -770,6 +821,34 @@ mod tests {
         report.cache.shard_hits = shards;
         report.cache.served_from_cache = true;
         assert!(report.render().contains("result cache"));
+    }
+
+    #[test]
+    fn session_report_includes_server_telemetry_when_enabled() {
+        let (mut session, mut rng) = session();
+        let off = session.run_query(&["cloud"], 0, &mut rng).unwrap();
+        assert!(off.server_metrics.is_none(), "telemetry defaults to Off");
+        assert!(!off.render().contains("server telemetry"));
+
+        session.server.set_telemetry_level(TelemetryLevel::Spans);
+        let on = session.run_query(&["cloud"], 0, &mut rng).unwrap();
+        // Telemetry is invisible: the reply and the Table 2 accounting are
+        // unchanged by recording at the most detailed level.
+        assert_eq!(on.matches, off.matches);
+        assert_eq!(
+            on.server_ops.requests_served,
+            off.server_ops.requests_served
+        );
+
+        let metrics = on.server_metrics.as_ref().expect("registry snapshot");
+        assert_eq!(metrics.level, TelemetryLevel::Spans);
+        assert!(metrics.counter("queries") >= 1);
+        assert!(metrics.counter("wire_frames_in") >= 1);
+        assert!(metrics.counter("wire_bytes_out") > 0);
+        assert!(metrics.histograms.iter().any(|h| h.stage == "service_call"));
+        let text = on.render();
+        assert!(text.contains("server telemetry (level spans"));
+        assert!(text.contains("service_call"));
     }
 
     #[test]

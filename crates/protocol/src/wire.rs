@@ -41,6 +41,9 @@ use mkse_core::cache::CacheStats;
 use mkse_core::document_index::RankedDocumentIndex;
 use mkse_core::persistence::PersistenceError;
 use mkse_core::storage::StoreError;
+use mkse_core::telemetry::{
+    HistogramSnapshot, LaneSnapshot, MetricsSnapshot, ShardCacheSnapshot, TelemetryLevel,
+};
 use mkse_crypto::bigint::BigUint;
 use mkse_crypto::rsa::RsaSignature;
 
@@ -97,6 +100,7 @@ const K_RESTORE: u8 = 0x0b;
 const K_COUNTERS: u8 = 0x0c;
 const K_RESET_COUNTERS: u8 = 0x0d;
 const K_SERVER_INFO: u8 = 0x0e;
+const K_METRICS_SNAPSHOT: u8 = 0x0f;
 
 const K_R_SEARCH: u8 = 0x81;
 const K_R_BATCH_SEARCH: u8 = 0x82;
@@ -111,6 +115,7 @@ const K_R_RESTORED: u8 = 0x8a;
 const K_R_COUNTERS: u8 = 0x8b;
 const K_R_INFO: u8 = 0x8c;
 const K_R_ERROR: u8 = 0x8d;
+const K_R_METRICS_REPORT: u8 = 0x8e;
 
 // --- public API --------------------------------------------------------------
 
@@ -226,6 +231,7 @@ fn request_kind(request: &Request) -> u8 {
         Request::Counters => K_COUNTERS,
         Request::ResetCounters => K_RESET_COUNTERS,
         Request::ServerInfo => K_SERVER_INFO,
+        Request::MetricsSnapshot => K_METRICS_SNAPSHOT,
     }
 }
 
@@ -278,7 +284,8 @@ fn write_request_body(w: &mut Writer, request: &Request) {
         | Request::SnapshotIndex
         | Request::Counters
         | Request::ResetCounters
-        | Request::ServerInfo => {}
+        | Request::ServerInfo
+        | Request::MetricsSnapshot => {}
     }
 }
 
@@ -347,6 +354,7 @@ fn read_request_body(r: &mut Reader<'_>, kind: u8) -> Result<Request, CodecError
         K_COUNTERS => Request::Counters,
         K_RESET_COUNTERS => Request::ResetCounters,
         K_SERVER_INFO => Request::ServerInfo,
+        K_METRICS_SNAPSHOT => Request::MetricsSnapshot,
         other => return Err(CodecError::UnknownKind(other)),
     })
 }
@@ -367,6 +375,7 @@ fn response_kind(response: &Response) -> u8 {
         Response::Restored { .. } => K_R_RESTORED,
         Response::Counters(_) => K_R_COUNTERS,
         Response::Info(_) => K_R_INFO,
+        Response::MetricsReport(_) => K_R_METRICS_REPORT,
         Response::Error(_) => K_R_ERROR,
     }
 }
@@ -416,6 +425,7 @@ fn write_response_body(w: &mut Writer, response: &Response) {
             w.u64(info.rank_levels);
             w.u8(info.cache_enabled as u8);
         }
+        Response::MetricsReport(snapshot) => w.metrics_snapshot(snapshot),
         Response::Error(e) => w.protocol_error(e),
     }
 }
@@ -486,6 +496,7 @@ fn read_response_body(r: &mut Reader<'_>, kind: u8) -> Result<Response, CodecErr
             rank_levels: r.u64()?,
             cache_enabled: r.bool()?,
         }),
+        K_R_METRICS_REPORT => Response::MetricsReport(r.metrics_snapshot()?),
         K_R_ERROR => Response::Error(r.protocol_error()?),
         other => return Err(CodecError::UnknownKind(other)),
     })
@@ -774,6 +785,45 @@ impl Writer {
         self.cache_report(&reply.cache);
     }
 
+    fn metrics_snapshot(&mut self, snapshot: &MetricsSnapshot) {
+        self.u8(snapshot.level as u8);
+        self.u32(snapshot.counters.len() as u32);
+        for (name, value) in &snapshot.counters {
+            self.string(name);
+            self.u64(*value);
+        }
+        self.u32(snapshot.gauges.len() as u32);
+        for (name, value) in &snapshot.gauges {
+            self.string(name);
+            self.u64(*value);
+        }
+        self.u32(snapshot.histograms.len() as u32);
+        for h in &snapshot.histograms {
+            self.string(&h.stage);
+            self.u64(h.count);
+            self.u64(h.sum_ns);
+            self.u32(h.buckets.len() as u32);
+            for b in &h.buckets {
+                self.u64(*b);
+            }
+        }
+        self.u32(snapshot.lanes.len() as u32);
+        for lane in &snapshot.lanes {
+            self.u32(lane.lane);
+            self.u64(lane.executed);
+            self.u64(lane.stolen);
+            self.u64(lane.failed_steals);
+            self.u64(lane.idle_polls);
+        }
+        self.u32(snapshot.shard_caches.len() as u32);
+        for shard in &snapshot.shard_caches {
+            self.u32(shard.shard);
+            self.u64(shard.hits);
+            self.u64(shard.misses);
+            self.u64(shard.invalidations);
+        }
+    }
+
     fn counters(&mut self, c: &OperationCounters) {
         self.u64(c.hashes);
         self.u64(c.bitwise_products);
@@ -888,6 +938,69 @@ impl<'a> Reader<'a> {
             document_id: self.u64()?,
             ciphertext: self.bytes()?,
             encrypted_key: self.biguint()?,
+        })
+    }
+
+    fn metrics_snapshot(&mut self) -> Result<MetricsSnapshot, CodecError> {
+        let level_byte = self.u8()?;
+        let level = TelemetryLevel::from_u8(level_byte)
+            .ok_or_else(|| CodecError::Malformed(format!("telemetry level byte {level_byte}")))?;
+        let n = self.u32()? as usize;
+        let mut counters = Vec::new();
+        for _ in 0..n {
+            counters.push((self.string()?, self.u64()?));
+        }
+        let n = self.u32()? as usize;
+        let mut gauges = Vec::new();
+        for _ in 0..n {
+            gauges.push((self.string()?, self.u64()?));
+        }
+        let n = self.u32()? as usize;
+        let mut histograms = Vec::new();
+        for _ in 0..n {
+            let stage = self.string()?;
+            let count = self.u64()?;
+            let sum_ns = self.u64()?;
+            let b = self.u32()? as usize;
+            let mut buckets = Vec::new();
+            for _ in 0..b {
+                buckets.push(self.u64()?);
+            }
+            histograms.push(HistogramSnapshot {
+                stage,
+                count,
+                sum_ns,
+                buckets,
+            });
+        }
+        let n = self.u32()? as usize;
+        let mut lanes = Vec::new();
+        for _ in 0..n {
+            lanes.push(LaneSnapshot {
+                lane: self.u32()?,
+                executed: self.u64()?,
+                stolen: self.u64()?,
+                failed_steals: self.u64()?,
+                idle_polls: self.u64()?,
+            });
+        }
+        let n = self.u32()? as usize;
+        let mut shard_caches = Vec::new();
+        for _ in 0..n {
+            shard_caches.push(ShardCacheSnapshot {
+                shard: self.u32()?,
+                hits: self.u64()?,
+                misses: self.u64()?,
+                invalidations: self.u64()?,
+            });
+        }
+        Ok(MetricsSnapshot {
+            level,
+            counters,
+            gauges,
+            histograms,
+            lanes,
+            shard_caches,
         })
     }
 
@@ -1126,7 +1239,52 @@ mod tests {
             Request::Counters,
             Request::ResetCounters,
             Request::ServerInfo,
+            Request::MetricsSnapshot,
         ]
+    }
+
+    fn arb_metrics_snapshot(rng: &mut StdRng) -> MetricsSnapshot {
+        let level = match rng.gen_range(0u8..3) {
+            0 => TelemetryLevel::Off,
+            1 => TelemetryLevel::Counters,
+            _ => TelemetryLevel::Spans,
+        };
+        MetricsSnapshot {
+            level,
+            counters: (0..rng.gen_range(0usize..5))
+                .map(|_| (arb_string(rng), rng.gen_range(0u64..1 << 40)))
+                .collect(),
+            gauges: (0..rng.gen_range(0usize..4))
+                .map(|_| (arb_string(rng), rng.gen_range(0u64..1 << 40)))
+                .collect(),
+            histograms: (0..rng.gen_range(0usize..3))
+                .map(|_| HistogramSnapshot {
+                    stage: arb_string(rng),
+                    count: rng.gen_range(0u64..1 << 30),
+                    sum_ns: rng.gen_range(0u64..1 << 50),
+                    buckets: (0..rng.gen_range(0usize..64))
+                        .map(|_| rng.gen_range(0u64..1 << 30))
+                        .collect(),
+                })
+                .collect(),
+            lanes: (0..rng.gen_range(0usize..4))
+                .map(|_| LaneSnapshot {
+                    lane: rng.gen_range(0u32..32),
+                    executed: rng.gen_range(0u64..1 << 30),
+                    stolen: rng.gen_range(0u64..1 << 30),
+                    failed_steals: rng.gen_range(0u64..1 << 30),
+                    idle_polls: rng.gen_range(0u64..1 << 30),
+                })
+                .collect(),
+            shard_caches: (0..rng.gen_range(0usize..4))
+                .map(|_| ShardCacheSnapshot {
+                    shard: rng.gen_range(0u32..64),
+                    hits: rng.gen_range(0u64..1 << 30),
+                    misses: rng.gen_range(0u64..1 << 30),
+                    invalidations: rng.gen_range(0u64..1 << 30),
+                })
+                .collect(),
+        }
     }
 
     /// One instance of EVERY response variant, randomized content.
@@ -1182,6 +1340,7 @@ mod tests {
                 rank_levels: rng.gen_range(1u64..8),
                 cache_enabled: rng.gen_range(0u8..2) == 1,
             }),
+            Response::MetricsReport(arb_metrics_snapshot(rng)),
             Response::Error(arb_protocol_error(rng)),
         ]
     }
@@ -1313,6 +1472,22 @@ mod tests {
             vec![(1, Request::CacheStats), (2, Request::ServerInfo)]
         );
         assert!(decode_request_stream(&wire[..wire.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn metrics_report_rejects_unknown_telemetry_level() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let snapshot = arb_metrics_snapshot(&mut rng);
+        let frame = encode_response(7, &Response::MetricsReport(snapshot));
+        let (payload, _) = split_frame(&frame).unwrap().unwrap();
+        // The level byte leads the body, right after the 10-byte payload
+        // header (version u8 + request_id u64 + kind u8).
+        let mut corrupted = payload.to_vec();
+        corrupted[10] = 9;
+        assert!(matches!(
+            decode_response(&corrupted),
+            Err(CodecError::Malformed(msg)) if msg.contains("telemetry level")
+        ));
     }
 
     #[test]

@@ -50,12 +50,22 @@
 //!        ▼         └─ storage::ShardedStore         insertion-ordinal bookkeeping,
 //!        │                                          shard_of() for cache invalidation
 //!  mkse-core       scanplane::ScanPlane (per shard) block-major (bit-sliced) arena the
-//!                                                   stores maintain on insert: level-1
-//!                                                   blocks in contiguous columns, upper
-//!                                                   levels doc-major (walked on match);
-//!                                                   query-aware block pruning + unrolled
-//!                                                   column sweep — the hot r-bit scan
-//!                                                   streams instead of pointer-chasing
+//!        │                                          stores maintain on insert: level-1
+//!        ▼                                          blocks in contiguous columns, upper
+//!        │                                          levels doc-major (walked on match);
+//!        ▼                                          query-aware block pruning + unrolled
+//!        │                                          column sweep — the hot r-bit scan
+//!        ▼                                          streams instead of pointer-chasing
+//!  mkse-core       telemetry::Telemetry             the observability plane: lock-free
+//!                  (one registry per engine,        relaxed-atomic counters/gauges +
+//!                  observing every layer above)     log₂-bucket latency histograms,
+//!                                                   runtime Off/Counters/Spans knob;
+//!                                                   spans time Service::call, engine
+//!                                                   dispatch, per-lane unit scans,
+//!                                                   cache lookups and frame encode/
+//!                                                   decode; surfaced over the wire as
+//!                                                   Request::MetricsSnapshot, rendered
+//!                                                   as Prometheus text or JSON
 //! ```
 //!
 //! * **Storage** ([`core::storage`]): [`core::storage::VecStore`] is the single-shard
@@ -169,6 +179,17 @@
 //! a function of the query bytes the server already observes plus the public
 //! geometry — scheduling, like batching, decides *when and where* the server
 //! computes, never *what* can be observed (§6's leakage model is untouched).
+//!
+//! And it covers the telemetry plane ([`core::telemetry`]) once more: every
+//! recorded quantity — stage durations, lane steal counts, per-shard cache
+//! hit/miss tallies, framed byte totals — is a function of bytes the server
+//! already observes (its own requests, replies and memory accesses) plus the
+//! public geometry. Recording is invisible by construction: at every
+//! [`core::TelemetryLevel`], replies, `SearchStats`, cache counters and wire
+//! bytes (the metrics op itself aside) are byte-identical to `Off`, enforced
+//! by the Off-vs-Spans twin sweep in `scanplane_equivalence.rs`. The registry
+//! observes the computation; it never participates in it, so the metrics
+//! plane opens no channel §6 does not already grant the adversary.
 //!
 //! ## Quickstart
 //!
