@@ -95,11 +95,30 @@ pub enum Counter {
     WireBytesIn,
     /// Framed response bytes out (length prefix included).
     WireBytesOut,
+    /// Transport connections accepted (TCP or in-process).
+    ConnectionsOpened,
+    /// Transport connections closed (graceful, faulted or idle-timed-out).
+    ConnectionsClosed,
+    /// Single-query requests the cross-client batcher executed inside a
+    /// fused group (coalesced across connections).
+    BatcherCoalesced,
+    /// Single-query requests dispatched immediately because only one
+    /// connection was active (no coalescing opportunity).
+    BatcherSolo,
+    /// Batcher flushes because the collection window expired.
+    BatcherFlushWindow,
+    /// Batcher flushes because the pending group reached the depth limit.
+    BatcherFlushDepth,
+    /// Batcher flushes forced by a non-batchable request on any connection
+    /// (preserves the arrival-order linearization).
+    BatcherFlushBarrier,
+    /// Batcher flushes forced by graceful shutdown (drain, never drop).
+    BatcherFlushShutdown,
 }
 
 impl Counter {
     /// All counters, in wire/report order.
-    pub const ALL: [Counter; 10] = [
+    pub const ALL: [Counter; 18] = [
         Counter::RequestsServed,
         Counter::Queries,
         Counter::Batches,
@@ -110,6 +129,14 @@ impl Counter {
         Counter::WireFramesOut,
         Counter::WireBytesIn,
         Counter::WireBytesOut,
+        Counter::ConnectionsOpened,
+        Counter::ConnectionsClosed,
+        Counter::BatcherCoalesced,
+        Counter::BatcherSolo,
+        Counter::BatcherFlushWindow,
+        Counter::BatcherFlushDepth,
+        Counter::BatcherFlushBarrier,
+        Counter::BatcherFlushShutdown,
     ];
 
     /// Stable snake_case name used by the exposition formats.
@@ -125,6 +152,14 @@ impl Counter {
             Counter::WireFramesOut => "wire_frames_out",
             Counter::WireBytesIn => "wire_bytes_in",
             Counter::WireBytesOut => "wire_bytes_out",
+            Counter::ConnectionsOpened => "connections_opened",
+            Counter::ConnectionsClosed => "connections_closed",
+            Counter::BatcherCoalesced => "batcher_coalesced_queries",
+            Counter::BatcherSolo => "batcher_solo_dispatches",
+            Counter::BatcherFlushWindow => "batcher_flush_window",
+            Counter::BatcherFlushDepth => "batcher_flush_depth",
+            Counter::BatcherFlushBarrier => "batcher_flush_barrier",
+            Counter::BatcherFlushShutdown => "batcher_flush_shutdown",
         }
     }
 }
@@ -141,15 +176,18 @@ pub enum Gauge {
     StoreDocuments,
     /// Shards in the store.
     StoreShards,
+    /// Transport connections currently open.
+    OpenConnections,
 }
 
 impl Gauge {
     /// All gauges, in wire/report order.
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::CacheEntries,
         Gauge::ScanLanes,
         Gauge::StoreDocuments,
         Gauge::StoreShards,
+        Gauge::OpenConnections,
     ];
 
     /// Stable snake_case name used by the exposition formats.
@@ -159,6 +197,7 @@ impl Gauge {
             Gauge::ScanLanes => "scan_lanes",
             Gauge::StoreDocuments => "store_documents",
             Gauge::StoreShards => "store_shards",
+            Gauge::OpenConnections => "open_connections",
         }
     }
 }
@@ -184,11 +223,14 @@ pub enum Stage {
     FrameEncode,
     /// Decoding one request wire (all frames of a flushed outbox).
     FrameDecode,
+    /// Time a coalesced query spent waiting in the cross-client batcher
+    /// (arrival in the pending group → fused dispatch).
+    BatcherWait,
 }
 
 impl Stage {
     /// All stages, in wire/report order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 9] = [
         Stage::ServiceCall,
         Stage::EngineQuery,
         Stage::EngineBatch,
@@ -197,6 +239,7 @@ impl Stage {
         Stage::CacheAdmit,
         Stage::FrameEncode,
         Stage::FrameDecode,
+        Stage::BatcherWait,
     ];
 
     /// Stable snake_case name used by the exposition formats.
@@ -210,6 +253,30 @@ impl Stage {
             Stage::CacheAdmit => "cache_admit",
             Stage::FrameEncode => "frame_encode",
             Stage::FrameDecode => "frame_decode",
+            Stage::BatcherWait => "batcher_wait",
+        }
+    }
+}
+
+/// Unit-free quantities histogrammed with the same log₂ buckets as stage
+/// durations — counts, not nanoseconds (kept as a separate family so the
+/// renderers never mislabel them as latencies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Series {
+    /// Group depth of each cross-client batcher flush (how many single-query
+    /// requests one fused pass served).
+    BatchOccupancy = 0,
+}
+
+impl Series {
+    /// All value series, in wire/report order.
+    pub const ALL: [Series; 1] = [Series::BatchOccupancy];
+
+    /// Stable snake_case name used by the exposition formats.
+    pub fn name(self) -> &'static str {
+        match self {
+            Series::BatchOccupancy => "batch_occupancy",
         }
     }
 }
@@ -232,6 +299,11 @@ pub const MAX_LANES: usize = 32;
 /// Per-shard cache slots tracked by the registry. Shards at or above this
 /// fold into the last slot.
 pub const MAX_SHARDS: usize = 64;
+
+/// Per-connection wire-traffic slots tracked by the registry. Connection ids
+/// at or above this fold into the last slot (long-lived deployments recycle
+/// the overflow slot rather than growing without bound).
+pub const MAX_CONNECTIONS: usize = 64;
 
 /// Scratch accumulator a scan lane fills locally (plain `u64`s, no atomics)
 /// and flushes into the registry once when the lane drains.
@@ -262,6 +334,14 @@ struct ShardCacheSlots {
     invalidations: AtomicU64,
 }
 
+#[derive(Debug, Default)]
+struct ConnSlots {
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
 #[derive(Debug)]
 struct HistogramSlots {
     count: AtomicU64,
@@ -285,8 +365,10 @@ struct TelemetryState {
     counters: [AtomicU64; Counter::ALL.len()],
     gauges: [AtomicU64; Gauge::ALL.len()],
     histograms: [HistogramSlots; Stage::ALL.len()],
+    values: [HistogramSlots; Series::ALL.len()],
     lanes: [LaneSlots; MAX_LANES],
     shard_caches: [ShardCacheSlots; MAX_SHARDS],
+    connections: [ConnSlots; MAX_CONNECTIONS],
 }
 
 impl Default for TelemetryState {
@@ -296,8 +378,10 @@ impl Default for TelemetryState {
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
             gauges: std::array::from_fn(|_| AtomicU64::new(0)),
             histograms: std::array::from_fn(|_| HistogramSlots::default()),
+            values: std::array::from_fn(|_| HistogramSlots::default()),
             lanes: std::array::from_fn(|_| LaneSlots::default()),
             shard_caches: std::array::from_fn(|_| ShardCacheSlots::default()),
+            connections: std::array::from_fn(|_| ConnSlots::default()),
         }
     }
 }
@@ -377,6 +461,45 @@ impl Telemetry {
         h.count.fetch_add(1, Ordering::Relaxed);
         h.sum_ns.fetch_add(ns, Ordering::Relaxed);
         h.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one unit-free value into a series histogram (same log₂ buckets
+    /// as durations; values, not nanoseconds). Gated like counters: no-op at
+    /// `Off` — occupancy is an occurrence statistic, not a timer.
+    #[inline]
+    pub fn record_value(&self, series: Series, v: u64) {
+        if !self.counters_on() {
+            return;
+        }
+        let h = &self.state.values[series as usize];
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum_ns.fetch_add(v, Ordering::Relaxed);
+        h.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one decoded request frame arriving on a connection. No-op at
+    /// `Off`. `bytes` is the framed size (length prefix included), matching
+    /// the global [`Counter::WireBytesIn`] accounting.
+    #[inline]
+    pub fn record_conn_frame_in(&self, conn: usize, bytes: u64) {
+        if !self.counters_on() {
+            return;
+        }
+        let slot = &self.state.connections[conn.min(MAX_CONNECTIONS - 1)];
+        slot.frames_in.fetch_add(1, Ordering::Relaxed);
+        slot.bytes_in.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record one encoded response frame written to a connection. No-op at
+    /// `Off`.
+    #[inline]
+    pub fn record_conn_frame_out(&self, conn: usize, bytes: u64) {
+        if !self.counters_on() {
+            return;
+        }
+        let slot = &self.state.connections[conn.min(MAX_CONNECTIONS - 1)];
+        slot.frames_out.fetch_add(1, Ordering::Relaxed);
+        slot.bytes_out.fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Start a drop-guard timer for `stage`, or `None` unless the level is
@@ -487,6 +610,30 @@ impl Telemetry {
                 })
             })
             .collect();
+        let values = Series::ALL
+            .iter()
+            .filter_map(|&series| {
+                let h = &self.state.values[series as usize];
+                let count = h.count.load(Ordering::Relaxed);
+                if count == 0 {
+                    return None;
+                }
+                let mut buckets: Vec<u64> = h
+                    .buckets
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect();
+                while buckets.last() == Some(&0) {
+                    buckets.pop();
+                }
+                Some(ValueHistogramSnapshot {
+                    series: series.name().to_string(),
+                    count,
+                    sum: h.sum_ns.load(Ordering::Relaxed),
+                    buckets,
+                })
+            })
+            .collect();
         let lanes = self
             .state
             .lanes
@@ -519,13 +666,32 @@ impl Telemetry {
                 (snap.hits | snap.misses | snap.invalidations != 0).then_some(snap)
             })
             .collect();
+        let connections = self
+            .state
+            .connections
+            .iter()
+            .enumerate()
+            .filter_map(|(conn, slot)| {
+                let snap = ConnectionSnapshot {
+                    connection: conn as u32,
+                    frames_in: slot.frames_in.load(Ordering::Relaxed),
+                    frames_out: slot.frames_out.load(Ordering::Relaxed),
+                    bytes_in: slot.bytes_in.load(Ordering::Relaxed),
+                    bytes_out: slot.bytes_out.load(Ordering::Relaxed),
+                };
+                (snap.frames_in | snap.frames_out | snap.bytes_in | snap.bytes_out != 0)
+                    .then_some(snap)
+            })
+            .collect();
         MetricsSnapshot {
             level: self.level(),
             counters,
             gauges,
             histograms,
+            values,
             lanes,
             shard_caches,
+            connections,
         }
     }
 }
@@ -556,10 +722,14 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, u64)>,
     /// Stage histograms with at least one sample.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Unit-free value histograms ([`Series`]) with at least one sample.
+    pub values: Vec<ValueHistogramSnapshot>,
     /// Lanes with at least one nonzero field.
     pub lanes: Vec<LaneSnapshot>,
     /// Shards with at least one nonzero cache field.
     pub shard_caches: Vec<ShardCacheSnapshot>,
+    /// Connections with at least one nonzero wire-traffic field.
+    pub connections: Vec<ConnectionSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -589,6 +759,36 @@ pub struct HistogramSnapshot {
     /// Bucket counts, trailing zeros trimmed; bucket `i` covers
     /// `[2^i, 2^(i+1))` ns.
     pub buckets: Vec<u64>,
+}
+
+/// One value series' log₂ histogram ([`Telemetry::record_value`]); bucket `i`
+/// covers `[2^i, 2^(i+1))` of the recorded quantity (not nanoseconds).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ValueHistogramSnapshot {
+    /// Series name ([`Series::name`]).
+    pub series: String,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Bucket counts, trailing zeros trimmed.
+    pub buckets: Vec<u64>,
+}
+
+/// One connection's cumulative wire traffic as the server's transport saw it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnectionSnapshot {
+    /// Connection id (ids at or above [`MAX_CONNECTIONS`] fold into the
+    /// last slot).
+    pub connection: u32,
+    /// Request frames decoded on this connection.
+    pub frames_in: u64,
+    /// Response frames written to this connection.
+    pub frames_out: u64,
+    /// Framed request bytes in (length prefix included).
+    pub bytes_in: u64,
+    /// Framed response bytes out (length prefix included).
+    pub bytes_out: u64,
 }
 
 /// One scan lane's scheduler stats.
@@ -658,14 +858,44 @@ mod tests {
         );
         tel.record_cache_lookup(0, true);
         tel.record_cache_invalidation(1);
+        tel.record_value(Series::BatchOccupancy, 8);
+        tel.record_conn_frame_in(0, 64);
+        tel.record_conn_frame_out(0, 128);
         assert!(tel.span(Stage::EngineQuery).is_none());
         let snap = tel.snapshot();
         assert_eq!(snap.level, TelemetryLevel::Off);
         assert!(snap.counters.iter().all(|(_, v)| *v == 0));
         assert!(snap.gauges.iter().all(|(_, v)| *v == 0));
         assert!(snap.histograms.is_empty());
+        assert!(snap.values.is_empty());
         assert!(snap.lanes.is_empty());
         assert!(snap.shard_caches.is_empty());
+        assert!(snap.connections.is_empty());
+    }
+
+    #[test]
+    fn value_series_and_connection_slots_record_at_counters_level() {
+        let tel = Telemetry::new();
+        tel.set_level(TelemetryLevel::Counters);
+        tel.record_value(Series::BatchOccupancy, 1); // bucket 0
+        tel.record_value(Series::BatchOccupancy, 5); // bucket 2
+        tel.record_conn_frame_in(2, 40);
+        tel.record_conn_frame_in(2, 60);
+        tel.record_conn_frame_out(2, 200);
+        // Overflowing connection ids fold into the last slot.
+        tel.record_conn_frame_out(MAX_CONNECTIONS + 7, 9);
+        let snap = tel.snapshot();
+        let v = &snap.values[0];
+        assert_eq!(v.series, "batch_occupancy");
+        assert_eq!((v.count, v.sum), (2, 6));
+        assert_eq!(v.buckets, vec![1, 0, 1]);
+        assert_eq!(snap.connections.len(), 2);
+        let c = snap.connections[0];
+        assert_eq!(c.connection, 2);
+        assert_eq!((c.frames_in, c.bytes_in), (2, 100));
+        assert_eq!((c.frames_out, c.bytes_out), (1, 200));
+        assert_eq!(snap.connections[1].connection as usize, MAX_CONNECTIONS - 1);
+        assert_eq!(snap.connections[1].bytes_out, 9);
     }
 
     #[test]

@@ -1,0 +1,751 @@
+//! The hub: one process owning the index, many concurrent client connections
+//! over [`LinkReader`]/[`LinkWriter`] pairs, and the **adaptive cross-client
+//! batcher** that coalesces independent single-query frames into one fused
+//! scan-plane pass.
+//!
+//! ## Topology
+//!
+//! One **dispatcher thread** owns the [`FusedService`] and every connection's
+//! write half — a single-writer design: no lock ever guards the engine, and
+//! execution order is a total order the optional journal records. Each
+//! connection gets a **reader thread** that reassembles frames
+//! ([`FrameBuffer`]), decodes requests, and forwards them as events; a
+//! thread-per-connection **acceptor** feeds `TcpListener` connections into the
+//! same machinery, and [`HubHandle::connect_memory`] attaches deterministic
+//! in-process links for tests.
+//!
+//! ## The batcher
+//!
+//! Single-query [`Request::Query`] frames arriving within
+//! [`HubConfig::batch_window`] are collected and executed as **one**
+//! [`FusedService::call_query_group`] pass; replies are de-multiplexed back to
+//! each connection by request id. Dispatch is immediate when the group reaches
+//! [`HubConfig::batch_depth`], when a non-query request arrives (a barrier:
+//! mutating requests must not reorder past queries), or when only one
+//! connection is active (nothing to coalesce with — the query runs solo with
+//! zero added latency). The engine's batch guarantees make all of this
+//! **invisible**: replies, `SearchStats`, and cache counters are byte-identical
+//! to the same requests issued sequentially — batching reorders only the
+//! server's own memory accesses, it never changes what any client observes.
+//!
+//! ## Backpressure, hygiene, shutdown
+//!
+//! Each connection has a [`HubConfig::max_in_flight`] window: its reader stops
+//! forwarding (and therefore stops reading) until replies drain. Readers
+//! enforce [`HubConfig::idle_timeout`] and [`HubConfig::max_frame_bytes`] with
+//! typed [`TransportError`]s — a violating or undecodable frame poisons only
+//! its own connection (best-effort error frame, then close), never the server.
+//! [`HubHandle::shutdown`] refuses new frames, joins every reader, then lets
+//! the dispatcher drain every already-accepted frame — the shutdown event is
+//! enqueued after the joins, so channel FIFO order guarantees no accepted
+//! request loses its reply.
+
+use crate::frame::FrameBuffer;
+use crate::link::{memory_duplex, LinkReader, LinkWriter, MemoryLink};
+use crate::FusedService;
+use mkse_core::telemetry::{Counter, Gauge, Series, Stage, Telemetry};
+use mkse_protocol::wire::{decode_request, encode_response};
+use mkse_protocol::{ProtocolError, QueryMessage, Request, Response, TransportError};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of a [`Hub`]. The defaults suit an interactive service; tests
+/// and benches shrink the windows.
+#[derive(Clone, Debug)]
+pub struct HubConfig {
+    /// How long the first query of a pending group may wait for company
+    /// before the group is flushed.
+    pub batch_window: Duration,
+    /// Flush immediately once this many queries are pending.
+    pub batch_depth: usize,
+    /// Master switch for cross-client batching; off = every request executes
+    /// on arrival (still through the same dispatcher, so still serialized).
+    pub batching: bool,
+    /// Per-connection cap on decoded-but-unanswered requests; the reader
+    /// blocks (and the peer's TCP window eventually fills) beyond it.
+    pub max_in_flight: usize,
+    /// Reader poll tick: how long one `recv` blocks before the reader
+    /// re-checks shutdown and idle deadlines.
+    pub read_timeout: Duration,
+    /// Write timeout applied to accepted TCP connections.
+    pub write_timeout: Duration,
+    /// Close a connection that delivers no bytes for this long.
+    pub idle_timeout: Duration,
+    /// Refuse frames whose prefix declares more than this many payload bytes.
+    pub max_frame_bytes: u64,
+    /// Record every executed request (in execution order) in the
+    /// [`HubReport`] journal — the equivalence suites replay it sequentially
+    /// to prove the transport invisible.
+    pub journal: bool,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            batch_window: Duration::from_micros(300),
+            batch_depth: 16,
+            batching: true,
+            max_in_flight: 32,
+            read_timeout: Duration::from_millis(5),
+            write_timeout: Duration::from_secs(1),
+            idle_timeout: Duration::from_secs(30),
+            max_frame_bytes: 64 << 20,
+            journal: false,
+        }
+    }
+}
+
+/// One request the hub executed, in execution order. Replaying a journal
+/// sequentially through `Service::call` on an identically-initialized twin
+/// reproduces every reply byte-for-byte.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JournalEntry {
+    /// Hub-assigned connection id.
+    pub conn: u64,
+    /// The client's request id (hub clients keep these globally unique).
+    pub request_id: u64,
+    /// The request as decoded from the wire.
+    pub request: Request,
+}
+
+/// What a hub did over its lifetime, returned by [`HubHandle::shutdown`].
+#[derive(Debug, Default)]
+pub struct HubReport {
+    /// Connections ever attached.
+    pub connections: u64,
+    /// Requests executed (every one of them answered).
+    pub requests: u64,
+    /// Execution-order journal (empty unless [`HubConfig::journal`]).
+    pub journal: Vec<JournalEntry>,
+}
+
+/// Per-connection backpressure window: `max_in_flight` permits, acquired by
+/// the reader per forwarded frame, released by the dispatcher per written
+/// reply. `open_wide` (shutdown) unblocks every waiter for good.
+struct Gate {
+    permits: Mutex<usize>,
+    freed: Condvar,
+    open: AtomicBool,
+}
+
+impl Gate {
+    fn new(permits: usize) -> Gate {
+        Gate {
+            permits: Mutex::new(permits.max(1)),
+            freed: Condvar::new(),
+            open: AtomicBool::new(false),
+        }
+    }
+
+    fn acquire(&self) {
+        if self.open.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut permits = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        while *permits == 0 && !self.open.load(Ordering::Relaxed) {
+            permits = self.freed.wait(permits).unwrap_or_else(|e| e.into_inner());
+        }
+        *permits = permits.saturating_sub(1);
+    }
+
+    fn release(&self) {
+        let mut permits = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        *permits += 1;
+        self.freed.notify_one();
+    }
+
+    fn open_wide(&self) {
+        self.open.store(true, Ordering::Relaxed);
+        let _guard = self.permits.lock().unwrap_or_else(|e| e.into_inner());
+        self.freed.notify_all();
+    }
+}
+
+enum Event {
+    Opened {
+        conn: u64,
+        writer: Box<dyn LinkWriter>,
+        gate: Arc<Gate>,
+    },
+    Frame {
+        conn: u64,
+        request_id: u64,
+        request: Request,
+        at: Instant,
+    },
+    Fault {
+        conn: u64,
+        error: ProtocolError,
+    },
+    Closed {
+        conn: u64,
+    },
+    Shutdown,
+}
+
+struct HubShared {
+    config: HubConfig,
+    events: Mutex<Sender<Event>>,
+    shutdown: AtomicBool,
+    next_conn: AtomicU64,
+    frames_accepted: AtomicU64,
+    gates: Mutex<Vec<Arc<Gate>>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    telemetry: Option<Telemetry>,
+}
+
+/// Entry point: [`Hub::spawn`] starts the dispatcher and returns the handle
+/// everything else hangs off.
+pub struct Hub;
+
+impl Hub {
+    /// Start a hub around `service`. The service moves onto the dispatcher
+    /// thread; its telemetry registry (if any) is shared with the readers so
+    /// wire traffic is recorded per connection.
+    pub fn spawn<S: FusedService + Send + 'static>(service: S, config: HubConfig) -> HubHandle {
+        let (tx, rx) = mpsc::channel();
+        let telemetry = service.telemetry().cloned();
+        let shared = Arc::new(HubShared {
+            config,
+            events: Mutex::new(tx),
+            shutdown: AtomicBool::new(false),
+            next_conn: AtomicU64::new(0),
+            frames_accepted: AtomicU64::new(0),
+            gates: Mutex::new(Vec::new()),
+            readers: Mutex::new(Vec::new()),
+            telemetry,
+        });
+        let dispatcher_shared = shared.clone();
+        let dispatcher =
+            std::thread::spawn(move || dispatcher_loop(service, rx, dispatcher_shared));
+        HubHandle {
+            shared,
+            dispatcher: Some(dispatcher),
+            acceptors: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Handle to a running hub: attach connections, observe progress, shut down.
+pub struct HubHandle {
+    shared: Arc<HubShared>,
+    dispatcher: Option<JoinHandle<HubReport>>,
+    acceptors: Mutex<Vec<(SocketAddr, JoinHandle<()>)>>,
+}
+
+impl HubHandle {
+    /// Bind a TCP listener (e.g. `"127.0.0.1:0"`) and accept connections into
+    /// the hub until shutdown. Returns the bound address.
+    pub fn bind_tcp(&self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = self.shared.clone();
+        let handle = std::thread::spawn(move || acceptor_loop(shared, listener));
+        self.acceptors
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((local, handle));
+        Ok(local)
+    }
+
+    /// Attach a deterministic in-process connection; returns the client end.
+    pub fn connect_memory(&self) -> MemoryLink {
+        let (client, server) = memory_duplex();
+        let (reader, writer) = server.split();
+        attach_link(&self.shared, Box::new(reader), Box::new(writer));
+        client
+    }
+
+    /// Attach an arbitrary reader/writer pair as one connection; returns the
+    /// hub-assigned connection id.
+    pub fn attach(&self, reader: Box<dyn LinkReader>, writer: Box<dyn LinkWriter>) -> u64 {
+        attach_link(&self.shared, reader, writer)
+    }
+
+    /// Frames accepted past the backpressure gate so far (every one of them
+    /// will be answered, even across a shutdown).
+    pub fn frames_accepted(&self) -> u64 {
+        self.shared.frames_accepted.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: refuse new frames, join acceptors and readers, then
+    /// drain — every accepted request is executed and its reply written —
+    /// and return the report.
+    pub fn shutdown(mut self) -> HubReport {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> HubReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for gate in self
+            .shared
+            .gates
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            gate.open_wide();
+        }
+        for (addr, handle) in self
+            .acceptors
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+        {
+            // Wake the blocking accept; the acceptor sees the flag and exits.
+            let _ = TcpStream::connect(addr);
+            let _ = handle.join();
+        }
+        loop {
+            let handles: Vec<_> = self
+                .shared
+                .readers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .drain(..)
+                .collect();
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+        // Every reader joined above, so all their events are already in the
+        // channel: FIFO order puts this sentinel after the last frame.
+        let _ = self
+            .shared
+            .events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .send(Event::Shutdown);
+        self.dispatcher
+            .take()
+            .map(|d| d.join().unwrap_or_default())
+            .unwrap_or_default()
+    }
+}
+
+impl Drop for HubHandle {
+    fn drop(&mut self) {
+        if self.dispatcher.is_some() {
+            let _ = self.finish();
+        }
+    }
+}
+
+fn attach_link(
+    shared: &Arc<HubShared>,
+    reader: Box<dyn LinkReader>,
+    writer: Box<dyn LinkWriter>,
+) -> u64 {
+    let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let gate = Arc::new(Gate::new(shared.config.max_in_flight));
+    shared
+        .gates
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(gate.clone());
+    let events = shared
+        .events
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let _ = events.send(Event::Opened {
+        conn,
+        writer,
+        gate: gate.clone(),
+    });
+    let reader_shared = shared.clone();
+    let handle = std::thread::spawn(move || reader_loop(reader_shared, conn, reader, events, gate));
+    shared
+        .readers
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+    conn
+}
+
+fn acceptor_loop(shared: Arc<HubShared>, listener: TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+                if let Ok(read_half) = stream.try_clone() {
+                    attach_link(&shared, Box::new(read_half), Box::new(stream));
+                }
+            }
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn reader_loop(
+    shared: Arc<HubShared>,
+    conn: u64,
+    mut reader: Box<dyn LinkReader>,
+    events: Sender<Event>,
+    gate: Arc<Gate>,
+) {
+    let _ = reader.set_recv_timeout(shared.config.read_timeout);
+    let mut frames = FrameBuffer::new(shared.config.max_frame_bytes);
+    let mut buf = vec![0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    'conn: loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.recv(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                last_activity = Instant::now();
+                if let Err(e) = frames.extend(&buf[..n]) {
+                    let _ = events.send(Event::Fault {
+                        conn,
+                        error: ProtocolError::Transport(e),
+                    });
+                    break;
+                }
+                loop {
+                    match frames.pop() {
+                        Ok(Some(payload)) => {
+                            let decoded = {
+                                let span = shared
+                                    .telemetry
+                                    .as_ref()
+                                    .and_then(|t| t.span(Stage::FrameDecode));
+                                let decoded = decode_request(&payload);
+                                drop(span);
+                                decoded
+                            };
+                            match decoded {
+                                Ok((request_id, request)) => {
+                                    if let Some(tel) = &shared.telemetry {
+                                        let framed = payload.len() as u64 + 4;
+                                        tel.add(Counter::WireFramesIn, 1);
+                                        tel.add(Counter::WireBytesIn, framed);
+                                        tel.record_conn_frame_in(conn as usize, framed);
+                                    }
+                                    gate.acquire();
+                                    if shared.shutdown.load(Ordering::SeqCst) {
+                                        // Refused: the hub is draining.
+                                        break 'conn;
+                                    }
+                                    shared.frames_accepted.fetch_add(1, Ordering::SeqCst);
+                                    let _ = events.send(Event::Frame {
+                                        conn,
+                                        request_id,
+                                        request,
+                                        at: Instant::now(),
+                                    });
+                                }
+                                Err(e) => {
+                                    let _ = events.send(Event::Fault {
+                                        conn,
+                                        error: ProtocolError::Codec(e),
+                                    });
+                                    break 'conn;
+                                }
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            let _ = events.send(Event::Fault {
+                                conn,
+                                error: ProtocolError::Transport(e),
+                            });
+                            break 'conn;
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if last_activity.elapsed() >= shared.config.idle_timeout {
+                    let _ = events.send(Event::Fault {
+                        conn,
+                        error: ProtocolError::Transport(TransportError::IdleTimeout {
+                            idle_ms: shared.config.idle_timeout.as_millis() as u64,
+                        }),
+                    });
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let _ = events.send(Event::Closed { conn });
+}
+
+struct ConnState {
+    writer: Box<dyn LinkWriter>,
+    gate: Arc<Gate>,
+}
+
+struct Pending {
+    conn: u64,
+    request_id: u64,
+    message: QueryMessage,
+    enqueued: Instant,
+}
+
+fn dispatcher_loop<S: FusedService>(
+    mut service: S,
+    events: Receiver<Event>,
+    shared: Arc<HubShared>,
+) -> HubReport {
+    let tel = service.telemetry().cloned();
+    let mut conns: BTreeMap<u64, ConnState> = BTreeMap::new();
+    let mut batch: Vec<Pending> = Vec::new();
+    let mut report = HubReport::default();
+    let mut draining = false;
+    loop {
+        let event = if draining {
+            match events.try_recv() {
+                Ok(event) => event,
+                Err(_) => break,
+            }
+        } else if let Some(first) = batch.first() {
+            let deadline = first.enqueued + shared.config.batch_window;
+            let now = Instant::now();
+            if now >= deadline {
+                flush_batch(
+                    &mut service,
+                    &mut batch,
+                    Counter::BatcherFlushWindow,
+                    &mut conns,
+                    &tel,
+                    &mut report,
+                    &shared,
+                );
+                continue;
+            }
+            match events.recv_timeout(deadline - now) {
+                Ok(event) => event,
+                Err(RecvTimeoutError::Timeout) => {
+                    flush_batch(
+                        &mut service,
+                        &mut batch,
+                        Counter::BatcherFlushWindow,
+                        &mut conns,
+                        &tel,
+                        &mut report,
+                        &shared,
+                    );
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        } else {
+            match events.recv() {
+                Ok(event) => event,
+                Err(_) => break,
+            }
+        };
+        match event {
+            Event::Opened { conn, writer, gate } => {
+                conns.insert(conn, ConnState { writer, gate });
+                report.connections += 1;
+                if let Some(tel) = &tel {
+                    tel.add(Counter::ConnectionsOpened, 1);
+                    tel.set_gauge(Gauge::OpenConnections, conns.len() as u64);
+                }
+            }
+            Event::Frame {
+                conn,
+                request_id,
+                request,
+                at,
+            } => {
+                report.requests += 1;
+                match request {
+                    Request::Query(message) if shared.config.batching => {
+                        if batch.is_empty() && conns.len() <= 1 && !draining {
+                            // Solo fast path: nothing to coalesce with.
+                            if let Some(tel) = &tel {
+                                tel.add(Counter::BatcherSolo, 1);
+                            }
+                            if shared.config.journal {
+                                report.journal.push(JournalEntry {
+                                    conn,
+                                    request_id,
+                                    request: Request::Query(message.clone()),
+                                });
+                            }
+                            let response = service.call(Request::Query(message));
+                            write_reply(&mut conns, conn, request_id, &response, &tel);
+                            release_gate(&conns, conn);
+                        } else {
+                            batch.push(Pending {
+                                conn,
+                                request_id,
+                                message,
+                                enqueued: at,
+                            });
+                            if batch.len() >= shared.config.batch_depth {
+                                flush_batch(
+                                    &mut service,
+                                    &mut batch,
+                                    Counter::BatcherFlushDepth,
+                                    &mut conns,
+                                    &tel,
+                                    &mut report,
+                                    &shared,
+                                );
+                            }
+                        }
+                    }
+                    request => {
+                        // Barrier: anything that is not a batchable query
+                        // must not reorder past pending queries.
+                        flush_batch(
+                            &mut service,
+                            &mut batch,
+                            Counter::BatcherFlushBarrier,
+                            &mut conns,
+                            &tel,
+                            &mut report,
+                            &shared,
+                        );
+                        if shared.config.journal {
+                            report.journal.push(JournalEntry {
+                                conn,
+                                request_id,
+                                request: request.clone(),
+                            });
+                        }
+                        let response = service.call(request);
+                        write_reply(&mut conns, conn, request_id, &response, &tel);
+                        release_gate(&conns, conn);
+                    }
+                }
+            }
+            Event::Fault { conn, error } => {
+                // Flush first so pending replies for this connection are
+                // written before the error frame and the close.
+                flush_batch(
+                    &mut service,
+                    &mut batch,
+                    Counter::BatcherFlushBarrier,
+                    &mut conns,
+                    &tel,
+                    &mut report,
+                    &shared,
+                );
+                // Best-effort typed error (request id 0: the faulting frame
+                // has no trustworthy id); the Closed event follows.
+                write_reply(&mut conns, conn, 0, &Response::Error(error), &tel);
+            }
+            Event::Closed { conn } => {
+                if draining || shared.shutdown.load(Ordering::SeqCst) {
+                    // The reader was torn down by shutdown, not the peer:
+                    // keep the writer so drained replies still reach it.
+                } else if conns.remove(&conn).is_some() {
+                    if let Some(tel) = &tel {
+                        tel.add(Counter::ConnectionsClosed, 1);
+                        tel.set_gauge(Gauge::OpenConnections, conns.len() as u64);
+                    }
+                }
+            }
+            Event::Shutdown => draining = true,
+        }
+    }
+    flush_batch(
+        &mut service,
+        &mut batch,
+        Counter::BatcherFlushShutdown,
+        &mut conns,
+        &tel,
+        &mut report,
+        &shared,
+    );
+    if let Some(tel) = &tel {
+        tel.add(Counter::ConnectionsClosed, conns.len() as u64);
+        tel.set_gauge(Gauge::OpenConnections, 0);
+    }
+    report
+}
+
+fn flush_batch<S: FusedService>(
+    service: &mut S,
+    batch: &mut Vec<Pending>,
+    reason: Counter,
+    conns: &mut BTreeMap<u64, ConnState>,
+    tel: &Option<Telemetry>,
+    report: &mut HubReport,
+    shared: &HubShared,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    if let Some(tel) = tel {
+        tel.add(reason, 1);
+        tel.add(Counter::BatcherCoalesced, batch.len() as u64);
+        tel.record_value(Series::BatchOccupancy, batch.len() as u64);
+        for pending in batch.iter() {
+            tel.record_duration(
+                Stage::BatcherWait,
+                pending.enqueued.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+    if shared.config.journal {
+        for pending in batch.iter() {
+            report.journal.push(JournalEntry {
+                conn: pending.conn,
+                request_id: pending.request_id,
+                request: Request::Query(pending.message.clone()),
+            });
+        }
+    }
+    let messages: Vec<QueryMessage> = batch.iter().map(|p| p.message.clone()).collect();
+    let replies = service.call_query_group(&messages);
+    for (pending, response) in batch.drain(..).zip(replies) {
+        write_reply(conns, pending.conn, pending.request_id, &response, tel);
+        release_gate(conns, pending.conn);
+    }
+}
+
+fn write_reply(
+    conns: &mut BTreeMap<u64, ConnState>,
+    conn: u64,
+    request_id: u64,
+    response: &Response,
+    tel: &Option<Telemetry>,
+) {
+    let Some(state) = conns.get_mut(&conn) else {
+        return;
+    };
+    let frame = {
+        let _span = tel.as_ref().and_then(|t| t.span(Stage::FrameEncode));
+        encode_response(request_id, response)
+    };
+    if state.writer.send_all(&frame).is_ok() {
+        if let Some(tel) = tel {
+            tel.add(Counter::WireFramesOut, 1);
+            tel.add(Counter::WireBytesOut, frame.len() as u64);
+            tel.record_conn_frame_out(conn as usize, frame.len() as u64);
+        }
+    }
+}
+
+fn release_gate(conns: &BTreeMap<u64, ConnState>, conn: u64) {
+    if let Some(state) = conns.get(&conn) {
+        state.gate.release();
+    }
+}

@@ -1,0 +1,378 @@
+//! # mkse-net — concurrent socket transport with cross-client batch formation
+//!
+//! The engine can fuse a whole batch of queries into one scan-plane pass, but
+//! a single client rarely has a batch in hand. This crate is the network
+//! front door that manufactures those batches out of *independent* traffic:
+//! a hub process owns the index ([`hub::Hub`]), many clients connect over
+//! `std::net::TcpListener` or the deterministic in-process
+//! [`link::MemoryLink`] twin, and single-query frames that arrive within a
+//! few hundred microseconds of each other — from *different* connections —
+//! are coalesced into one [`FusedService::call_query_group`] pass.
+//!
+//! The house invariant extends across the wire: **the transport and the
+//! batcher are invisible**. N concurrent clients receive byte-identical
+//! replies, `SearchStats`, and cache counters to the same requests issued
+//! sequentially in-process; the hub's optional execution journal
+//! ([`hub::HubReport::journal`]) lets the equivalence suites replay any
+//! concurrent run sequentially and prove it.
+//!
+//! Layering:
+//!
+//! ```text
+//!   NetClient ──frames──▶ reader thread ──events──▶ dispatcher thread
+//!   (pipelined)           (FrameBuffer,             (single writer: owns the
+//!                          per-conn gate,            FusedService + batcher,
+//!                          idle/size hygiene)        demultiplexes replies)
+//! ```
+
+pub mod client;
+pub mod frame;
+pub mod hub;
+pub mod link;
+
+pub use client::{ClientError, NetClient};
+pub use frame::FrameBuffer;
+pub use hub::{Hub, HubConfig, HubHandle, HubReport, JournalEntry};
+pub use link::{memory_duplex, LinkReader, LinkWriter, MemoryLink, MemoryReader, MemoryWriter};
+
+use mkse_protocol::{CloudServer, QueryMessage, Request, Response, Service};
+
+/// A [`Service`] that can additionally execute a *group* of independent
+/// single-query envelopes in one pass. The contract is strict: replies, their
+/// cache reports, and every operation counter must be byte-identical to
+/// calling [`Service::call`] once per message in group order — the default
+/// implementation is exactly that, and the hub's batcher relies on it to stay
+/// invisible.
+pub trait FusedService: Service {
+    /// Execute `messages` as one group, one [`Response`] per message in order.
+    fn call_query_group(&mut self, messages: &[QueryMessage]) -> Vec<Response> {
+        messages
+            .iter()
+            .map(|m| self.call(Request::Query(m.clone())))
+            .collect()
+    }
+}
+
+impl FusedService for CloudServer {
+    /// One fused scan-plane pass over the whole group
+    /// ([`CloudServer::call_query_group`]).
+    fn call_query_group(&mut self, messages: &[QueryMessage]) -> Vec<Response> {
+        CloudServer::call_query_group(self, messages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mkse_core::bitindex::BitIndex;
+    use mkse_core::telemetry::{Telemetry, TelemetryLevel};
+    use mkse_protocol::messages::{CacheReport, SearchReply, SearchResultEntry};
+    use mkse_protocol::{ProtocolError, TransportError};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// A deterministic stand-in service: answers queries with a reply derived
+    /// from the query bits, echoes restore sizes, acks the rest. Uses the
+    /// default (sequential) `call_query_group`, so transport tests exercise
+    /// the hub machinery without the full engine underneath.
+    struct EchoService {
+        telemetry: Telemetry,
+        calls: Arc<AtomicU64>,
+    }
+
+    impl EchoService {
+        fn new(level: TelemetryLevel) -> (EchoService, Arc<AtomicU64>) {
+            let telemetry = Telemetry::new();
+            telemetry.set_level(level);
+            let calls = Arc::new(AtomicU64::new(0));
+            (
+                EchoService {
+                    telemetry,
+                    calls: calls.clone(),
+                },
+                calls,
+            )
+        }
+    }
+
+    impl Service for EchoService {
+        fn call(&mut self, request: Request) -> Response {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            match request {
+                Request::Query(m) => Response::Search(SearchReply {
+                    matches: vec![SearchResultEntry {
+                        document_id: m.query.count_ones() as u64,
+                        rank: m.query.len() as u32,
+                        metadata: Vec::new(),
+                    }],
+                    cache: CacheReport::default(),
+                }),
+                Request::RestoreIndex(bytes) => Response::Restored {
+                    documents: bytes.len() as u64,
+                },
+                _ => Response::Ack,
+            }
+        }
+
+        fn telemetry(&self) -> Option<&Telemetry> {
+            Some(&self.telemetry)
+        }
+    }
+
+    impl FusedService for EchoService {}
+
+    fn query(ones: usize, len: usize) -> Request {
+        let mut bits = BitIndex::all_zeros(len);
+        for i in 0..ones {
+            bits.set(i, true);
+        }
+        Request::Query(QueryMessage {
+            query: bits,
+            top: None,
+        })
+    }
+
+    const WAIT: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn memory_round_trip_over_the_hub() {
+        let (service, calls) = EchoService::new(TelemetryLevel::Counters);
+        let telemetry = service.telemetry.clone();
+        let hub = Hub::spawn(service, HubConfig::default());
+        let mut client = NetClient::from_memory(hub.connect_memory());
+        let reply = client.call(&query(3, 16), WAIT).unwrap();
+        match reply {
+            Response::Search(r) => {
+                assert_eq!(r.matches[0].document_id, 3);
+                assert_eq!(r.matches[0].rank, 16);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let echoed = client
+            .call(&Request::RestoreIndex(vec![7; 42]), WAIT)
+            .unwrap();
+        assert_eq!(echoed, Response::Restored { documents: 42 });
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        let report = hub.shutdown();
+        assert_eq!(report.connections, 1);
+        assert_eq!(report.requests, 2);
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.counter("wire_frames_in"), 2);
+        assert_eq!(snapshot.counter("wire_frames_out"), 2);
+        assert_eq!(snapshot.counter("connections_opened"), 1);
+        assert_eq!(snapshot.counter("connections_closed"), 1);
+        assert_eq!(client.wire_stats().frames_sent, 2);
+        assert_eq!(client.wire_stats().frames_received, 2);
+    }
+
+    #[test]
+    fn tcp_round_trip_over_the_hub() {
+        let (service, _) = EchoService::new(TelemetryLevel::Off);
+        let hub = Hub::spawn(service, HubConfig::default());
+        let addr = hub.bind_tcp("127.0.0.1:0").unwrap();
+        let mut a = NetClient::connect_tcp(addr).unwrap();
+        let mut b = NetClient::connect_tcp(addr)
+            .unwrap()
+            .with_first_request_id(1_000_001);
+        let ia = a.submit(&query(1, 8));
+        let ib = b.submit(&query(5, 8));
+        a.flush().unwrap();
+        b.flush().unwrap();
+        let ra = a.wait_take(ia, WAIT).unwrap();
+        let rb = b.wait_take(ib, WAIT).unwrap();
+        match (ra, rb) {
+            (Response::Search(ra), Response::Search(rb)) => {
+                assert_eq!(ra.matches[0].document_id, 1);
+                assert_eq!(rb.matches[0].document_id, 5);
+            }
+            other => panic!("unexpected replies {other:?}"),
+        }
+        let report = hub.shutdown();
+        assert_eq!(report.connections, 2);
+        assert_eq!(report.requests, 2);
+    }
+
+    #[test]
+    fn batcher_coalesces_across_connections() {
+        let (service, _) = EchoService::new(TelemetryLevel::Counters);
+        let telemetry = service.telemetry.clone();
+        let config = HubConfig {
+            batch_window: Duration::from_millis(50),
+            journal: true,
+            ..HubConfig::default()
+        };
+        let hub = Hub::spawn(service, config);
+        let mut a = NetClient::from_memory(hub.connect_memory());
+        let mut b = NetClient::from_memory(hub.connect_memory()).with_first_request_id(1_000_001);
+        let ia = a.submit(&query(2, 8));
+        let ib = b.submit(&query(4, 8));
+        a.flush().unwrap();
+        b.flush().unwrap();
+        let ra = a.wait_take(ia, WAIT).unwrap();
+        let rb = b.wait_take(ib, WAIT).unwrap();
+        // Replies are demultiplexed to the right connection by request id.
+        match (&ra, &rb) {
+            (Response::Search(ra), Response::Search(rb)) => {
+                assert_eq!(ra.matches[0].document_id, 2);
+                assert_eq!(rb.matches[0].document_id, 4);
+            }
+            other => panic!("unexpected replies {other:?}"),
+        }
+        let report = hub.shutdown();
+        assert_eq!(report.requests, 2);
+        let snapshot = telemetry.snapshot();
+        // With two active connections neither query takes the solo path; at
+        // least one flush happened and both queries were coalesced (one flush
+        // of 2 if they landed in the same window, two flushes of 1 if not).
+        assert_eq!(snapshot.counter("batcher_coalesced_queries"), 2);
+        assert_eq!(snapshot.counter("batcher_solo_dispatches"), 0);
+        let flushes = snapshot.counter("batcher_flush_window")
+            + snapshot.counter("batcher_flush_depth")
+            + snapshot.counter("batcher_flush_barrier")
+            + snapshot.counter("batcher_flush_shutdown");
+        assert!(flushes >= 1);
+        // Occupancy histogram recorded one sample per flush.
+        let occupancy = snapshot
+            .values
+            .iter()
+            .find(|v| v.series == "batch_occupancy")
+            .expect("occupancy series recorded");
+        assert_eq!(occupancy.count, flushes);
+        assert_eq!(occupancy.sum, 2);
+        // The journal holds both queries in execution order.
+        assert_eq!(report.journal.len(), 2);
+    }
+
+    #[test]
+    fn single_connection_takes_the_solo_path() {
+        let (service, _) = EchoService::new(TelemetryLevel::Counters);
+        let telemetry = service.telemetry.clone();
+        let hub = Hub::spawn(service, HubConfig::default());
+        let mut client = NetClient::from_memory(hub.connect_memory());
+        for _ in 0..3 {
+            let reply = client.call(&query(1, 8), WAIT).unwrap();
+            assert!(matches!(reply, Response::Search(_)));
+        }
+        drop(hub.shutdown());
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.counter("batcher_solo_dispatches"), 3);
+        assert_eq!(snapshot.counter("batcher_coalesced_queries"), 0);
+    }
+
+    #[test]
+    fn oversized_frame_gets_typed_error_and_closes_only_that_connection() {
+        let (service, _) = EchoService::new(TelemetryLevel::Off);
+        let config = HubConfig {
+            max_frame_bytes: 64,
+            ..HubConfig::default()
+        };
+        let hub = Hub::spawn(service, config);
+        let mut offender = NetClient::from_memory(hub.connect_memory());
+        let mut bystander =
+            NetClient::from_memory(hub.connect_memory()).with_first_request_id(1_000_001);
+        // A prefix declaring 1 MiB against a 64-byte limit: the reject fires
+        // from the 4 prefix bytes alone, before any payload exists.
+        offender.send_raw(&(1u32 << 20).to_le_bytes()).unwrap();
+        let reply = offender.wait_take(0, WAIT).unwrap();
+        assert_eq!(
+            reply,
+            Response::Error(ProtocolError::Transport(TransportError::FrameTooLarge {
+                declared: 1 << 20,
+                max: 64,
+            }))
+        );
+        // The connection is closed after the error frame...
+        assert!(matches!(
+            offender.wait_take(42, WAIT),
+            Err(ClientError::Disconnected { .. })
+        ));
+        // ...but the bystander connection still works.
+        let ok = bystander.call(&query(2, 8), WAIT).unwrap();
+        assert!(matches!(ok, Response::Search(_)));
+        drop(hub.shutdown());
+    }
+
+    #[test]
+    fn corrupt_frame_poisons_only_its_connection() {
+        let (service, _) = EchoService::new(TelemetryLevel::Off);
+        let hub = Hub::spawn(service, HubConfig::default());
+        let mut poisoned = NetClient::from_memory(hub.connect_memory());
+        let mut healthy =
+            NetClient::from_memory(hub.connect_memory()).with_first_request_id(1_000_001);
+        // A well-framed but undecodable payload.
+        let mut junk = (3u32).to_le_bytes().to_vec();
+        junk.extend_from_slice(&[0xff, 0xff, 0xff]);
+        poisoned.send_raw(&junk).unwrap();
+        let reply = poisoned.wait_take(0, WAIT).unwrap();
+        assert!(matches!(reply, Response::Error(ProtocolError::Codec(_))));
+        assert!(matches!(
+            poisoned.wait_take(1, WAIT),
+            Err(ClientError::Disconnected { .. })
+        ));
+        let ok = healthy.call(&query(3, 8), WAIT).unwrap();
+        assert!(matches!(ok, Response::Search(_)));
+        drop(hub.shutdown());
+    }
+
+    #[test]
+    fn idle_connection_is_reaped_with_typed_error() {
+        let (service, _) = EchoService::new(TelemetryLevel::Off);
+        let config = HubConfig {
+            idle_timeout: Duration::from_millis(30),
+            read_timeout: Duration::from_millis(5),
+            ..HubConfig::default()
+        };
+        let hub = Hub::spawn(service, config);
+        let mut client = NetClient::from_memory(hub.connect_memory());
+        // Send nothing; the hub reaps the connection with a typed error.
+        let reply = client.wait_take(0, WAIT).unwrap();
+        assert_eq!(
+            reply,
+            Response::Error(ProtocolError::Transport(TransportError::IdleTimeout {
+                idle_ms: 30
+            }))
+        );
+        assert!(matches!(
+            client.wait_take(1, WAIT),
+            Err(ClientError::Disconnected { .. })
+        ));
+        drop(hub.shutdown());
+    }
+
+    #[test]
+    fn shutdown_drains_every_accepted_request() {
+        let (service, _) = EchoService::new(TelemetryLevel::Off);
+        let config = HubConfig {
+            // A long window and deep depth: in-flight queries sit in the
+            // batcher when the shutdown lands, exercising the drain flush.
+            batch_window: Duration::from_secs(10),
+            batch_depth: 1024,
+            ..HubConfig::default()
+        };
+        let hub = Hub::spawn(service, config);
+        let mut a = NetClient::from_memory(hub.connect_memory());
+        let mut b = NetClient::from_memory(hub.connect_memory()).with_first_request_id(1_000_001);
+        const K: usize = 8;
+        let mut ids = Vec::new();
+        for i in 0..K {
+            ids.push((0, a.submit(&query(i + 1, 16))));
+            ids.push((1, b.submit(&query(i + 2, 16))));
+        }
+        a.flush().unwrap();
+        b.flush().unwrap();
+        // Wait until every frame has passed the gate, then pull the plug.
+        while hub.frames_accepted() < (2 * K) as u64 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let report = hub.shutdown();
+        assert_eq!(report.requests, (2 * K) as u64);
+        // No lost replies: both clients can still read all K answers off the
+        // (closed but buffered) links.
+        for (who, id) in ids {
+            let client = if who == 0 { &mut a } else { &mut b };
+            let reply = client.wait_take(id, WAIT).unwrap();
+            assert!(matches!(reply, Response::Search(_)), "request {id} lost");
+        }
+    }
+}

@@ -52,6 +52,42 @@ pub use session::{SearchSession, SessionReport, WireReport};
 pub use user::User;
 pub use wire::CodecError;
 
+/// Transport-layer faults a server enforces on a connection (surfaced as
+/// [`ProtocolError::Transport`]). These are connection-hygiene rejections,
+/// not codec failures: the frame stream itself may be well-formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// A frame's length prefix declared more bytes than the server accepts;
+    /// the frame is refused before any payload is buffered and the
+    /// connection is closed.
+    FrameTooLarge {
+        /// Bytes the length prefix declared.
+        declared: u64,
+        /// The server's configured maximum frame size.
+        max: u64,
+    },
+    /// The connection sat idle (no bytes received) longer than the server's
+    /// configured idle timeout and was closed instead of pinning a reader
+    /// thread forever.
+    IdleTimeout {
+        /// The configured idle limit, in milliseconds.
+        idle_ms: u64,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::FrameTooLarge { declared, max } => {
+                write!(f, "frame of {declared} bytes exceeds the {max}-byte limit")
+            }
+            TransportError::IdleTimeout { idle_ms } => {
+                write!(f, "connection idle for more than {idle_ms} ms")
+            }
+        }
+    }
+}
+
 /// Errors surfaced by the protocol actors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ProtocolError {
@@ -75,6 +111,9 @@ pub enum ProtocolError {
     /// The request reached a party that does not serve this operation (e.g. a
     /// trapdoor request sent to the cloud server).
     Unsupported(String),
+    /// A transport enforced connection hygiene (frame-size limit, idle
+    /// timeout) and rejected the connection.
+    Transport(TransportError),
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -96,11 +135,18 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::Persistence(e) => write!(f, "snapshot restore failed: {e}"),
             ProtocolError::Codec(e) => write!(f, "wire codec failure: {e}"),
             ProtocolError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            ProtocolError::Transport(e) => write!(f, "transport rejected the connection: {e}"),
         }
     }
 }
 
 impl std::error::Error for ProtocolError {}
+
+impl From<TransportError> for ProtocolError {
+    fn from(e: TransportError) -> Self {
+        ProtocolError::Transport(e)
+    }
+}
 
 impl From<mkse_crypto::CryptoError> for ProtocolError {
     fn from(e: mkse_crypto::CryptoError) -> Self {
@@ -149,6 +195,19 @@ mod tests {
     fn crypto_error_converts() {
         let e: ProtocolError = mkse_crypto::CryptoError::MessageTooLarge.into();
         assert!(matches!(e, ProtocolError::Crypto(_)));
+    }
+
+    #[test]
+    fn transport_error_converts_and_displays() {
+        let e: ProtocolError = TransportError::FrameTooLarge {
+            declared: 1 << 30,
+            max: 1 << 20,
+        }
+        .into();
+        assert!(matches!(e, ProtocolError::Transport(_)));
+        assert!(format!("{e}").contains("limit"));
+        let idle = ProtocolError::Transport(TransportError::IdleTimeout { idle_ms: 250 });
+        assert!(format!("{idle}").contains("250"));
     }
 
     #[test]

@@ -66,6 +66,25 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{family}_sum{{stage=\"{}\"}} {}", h.stage, h.sum_ns);
         let _ = writeln!(out, "{family}_count{{stage=\"{}\"}} {}", h.stage, h.count);
     }
+    for v in &snapshot.values {
+        // Unit-free log₂ histograms get their own family per series — they are
+        // counts (e.g. batch occupancy), not nanoseconds, so they must never
+        // share the stage-duration family.
+        let family = format!("mkse_{}", v.series);
+        let _ = writeln!(out, "# TYPE {family} histogram");
+        let mut cumulative = 0u64;
+        for (i, count) in v.buckets.iter().enumerate() {
+            cumulative += count;
+            let _ = writeln!(
+                out,
+                "{family}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_bound(i)
+            );
+        }
+        let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", v.count);
+        let _ = writeln!(out, "{family}_sum {}", v.sum);
+        let _ = writeln!(out, "{family}_count {}", v.count);
+    }
     for lane in &snapshot.lanes {
         for (name, value) in [
             ("executed", lane.executed),
@@ -90,6 +109,20 @@ pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
                 out,
                 "mkse_shard_cache_{name}_total{{shard=\"{}\"}} {value}",
                 shard.shard
+            );
+        }
+    }
+    for conn in &snapshot.connections {
+        for (name, value) in [
+            ("frames_in", conn.frames_in),
+            ("frames_out", conn.frames_out),
+            ("bytes_in", conn.bytes_in),
+            ("bytes_out", conn.bytes_out),
+        ] {
+            let _ = writeln!(
+                out,
+                "mkse_connection_{name}_total{{connection=\"{}\"}} {value}",
+                conn.connection
             );
         }
     }
@@ -124,6 +157,19 @@ pub fn render_json(snapshot: &MetricsSnapshot) -> String {
             buckets.join(",")
         );
     }
+    let _ = write!(out, "],\"values\":[");
+    for (i, v) in snapshot.values.iter().enumerate() {
+        let comma = if i > 0 { "," } else { "" };
+        let buckets: Vec<String> = v.buckets.iter().map(|b| b.to_string()).collect();
+        let _ = write!(
+            out,
+            "{comma}{{\"series\":\"{}\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+            v.series,
+            v.count,
+            v.sum,
+            buckets.join(",")
+        );
+    }
     let _ = write!(out, "],\"lanes\":[");
     for (i, l) in snapshot.lanes.iter().enumerate() {
         let comma = if i > 0 { "," } else { "" };
@@ -142,6 +188,15 @@ pub fn render_json(snapshot: &MetricsSnapshot) -> String {
             s.shard, s.hits, s.misses, s.invalidations
         );
     }
+    let _ = write!(out, "],\"connections\":[");
+    for (i, c) in snapshot.connections.iter().enumerate() {
+        let comma = if i > 0 { "," } else { "" };
+        let _ = write!(
+            out,
+            "{comma}{{\"connection\":{},\"frames_in\":{},\"frames_out\":{},\"bytes_in\":{},\"bytes_out\":{}}}",
+            c.connection, c.frames_in, c.frames_out, c.bytes_in, c.bytes_out
+        );
+    }
     out.push_str("]}");
     out
 }
@@ -150,7 +205,7 @@ pub fn render_json(snapshot: &MetricsSnapshot) -> String {
 mod tests {
     use super::*;
     use mkse_core::telemetry::{
-        Counter, Gauge, LaneStats, Stage, Telemetry, TelemetryLevel, HISTOGRAM_BUCKETS,
+        Counter, Gauge, LaneStats, Series, Stage, Telemetry, TelemetryLevel, HISTOGRAM_BUCKETS,
     };
 
     fn populated_snapshot() -> MetricsSnapshot {
@@ -161,6 +216,8 @@ mod tests {
         tel.set_gauge(Gauge::ScanLanes, 2);
         tel.record_duration(Stage::UnitScan, 5); // bucket 2
         tel.record_duration(Stage::UnitScan, 900); // bucket 9
+        tel.record_value(Series::BatchOccupancy, 1); // bucket 0
+        tel.record_value(Series::BatchOccupancy, 6); // bucket 2
         tel.record_lane(
             1,
             &LaneStats {
@@ -172,6 +229,8 @@ mod tests {
         );
         tel.record_cache_lookup(0, true);
         tel.record_cache_lookup(0, false);
+        tel.record_conn_frame_in(3, 96);
+        tel.record_conn_frame_out(3, 200);
         tel.snapshot()
     }
 
@@ -200,6 +259,17 @@ mod tests {
         assert!(text.contains("mkse_lane_stolen_total{lane=\"1\"} 2"));
         assert!(text.contains("mkse_shard_cache_hits_total{shard=\"0\"} 1"));
         assert!(text.contains("mkse_shard_cache_misses_total{shard=\"0\"} 1"));
+        // Unit-free value histograms get their own family: the occupancy 1 is
+        // <= 1, the occupancy 6 <= 7, cumulative.
+        assert!(text.contains("# TYPE mkse_batch_occupancy histogram"));
+        assert!(text.contains("mkse_batch_occupancy_bucket{le=\"1\"} 1"));
+        assert!(text.contains("mkse_batch_occupancy_bucket{le=\"7\"} 2"));
+        assert!(text.contains("mkse_batch_occupancy_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("mkse_batch_occupancy_sum 7"));
+        assert!(text.contains("mkse_batch_occupancy_count 2"));
+        // Per-connection wire traffic is labelled by connection slot.
+        assert!(text.contains("mkse_connection_frames_in_total{connection=\"3\"} 1"));
+        assert!(text.contains("mkse_connection_bytes_out_total{connection=\"3\"} 200"));
     }
 
     #[test]
@@ -211,6 +281,10 @@ mod tests {
         assert!(json.contains("\"stage\":\"unit_scan\""));
         assert!(json.contains("\"lane\":1"));
         assert!(json.contains("\"shard\":0,\"hits\":1,\"misses\":1"));
+        assert!(json.contains("\"series\":\"batch_occupancy\",\"count\":2,\"sum\":7"));
+        assert!(json.contains(
+            "\"connection\":3,\"frames_in\":1,\"frames_out\":1,\"bytes_in\":96,\"bytes_out\":200"
+        ));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),

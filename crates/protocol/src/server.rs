@@ -234,6 +234,38 @@ impl CloudServer {
         BatchSearchReply { replies }
     }
 
+    /// Execute a group of independent single-query envelopes — typically one
+    /// [`Request::Query`] from each of several connections — as **one** fused
+    /// scan-plane pass. This is the cross-client batcher's entry point
+    /// (`mkse-net`): the engine's batch guarantees make every reply, its
+    /// [`CacheReport`], and the [`OperationCounters`] deltas byte-identical to
+    /// calling [`Service::call`] once per message in the same order, so the
+    /// batcher stays invisible to every client. `requests_served` is bumped
+    /// once per message (exactly as `call` would), and each reply honours its
+    /// own message's `top` limit.
+    pub fn call_query_group(&mut self, messages: &[QueryMessage]) -> Vec<Response> {
+        let telemetry = self.engine.telemetry().clone();
+        let _call_span = telemetry.span(Stage::ServiceCall);
+        for _ in messages {
+            self.note_served();
+        }
+        let queries: Vec<QueryIndex> = messages
+            .iter()
+            .map(|m| QueryIndex::from_bits(m.query.clone()))
+            .collect();
+        let results = self.engine.search_batch_with_effects(&queries);
+        results
+            .into_iter()
+            .zip(messages)
+            .map(|((matches, stats, effect), message)| {
+                self.record_execution(&stats, &effect);
+                let mut reply = self.reply_entries(matches, message.top);
+                reply.cache = CacheReport::from(effect);
+                Response::Search(reply)
+            })
+            .collect()
+    }
+
     fn exec_document_request(
         &mut self,
         request: &DocumentRequest,
@@ -662,6 +694,52 @@ mod tests {
             sequential_counters.comparisons_saved_by_cache
         );
         assert_eq!(counters.cache_served_replies, 1);
+    }
+
+    #[test]
+    fn query_group_is_indistinguishable_from_sequential_calls() {
+        let (owner, mut server, mut rng) = populated_server();
+        let q1 = query_for(&owner, &["cloud"], &mut rng);
+        let mut q2 = query_for(&owner, &["weather"], &mut rng);
+        q2.top = Some(1);
+        // The group repeats q1 — as if two clients share a hot keyword — and
+        // carries a per-message `top` limit that must be honoured per reply.
+        let group = vec![q1.clone(), q2.clone(), q1.clone()];
+
+        // Reference: the same messages issued one `Service::call` at a time on
+        // an identically configured twin.
+        let mut sequential = CloudServer::with_shards(owner.params().clone(), server.num_shards());
+        let snapshot = server.snapshot_index();
+        sequential.restore_index(&snapshot).unwrap();
+        sequential.enable_result_cache(64);
+        sequential.reset_counters();
+        let individual: Vec<Response> = group
+            .iter()
+            .map(|m| sequential.call(Request::Query(m.clone())))
+            .collect();
+        let sequential_counters = *sequential.counters();
+        let sequential_cache = sequential.cache_stats();
+
+        server.enable_result_cache(64);
+        server.reset_counters();
+        let grouped = server.call_query_group(&group);
+        assert_eq!(grouped, individual);
+        assert_eq!(*server.counters(), sequential_counters);
+        assert_eq!(server.cache_stats(), sequential_cache);
+        // And again warm: the group is served from cache exactly as the
+        // sequential twin is.
+        let warm_individual: Vec<Response> = group
+            .iter()
+            .map(|m| sequential.call(Request::Query(m.clone())))
+            .collect();
+        let warm_grouped = server.call_query_group(&group);
+        assert_eq!(warm_grouped, warm_individual);
+        assert_eq!(server.counters(), sequential.counters());
+        assert_eq!(server.cache_stats(), sequential.cache_stats());
+        // An empty group is a no-op that serves no requests.
+        let served = server.counters().requests_served;
+        assert!(server.call_query_group(&[]).is_empty());
+        assert_eq!(server.counters().requests_served, served);
     }
 
     #[test]

@@ -154,6 +154,20 @@ impl SessionReport {
                     shard.shard, shard.hits, shard.misses, shard.invalidations
                 ));
             }
+            for conn in &metrics.connections {
+                out.push_str(&format!(
+                    "  connection {}: {} frames / {} bytes in, {} frames / {} bytes out\n",
+                    conn.connection, conn.frames_in, conn.bytes_in, conn.frames_out, conn.bytes_out
+                ));
+            }
+            for v in &metrics.values {
+                out.push_str(&format!(
+                    "  {:<24} {} samples, avg {}\n",
+                    v.series,
+                    v.count,
+                    v.sum / v.count.max(1)
+                ));
+            }
             for h in &metrics.histograms {
                 out.push_str(&format!(
                     "  {:<24} {} samples, avg {} ns\n",

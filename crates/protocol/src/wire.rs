@@ -35,14 +35,15 @@ use crate::messages::{
     DocumentReply, DocumentRequest, EncryptedDocumentTransfer, QueryMessage, SearchReply,
     SearchResultEntry, TrapdoorReply, TrapdoorRequest, UploadMessage,
 };
-use crate::ProtocolError;
+use crate::{ProtocolError, TransportError};
 use mkse_core::bitindex::BitIndex;
 use mkse_core::cache::CacheStats;
 use mkse_core::document_index::RankedDocumentIndex;
 use mkse_core::persistence::PersistenceError;
 use mkse_core::storage::StoreError;
 use mkse_core::telemetry::{
-    HistogramSnapshot, LaneSnapshot, MetricsSnapshot, ShardCacheSnapshot, TelemetryLevel,
+    ConnectionSnapshot, HistogramSnapshot, LaneSnapshot, MetricsSnapshot, ShardCacheSnapshot,
+    TelemetryLevel, ValueHistogramSnapshot,
 };
 use mkse_crypto::bigint::BigUint;
 use mkse_crypto::rsa::RsaSignature;
@@ -540,6 +541,24 @@ impl Writer {
                 self.u8(7);
                 self.string(msg);
             }
+            ProtocolError::Transport(e) => {
+                self.u8(8);
+                self.transport_error(e);
+            }
+        }
+    }
+
+    fn transport_error(&mut self, e: &TransportError) {
+        match e {
+            TransportError::FrameTooLarge { declared, max } => {
+                self.u8(0);
+                self.u64(*declared);
+                self.u64(*max);
+            }
+            TransportError::IdleTimeout { idle_ms } => {
+                self.u8(1);
+                self.u64(*idle_ms);
+            }
         }
     }
 
@@ -627,7 +646,25 @@ impl Reader<'_> {
             5 => ProtocolError::Persistence(self.persistence_error()?),
             6 => ProtocolError::Codec(self.codec_error()?),
             7 => ProtocolError::Unsupported(self.string()?),
+            8 => ProtocolError::Transport(self.transport_error()?),
             other => return Err(CodecError::Malformed(format!("protocol-error tag {other}"))),
+        })
+    }
+
+    fn transport_error(&mut self) -> Result<TransportError, CodecError> {
+        Ok(match self.u8()? {
+            0 => TransportError::FrameTooLarge {
+                declared: self.u64()?,
+                max: self.u64()?,
+            },
+            1 => TransportError::IdleTimeout {
+                idle_ms: self.u64()?,
+            },
+            other => {
+                return Err(CodecError::Malformed(format!(
+                    "transport-error tag {other}"
+                )))
+            }
         })
     }
 
@@ -807,6 +844,16 @@ impl Writer {
                 self.u64(*b);
             }
         }
+        self.u32(snapshot.values.len() as u32);
+        for v in &snapshot.values {
+            self.string(&v.series);
+            self.u64(v.count);
+            self.u64(v.sum);
+            self.u32(v.buckets.len() as u32);
+            for b in &v.buckets {
+                self.u64(*b);
+            }
+        }
         self.u32(snapshot.lanes.len() as u32);
         for lane in &snapshot.lanes {
             self.u32(lane.lane);
@@ -821,6 +868,14 @@ impl Writer {
             self.u64(shard.hits);
             self.u64(shard.misses);
             self.u64(shard.invalidations);
+        }
+        self.u32(snapshot.connections.len() as u32);
+        for conn in &snapshot.connections {
+            self.u32(conn.connection);
+            self.u64(conn.frames_in);
+            self.u64(conn.frames_out);
+            self.u64(conn.bytes_in);
+            self.u64(conn.bytes_out);
         }
     }
 
@@ -974,6 +1029,24 @@ impl<'a> Reader<'a> {
             });
         }
         let n = self.u32()? as usize;
+        let mut values = Vec::new();
+        for _ in 0..n {
+            let series = self.string()?;
+            let count = self.u64()?;
+            let sum = self.u64()?;
+            let b = self.u32()? as usize;
+            let mut buckets = Vec::new();
+            for _ in 0..b {
+                buckets.push(self.u64()?);
+            }
+            values.push(ValueHistogramSnapshot {
+                series,
+                count,
+                sum,
+                buckets,
+            });
+        }
+        let n = self.u32()? as usize;
         let mut lanes = Vec::new();
         for _ in 0..n {
             lanes.push(LaneSnapshot {
@@ -994,13 +1067,26 @@ impl<'a> Reader<'a> {
                 invalidations: self.u64()?,
             });
         }
+        let n = self.u32()? as usize;
+        let mut connections = Vec::new();
+        for _ in 0..n {
+            connections.push(ConnectionSnapshot {
+                connection: self.u32()?,
+                frames_in: self.u64()?,
+                frames_out: self.u64()?,
+                bytes_in: self.u64()?,
+                bytes_out: self.u64()?,
+            });
+        }
         Ok(MetricsSnapshot {
             level,
             counters,
             gauges,
             histograms,
+            values,
             lanes,
             shard_caches,
+            connections,
         })
     }
 
@@ -1148,7 +1234,7 @@ mod tests {
     }
 
     fn arb_protocol_error(rng: &mut StdRng) -> ProtocolError {
-        match rng.gen_range(0u8..8) {
+        match rng.gen_range(0u8..9) {
             0 => ProtocolError::BadSignature,
             1 => ProtocolError::UnknownDocument(rng.gen_range(0u64..1 << 32)),
             2 => ProtocolError::Crypto(arb_string(rng)),
@@ -1178,6 +1264,16 @@ mod tests {
                     expected: arb_string(rng),
                     found: arb_string(rng),
                 },
+            }),
+            7 => ProtocolError::Transport(if rng.gen_range(0u8..2) == 0 {
+                TransportError::FrameTooLarge {
+                    declared: rng.gen_range(0u64..u64::MAX),
+                    max: rng.gen_range(0u64..1 << 40),
+                }
+            } else {
+                TransportError::IdleTimeout {
+                    idle_ms: rng.gen_range(0u64..1 << 32),
+                }
             }),
             _ => ProtocolError::Unsupported(arb_string(rng)),
         }
@@ -1267,6 +1363,16 @@ mod tests {
                         .collect(),
                 })
                 .collect(),
+            values: (0..rng.gen_range(0usize..3))
+                .map(|_| ValueHistogramSnapshot {
+                    series: arb_string(rng),
+                    count: rng.gen_range(0u64..1 << 30),
+                    sum: rng.gen_range(0u64..1 << 50),
+                    buckets: (0..rng.gen_range(0usize..64))
+                        .map(|_| rng.gen_range(0u64..1 << 30))
+                        .collect(),
+                })
+                .collect(),
             lanes: (0..rng.gen_range(0usize..4))
                 .map(|_| LaneSnapshot {
                     lane: rng.gen_range(0u32..32),
@@ -1282,6 +1388,15 @@ mod tests {
                     hits: rng.gen_range(0u64..1 << 30),
                     misses: rng.gen_range(0u64..1 << 30),
                     invalidations: rng.gen_range(0u64..1 << 30),
+                })
+                .collect(),
+            connections: (0..rng.gen_range(0usize..4))
+                .map(|_| ConnectionSnapshot {
+                    connection: rng.gen_range(0u32..64),
+                    frames_in: rng.gen_range(0u64..1 << 30),
+                    frames_out: rng.gen_range(0u64..1 << 30),
+                    bytes_in: rng.gen_range(0u64..1 << 40),
+                    bytes_out: rng.gen_range(0u64..1 << 40),
                 })
                 .collect(),
         }

@@ -16,6 +16,10 @@
 //!   plaintext relevance-score ranking of Eq. (4).
 //! * [`protocol`] — the three-party protocol (data owner / user / cloud server) with
 //!   communication- and computation-cost accounting.
+//! * [`net`] — the concurrent socket transport: a thread-per-connection TCP hub
+//!   (plus an in-process `MemoryLink` twin for deterministic tests) that pumps
+//!   length-prefixed frames into `Service::call`, with an adaptive cross-client
+//!   batcher that coalesces concurrent single queries into one fused pass.
 //!
 //! ## Architecture: the layered server read path
 //!
@@ -25,6 +29,15 @@
 //! the system can use all available cores — and skip work it has already done:
 //!
 //! ```text
+//!  mkse-net        Hub: TCP acceptor +           thread-per-connection readers
+//!        │         MemoryLink twin               reassemble length-prefixed frames
+//!        ▼         (NetClient speaks both)       (torn reads, size/idle hygiene)
+//!        │                                       and feed ONE dispatcher thread;
+//!        ▼                                       the adaptive cross-client batcher
+//!        │                                       coalesces concurrent Query frames
+//!        ▼                                       (window / depth / barrier flushes)
+//!        │                                       into one fused batch pass and
+//!        ▼                                       de-muxes replies by request id
 //!  mkse-protocol   Client  ──▶  wire codec  ──▶  Service::call   the ONE front door:
 //!        │         (pipelined,  (length-prefixed (CloudServer,   every operation is a
 //!        ▼          correlates   frames, version  DataOwner)     Request/Response
@@ -157,6 +170,23 @@
 //!   `CostLedger` records measured framed wire bytes next to the analytic
 //!   Table 1 bits, and the legacy `handle_*` methods survive only as deprecated
 //!   shims over `Service::call` with byte-identical replies.
+//! * **Transport / batcher** ([`net`]): the [`net::Hub`] owns a `Service` on a
+//!   single dispatcher thread and accepts any number of concurrent connections
+//!   (TCP via `bind_tcp`, or deterministic in-process [`net::MemoryLink`]s via
+//!   `connect_memory`). Per-connection reader threads reassemble frames across
+//!   arbitrary fragmentation, enforce a max frame size and an idle timeout
+//!   (violations answer with a typed `ProtocolError::Transport` and poison only
+//!   that connection), and apply a max-in-flight backpressure window. The
+//!   **adaptive cross-client batcher** holds single `Request::Query` frames for
+//!   a sub-millisecond collection window (immediate dispatch when only one
+//!   connection is active or the batch hits depth `b`; any non-query flushes as
+//!   a barrier first) and executes the group through the engine's fused batch
+//!   path — so N chatty clients get the amortized memory traffic of PR 5's
+//!   `BatchQueryMessage` without coordinating with each other. Both layers are
+//!   invisible: replies, `SearchStats` and cache counters are byte-identical
+//!   to the same requests issued sequentially in-process, enforced by the
+//!   journal-replay oracle in `tests/net_equivalence.rs`, and graceful
+//!   shutdown drains every accepted frame before the dispatcher exits.
 //!
 //! **Picking a shard count**: shards parallelize a memory-bandwidth-light linear scan,
 //! so physical cores is the right default; past ~8 shards the per-query spawn+merge
@@ -179,6 +209,16 @@
 //! a function of the query bytes the server already observes plus the public
 //! geometry — scheduling, like batching, decides *when and where* the server
 //! computes, never *what* can be observed (§6's leakage model is untouched).
+//!
+//! The cross-client batcher extends the same argument across connections:
+//! coalescing queries that arrived within one collection window reorders only
+//! the server's *own* memory accesses over requests it has already observed.
+//! Each request's bytes, its reply, its `SearchStats` and its cache counters
+//! are unchanged (the fused group is byte-identical to sequential execution),
+//! and which requests share a window is a function of arrival timing the
+//! server observes anyway — batching is scheduling, not a new channel, and no
+//! client learns anything about another client's queries from it (§6's
+//! per-query leakage profile is untouched).
 //!
 //! And it covers the telemetry plane ([`core::telemetry`]) once more: every
 //! recorded quantity — stage durations, lane steal counts, per-shard cache
@@ -233,6 +273,7 @@ pub use mkse_baselines as baselines;
 pub use mkse_core as core;
 pub use mkse_crypto as crypto;
 pub use mkse_linalg as linalg;
+pub use mkse_net as net;
 pub use mkse_protocol as protocol;
 pub use mkse_textproc as textproc;
 
