@@ -114,11 +114,23 @@ pub enum Counter {
     BatcherFlushBarrier,
     /// Batcher flushes forced by graceful shutdown (drain, never drop).
     BatcherFlushShutdown,
+    /// Client-side request attempts beyond the first (resubmissions after a
+    /// link fault, a lost reply, or an overload shed).
+    Retries,
+    /// Client-side connection re-establishments after a link died.
+    Reconnects,
+    /// Requests the hub refused *before execution* because the hub-wide
+    /// in-flight budget was exhausted (answered with
+    /// `TransportError::Overloaded` instead of stalling the reader).
+    Sheds,
+    /// Fault events a chaos harness injected into a link (kills, torn
+    /// writes, corrupted bytes, delays).
+    FaultsInjected,
 }
 
 impl Counter {
     /// All counters, in wire/report order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 22] = [
         Counter::RequestsServed,
         Counter::Queries,
         Counter::Batches,
@@ -137,6 +149,10 @@ impl Counter {
         Counter::BatcherFlushDepth,
         Counter::BatcherFlushBarrier,
         Counter::BatcherFlushShutdown,
+        Counter::Retries,
+        Counter::Reconnects,
+        Counter::Sheds,
+        Counter::FaultsInjected,
     ];
 
     /// Stable snake_case name used by the exposition formats.
@@ -160,6 +176,10 @@ impl Counter {
             Counter::BatcherFlushDepth => "batcher_flush_depth",
             Counter::BatcherFlushBarrier => "batcher_flush_barrier",
             Counter::BatcherFlushShutdown => "batcher_flush_shutdown",
+            Counter::Retries => "retries",
+            Counter::Reconnects => "reconnects",
+            Counter::Sheds => "sheds",
+            Counter::FaultsInjected => "faults_injected",
         }
     }
 }
@@ -226,11 +246,14 @@ pub enum Stage {
     /// Time a coalesced query spent waiting in the cross-client batcher
     /// (arrival in the pending group → fused dispatch).
     BatcherWait,
+    /// Time a resilient client slept backing off between request attempts
+    /// (exponential backoff and honored `retry_after_ms` hints).
+    BackoffWait,
 }
 
 impl Stage {
     /// All stages, in wire/report order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 10] = [
         Stage::ServiceCall,
         Stage::EngineQuery,
         Stage::EngineBatch,
@@ -240,6 +263,7 @@ impl Stage {
         Stage::FrameEncode,
         Stage::FrameDecode,
         Stage::BatcherWait,
+        Stage::BackoffWait,
     ];
 
     /// Stable snake_case name used by the exposition formats.
@@ -254,6 +278,7 @@ impl Stage {
             Stage::FrameEncode => "frame_encode",
             Stage::FrameDecode => "frame_decode",
             Stage::BatcherWait => "batcher_wait",
+            Stage::BackoffWait => "backoff_wait",
         }
     }
 }

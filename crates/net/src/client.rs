@@ -31,6 +31,17 @@ pub enum ClientError {
         /// The request that went unanswered.
         request_id: u64,
     },
+    /// A non-idempotent request (upload, cache admin, restore) failed
+    /// mid-flight: the link died after the request may have reached the
+    /// server, so resubmitting could execute it twice. The resilient client
+    /// refuses to auto-retry and surfaces this instead; the caller can opt
+    /// into at-least-once via `RetryPolicy::retry_non_idempotent`.
+    RetryUnsafe {
+        /// The envelope name of the operation that cannot be safely retried.
+        op: &'static str,
+        /// The underlying failure of the last attempt.
+        cause: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -46,6 +57,13 @@ impl std::fmt::Display for ClientError {
                 write!(
                     f,
                     "connection closed before request #{request_id} was answered"
+                )
+            }
+            ClientError::RetryUnsafe { op, cause } => {
+                write!(
+                    f,
+                    "{op} failed mid-flight and is not idempotent — not retried \
+                     (the server may or may not have executed it): {cause}"
                 )
             }
         }
@@ -195,24 +213,43 @@ impl NetClient {
 
     /// Block until the reply for `request_id` arrives (other replies are
     /// ingested into the inbox on the way).
+    ///
+    /// The wait parks instead of polling: the link's receive timeout is
+    /// stretched to the remaining deadline, so the thread sleeps on the
+    /// pipe's condvar (memory links) or in the kernel (TCP) until bytes
+    /// actually arrive — no CPU is burned spinning. Total blocked time is
+    /// surfaced as [`WireStats::wait_ns`].
     pub fn wait_take(
         &mut self,
         request_id: u64,
         timeout: Duration,
     ) -> Result<Response, ClientError> {
-        let deadline = Instant::now() + timeout;
-        loop {
+        let started = Instant::now();
+        let deadline = started + timeout;
+        let result = loop {
             if let Some(response) = self.inbox.remove(&request_id) {
-                return Ok(response);
+                break Ok(response);
             }
             if self.eof {
-                return Err(ClientError::Disconnected { request_id });
+                break Err(ClientError::Disconnected { request_id });
             }
-            if Instant::now() >= deadline {
-                return Err(ClientError::TimedOut { request_id });
+            let now = Instant::now();
+            if now >= deadline {
+                break Err(ClientError::TimedOut { request_id });
             }
-            self.ingest_available()?;
-        }
+            let _ = self.reader.set_recv_timeout(deadline - now);
+            match self.ingest_available() {
+                Ok(_) => {}
+                Err(e) => {
+                    let _ = self.reader.set_recv_timeout(Self::POLL);
+                    self.stats.wait_ns += started.elapsed().as_nanos() as u64;
+                    return Err(e);
+                }
+            }
+        };
+        let _ = self.reader.set_recv_timeout(Self::POLL);
+        self.stats.wait_ns += started.elapsed().as_nanos() as u64;
+        result
     }
 
     /// Submit + flush + wait: one blocking round trip.

@@ -83,6 +83,14 @@ pub struct HubConfig {
     /// [`HubReport`] journal — the equivalence suites replay it sequentially
     /// to prove the transport invisible.
     pub journal: bool,
+    /// Hub-wide cap on admitted-but-unanswered requests across *all*
+    /// connections (on top of the per-connection [`HubConfig::max_in_flight`]
+    /// gate). A request arriving over budget is **shed**: answered
+    /// immediately with [`TransportError::Overloaded`] instead of stalling
+    /// the reader, never executed, never journaled.
+    pub max_hub_in_flight: usize,
+    /// The advisory `retry_after_ms` hint carried by shed replies.
+    pub shed_retry_after: Duration,
 }
 
 impl Default for HubConfig {
@@ -97,6 +105,8 @@ impl Default for HubConfig {
             idle_timeout: Duration::from_secs(30),
             max_frame_bytes: 64 << 20,
             journal: false,
+            max_hub_in_flight: 4096,
+            shed_retry_after: Duration::from_millis(2),
         }
     }
 }
@@ -121,6 +131,9 @@ pub struct HubReport {
     pub connections: u64,
     /// Requests executed (every one of them answered).
     pub requests: u64,
+    /// Requests shed by the hub-wide in-flight budget (answered with
+    /// [`TransportError::Overloaded`], never executed, never journaled).
+    pub sheds: u64,
     /// Execution-order journal (empty unless [`HubConfig::journal`]).
     pub journal: Vec<JournalEntry>,
 }
@@ -183,6 +196,13 @@ enum Event {
         conn: u64,
         error: ProtocolError,
     },
+    /// A decoded request refused by the hub-wide in-flight budget: answered
+    /// with `Overloaded` (correlated by its real request id), not executed.
+    /// Bypasses the per-connection gate so a saturated hub still answers.
+    Shed {
+        conn: u64,
+        request_id: u64,
+    },
     Closed {
         conn: u64,
     },
@@ -195,6 +215,9 @@ struct HubShared {
     shutdown: AtomicBool,
     next_conn: AtomicU64,
     frames_accepted: AtomicU64,
+    /// Admitted-but-unanswered requests across all connections (the hub-wide
+    /// budget [`HubConfig::max_hub_in_flight`] is enforced against this).
+    in_flight: AtomicU64,
     gates: Mutex<Vec<Arc<Gate>>>,
     readers: Mutex<Vec<JoinHandle<()>>>,
     telemetry: Option<Telemetry>,
@@ -217,6 +240,7 @@ impl Hub {
             shutdown: AtomicBool::new(false),
             next_conn: AtomicU64::new(0),
             frames_accepted: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
             gates: Mutex::new(Vec::new()),
             readers: Mutex::new(Vec::new()),
             telemetry,
@@ -260,6 +284,15 @@ impl HubHandle {
         let (reader, writer) = server.split();
         attach_link(&self.shared, Box::new(reader), Box::new(writer));
         client
+    }
+
+    /// A clonable, `'static` dialer that can keep attaching in-process
+    /// connections after this handle moved elsewhere — what a reconnecting
+    /// client's connector closure captures.
+    pub fn memory_dialer(&self) -> MemoryDialer {
+        MemoryDialer {
+            shared: self.shared.clone(),
+        }
     }
 
     /// Attach an arbitrary reader/writer pair as one connection; returns the
@@ -337,6 +370,26 @@ impl Drop for HubHandle {
         if self.dispatcher.is_some() {
             let _ = self.finish();
         }
+    }
+}
+
+/// Clonable in-process dial handle ([`HubHandle::memory_dialer`]): each
+/// [`MemoryDialer::connect`] attaches a fresh `MemoryLink` connection, so a
+/// reconnecting client can re-dial a hub it does not own. Dialing a hub that
+/// already shut down yields a dead link (EOF on first read), mirroring a
+/// refused TCP connect.
+#[derive(Clone)]
+pub struct MemoryDialer {
+    shared: Arc<HubShared>,
+}
+
+impl MemoryDialer {
+    /// Attach a new in-process connection; returns the client end.
+    pub fn connect(&self) -> MemoryLink {
+        let (client, server) = memory_duplex();
+        let (reader, writer) = server.split();
+        attach_link(&self.shared, Box::new(reader), Box::new(writer));
+        client
     }
 }
 
@@ -440,9 +493,22 @@ fn reader_loop(
                                         tel.add(Counter::WireBytesIn, framed);
                                         tel.record_conn_frame_in(conn as usize, framed);
                                     }
+                                    // Hub-wide admission (exact: claim a slot,
+                                    // roll back if that overshot the budget).
+                                    // Checked before the per-connection gate so
+                                    // overload is answered immediately even
+                                    // when this connection's window is full.
+                                    let prior = shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                                    if prior >= shared.config.max_hub_in_flight as u64 {
+                                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                                        let _ = events.send(Event::Shed { conn, request_id });
+                                        continue;
+                                    }
                                     gate.acquire();
                                     if shared.shutdown.load(Ordering::SeqCst) {
-                                        // Refused: the hub is draining.
+                                        // Refused: the hub is draining; give
+                                        // the claimed budget slot back.
+                                        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
                                         break 'conn;
                                     }
                                     shared.frames_accepted.fetch_add(1, Ordering::SeqCst);
@@ -589,7 +655,7 @@ fn dispatcher_loop<S: FusedService>(
                             }
                             let response = service.call(Request::Query(message));
                             write_reply(&mut conns, conn, request_id, &response, &tel);
-                            release_gate(&conns, conn);
+                            settle(&conns, conn, &shared);
                         } else {
                             batch.push(Pending {
                                 conn,
@@ -631,9 +697,29 @@ fn dispatcher_loop<S: FusedService>(
                         }
                         let response = service.call(request);
                         write_reply(&mut conns, conn, request_id, &response, &tel);
-                        release_gate(&conns, conn);
+                        settle(&conns, conn, &shared);
                     }
                 }
+            }
+            Event::Shed { conn, request_id } => {
+                // Shed before execution: a typed Overloaded reply carrying
+                // the real request id, so the client can correlate and back
+                // off. No journal entry (nothing executed), no gate or
+                // budget slot to release (none was claimed).
+                report.sheds += 1;
+                if let Some(tel) = &tel {
+                    tel.add(Counter::Sheds, 1);
+                }
+                let retry_after_ms = shared.config.shed_retry_after.as_millis() as u64;
+                write_reply(
+                    &mut conns,
+                    conn,
+                    request_id,
+                    &Response::Error(ProtocolError::Transport(TransportError::Overloaded {
+                        retry_after_ms,
+                    })),
+                    &tel,
+                );
             }
             Event::Fault { conn, error } => {
                 // Flush first so pending replies for this connection are
@@ -717,7 +803,7 @@ fn flush_batch<S: FusedService>(
     let replies = service.call_query_group(&messages);
     for (pending, response) in batch.drain(..).zip(replies) {
         write_reply(conns, pending.conn, pending.request_id, &response, tel);
-        release_gate(conns, pending.conn);
+        settle(conns, pending.conn, shared);
     }
 }
 
@@ -744,7 +830,10 @@ fn write_reply(
     }
 }
 
-fn release_gate(conns: &BTreeMap<u64, ConnState>, conn: u64) {
+/// Settle one answered request: release the connection's gate permit and give
+/// its hub-wide budget slot back.
+fn settle(conns: &BTreeMap<u64, ConnState>, conn: u64, shared: &HubShared) {
+    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
     if let Some(state) = conns.get(&conn) {
         state.gate.release();
     }

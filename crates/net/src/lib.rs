@@ -19,21 +19,34 @@
 //! Layering:
 //!
 //! ```text
-//!   NetClient ──frames──▶ reader thread ──events──▶ dispatcher thread
-//!   (pipelined)           (FrameBuffer,             (single writer: owns the
-//!                          per-conn gate,            FusedService + batcher,
-//!                          idle/size hygiene)        demultiplexes replies)
+//!   ResilientClient ─────▶ NetClient ──frames──▶ reader thread ──events──▶ dispatcher thread
+//!   (retry/reconnect,      (pipelined)  │        (FrameBuffer,             (single writer: owns the
+//!    backoff, at-most-once)             │         per-conn gate,            FusedService + batcher,
+//!                                       ▼         hub-wide budget,          demultiplexes replies,
+//!                                  FaultyLink     idle/size hygiene)        sheds → Overloaded)
+//!                                  (optional seeded chaos wrapper)
 //! ```
+//!
+//! The resilience layer ([`fault`], [`resilient`], hub overload shedding) is
+//! built so chaos stays *deterministic*: a [`fault::FaultPlan`] seed fully
+//! determines the fault schedule, a shed request is refused **before**
+//! execution (so the journal-replay oracle is untouched), and the
+//! [`resilient::ResilientClient`] accounts every attempt under the
+//! conservation law `attempts == successes + sheds + link_faults`.
 
 pub mod client;
+pub mod fault;
 pub mod frame;
 pub mod hub;
 pub mod link;
+pub mod resilient;
 
 pub use client::{ClientError, NetClient};
+pub use fault::{FaultEvent, FaultHandle, FaultPlan, FaultyLink, FaultyReader, FaultyWriter};
 pub use frame::FrameBuffer;
-pub use hub::{Hub, HubConfig, HubHandle, HubReport, JournalEntry};
+pub use hub::{Hub, HubConfig, HubHandle, HubReport, JournalEntry, MemoryDialer};
 pub use link::{memory_duplex, LinkReader, LinkWriter, MemoryLink, MemoryReader, MemoryWriter};
+pub use resilient::{Connector, ResilienceStats, ResilientClient, RetryPolicy};
 
 use mkse_protocol::{CloudServer, QueryMessage, Request, Response, Service};
 
@@ -338,6 +351,59 @@ mod tests {
             Err(ClientError::Disconnected { .. })
         ));
         drop(hub.shutdown());
+    }
+
+    #[test]
+    fn hub_budget_sheds_excess_with_typed_overloaded_and_connection_survives() {
+        let (service, _) = EchoService::new(TelemetryLevel::Counters);
+        let telemetry = service.telemetry.clone();
+        let config = HubConfig {
+            // Budget of one in-flight request hub-wide; a long-ish window
+            // keeps the admitted query parked in the batcher while the second
+            // arrives, so the shed is deterministic.
+            max_hub_in_flight: 1,
+            shed_retry_after: Duration::from_millis(7),
+            batch_window: Duration::from_millis(500),
+            batch_depth: 1024,
+            journal: true,
+            ..HubConfig::default()
+        };
+        let hub = Hub::spawn(service, config);
+        let mut a = NetClient::from_memory(hub.connect_memory());
+        let mut b = NetClient::from_memory(hub.connect_memory()).with_first_request_id(1_000_001);
+        let ia = a.submit(&query(2, 16));
+        a.flush().unwrap();
+        // Wait until A's query holds the only budget slot (parked in the
+        // batcher, pending the window flush).
+        while hub.frames_accepted() < 1 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let ib = b.submit(&query(4, 16));
+        b.flush().unwrap();
+        // B is shed immediately with the typed error echoing the configured
+        // hint — the saturated hub still answers, it does not stall B.
+        let shed = b.wait_take(ib, WAIT).unwrap();
+        assert_eq!(
+            shed,
+            Response::Error(ProtocolError::Transport(TransportError::Overloaded {
+                retry_after_ms: 7
+            }))
+        );
+        // A's admitted query completes once the window flushes, releasing
+        // the budget slot...
+        let ra = a.wait_take(ia, WAIT).unwrap();
+        assert!(matches!(ra, Response::Search(_)));
+        // ...and B's connection survived the shed: a retry now succeeds.
+        let rb = b.call(&query(4, 16), WAIT).unwrap();
+        assert!(matches!(rb, Response::Search(_)));
+        let report = hub.shutdown();
+        assert_eq!(report.sheds, 1);
+        // The shed request was refused before execution: never counted as an
+        // executed request, never journaled — the replay oracle sees only
+        // the two executed queries.
+        assert_eq!(report.requests, 2);
+        assert_eq!(report.journal.len(), 2);
+        assert_eq!(telemetry.snapshot().counter("sheds"), 1);
     }
 
     #[test]

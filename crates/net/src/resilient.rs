@@ -1,0 +1,521 @@
+//! The retrying, reconnecting client: [`ResilientClient`] wraps [`NetClient`]
+//! with a [`RetryPolicy`] so a dropped link, a lost reply, or an overloaded
+//! hub surfaces as a transparent retry instead of a bare error — with
+//! **at-most-once semantics kept explicit**.
+//!
+//! ## What gets retried
+//!
+//! *Idempotent* requests (query, batch query, documents, trapdoor, blind
+//! decrypt, and all read-only admin ops) are resubmitted after a reconnect:
+//! executing one twice yields byte-identical replies and leaves no extra
+//! state, so a duplicate execution is invisible. *Non-idempotent* requests
+//! (upload, cache admin, restore, counter reset) are **never** auto-retried
+//! after a mid-flight link failure — the client cannot know whether the
+//! server executed the lost attempt, so resubmitting could double-apply it.
+//! They fail with [`ClientError::RetryUnsafe`] unless the caller opts into
+//! at-least-once via [`RetryPolicy::retry_non_idempotent`] (the server's
+//! duplicate-document rejection then makes any duplication *visible*, never
+//! silent).
+//!
+//! The one exception: a [`TransportError::Overloaded`] reply means the hub
+//! shed the request **before execution**, so honoring its `retry_after_ms`
+//! hint and resubmitting is safe for every operation, idempotent or not.
+//!
+//! ## Conservation law
+//!
+//! Every attempt ends in exactly one of three ways — a completed reply, an
+//! overload shed, or a link fault — so per client
+//! `attempts == successes + sheds + link_faults` holds exactly
+//! ([`ResilienceStats`]); `tests/net_chaos.rs` asserts it under seeded fault
+//! plans.
+
+use crate::client::{ClientError, NetClient};
+use crate::link::{LinkReader, LinkWriter};
+use mkse_core::telemetry::{Counter, Stage, Telemetry};
+use mkse_protocol::{ProtocolError, Request, Response, TransportError, WireStats};
+use std::io;
+use std::time::{Duration, Instant};
+
+/// How a [`ResilientClient`] retries: attempt budget, exponential backoff
+/// with a cap, per-attempt reply timeout, and a per-request deadline.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included); at least 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Upper bound on one backoff sleep (a shed's `retry_after_ms` hint can
+    /// still raise an individual sleep above the exponential value).
+    pub backoff_cap: Duration,
+    /// How long one attempt waits for its reply before the attempt is
+    /// declared lost (bounds the damage of a reply that will never arrive,
+    /// e.g. a corrupted request id).
+    pub attempt_timeout: Duration,
+    /// Wall-clock budget for the whole request across all attempts.
+    pub request_deadline: Duration,
+    /// Opt into at-least-once for non-idempotent requests: resubmit them
+    /// after link failures instead of returning
+    /// [`ClientError::RetryUnsafe`]. Duplicated executions surface as
+    /// visible server-side errors (e.g. duplicate-document rejections).
+    pub retry_non_idempotent: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(100),
+            attempt_timeout: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(10),
+            retry_non_idempotent: false,
+        }
+    }
+}
+
+/// What a [`ResilientClient`] did, attempt by attempt. The conservation law
+/// `attempts == successes + sheds + link_faults` holds exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResilienceStats {
+    /// Request submissions (first tries and retries).
+    pub attempts: u64,
+    /// Attempts answered with a completed reply (including typed server-side
+    /// errors — a reply is a reply).
+    pub successes: u64,
+    /// Attempts answered with `TransportError::Overloaded` (shed before
+    /// execution, retried after the advisory backoff).
+    pub sheds: u64,
+    /// Attempts lost to the link: send/receive failures, EOF, lost replies
+    /// (attempt timeout).
+    pub link_faults: u64,
+    /// Attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Connections established beyond the first.
+    pub reconnects: u64,
+    /// Backoff sleeps taken between attempts.
+    pub backoff_waits: u64,
+    /// Total nanoseconds slept backing off.
+    pub backoff_ns: u64,
+    /// Requests refused as [`ClientError::RetryUnsafe`].
+    pub unsafe_aborts: u64,
+}
+
+/// Produces a fresh split link per connection attempt. The argument is the
+/// 0-based connection ordinal, so a chaos harness can derive a distinct
+/// deterministic fault seed per connection.
+pub type Connector =
+    Box<dyn FnMut(u64) -> io::Result<(Box<dyn LinkReader>, Box<dyn LinkWriter>)> + Send>;
+
+/// A [`NetClient`] wrapped in reconnect-and-retry machinery. Request ids stay
+/// globally unique across reconnects (the replacement client resumes the id
+/// sequence), so the hub journal still correlates every attempt.
+pub struct ResilientClient {
+    connector: Connector,
+    policy: RetryPolicy,
+    client: Option<NetClient>,
+    /// Next request id, carried across reconnects.
+    next_id: u64,
+    /// Connections established so far (ordinal passed to the connector).
+    connections: u64,
+    stats: ResilienceStats,
+    /// Wire stats accumulated from connections already torn down.
+    retired_wire: WireStats,
+    telemetry: Option<Telemetry>,
+}
+
+impl ResilientClient {
+    /// Wrap `connector` with `policy`. No connection is made until the first
+    /// request needs one.
+    pub fn new(connector: Connector, policy: RetryPolicy) -> ResilientClient {
+        ResilientClient {
+            connector,
+            policy,
+            client: None,
+            next_id: 1,
+            connections: 0,
+            stats: ResilienceStats::default(),
+            retired_wire: WireStats::default(),
+            telemetry: None,
+        }
+    }
+
+    /// Start request-id assignment at `id` (builder-style), as
+    /// [`NetClient::with_first_request_id`].
+    pub fn with_first_request_id(mut self, id: u64) -> ResilientClient {
+        self.next_id = id;
+        self
+    }
+
+    /// Mirror retries/reconnects/backoff into a telemetry registry
+    /// (builder-style): [`Counter::Retries`], [`Counter::Reconnects`] and
+    /// the [`Stage::BackoffWait`] histogram.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> ResilientClient {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// The id the next submission will use (live connection or not).
+    pub fn next_request_id(&self) -> u64 {
+        match &self.client {
+            Some(client) => client.next_request_id(),
+            None => self.next_id,
+        }
+    }
+
+    /// Attempt-level accounting so far.
+    pub fn stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    /// Frames, framed bytes and blocked reply-wait time across every
+    /// connection this client has used.
+    pub fn wire_stats(&self) -> WireStats {
+        match &self.client {
+            Some(client) => self.retired_wire.plus(&client.wire_stats()),
+            None => self.retired_wire,
+        }
+    }
+
+    /// Whether a request can be blindly resubmitted after a mid-flight link
+    /// failure. Mutating ops are not: the lost attempt may or may not have
+    /// executed server-side.
+    pub fn is_idempotent(request: &Request) -> bool {
+        !matches!(
+            request,
+            Request::Upload(_)
+                | Request::EnableCache { .. }
+                | Request::DisableCache
+                | Request::RestoreIndex(_)
+                | Request::ResetCounters
+        )
+    }
+
+    fn ensure_connected(&mut self) -> Result<&mut NetClient, ClientError> {
+        if self.client.is_none() {
+            let ordinal = self.connections;
+            let (reader, writer) = (self.connector)(ordinal).map_err(ClientError::Io)?;
+            self.connections += 1;
+            if ordinal > 0 {
+                self.stats.reconnects += 1;
+                if let Some(tel) = &self.telemetry {
+                    tel.add(Counter::Reconnects, 1);
+                }
+            }
+            self.client =
+                Some(NetClient::from_parts(reader, writer).with_first_request_id(self.next_id));
+        }
+        Ok(self.client.as_mut().expect("just connected"))
+    }
+
+    /// Tear down the current connection (the dropped halves close the link),
+    /// banking its wire stats and id progress.
+    fn drop_connection(&mut self) {
+        if let Some(client) = self.client.take() {
+            self.next_id = client.next_request_id();
+            self.retired_wire = self.retired_wire.plus(&client.wire_stats());
+        }
+    }
+
+    fn backoff(&mut self, attempt: u32, floor: Duration, deadline: Instant) {
+        let exp = self
+            .policy
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.policy.backoff_cap);
+        let sleep = exp.max(floor);
+        // Never sleep past the request deadline.
+        let sleep = sleep.min(deadline.saturating_duration_since(Instant::now()));
+        if sleep.is_zero() {
+            return;
+        }
+        self.stats.backoff_waits += 1;
+        self.stats.backoff_ns += sleep.as_nanos() as u64;
+        if let Some(tel) = &self.telemetry {
+            tel.record_duration(Stage::BackoffWait, sleep.as_nanos() as u64);
+        }
+        std::thread::sleep(sleep);
+    }
+
+    /// One request, end to end: connect if needed, submit, await the reply;
+    /// on an overload shed or (for idempotent requests) a link fault,
+    /// back off and retry until the policy's attempt or deadline budget runs
+    /// out. Returns the final completed reply, the final shed reply (if the
+    /// budget ran out while overloaded), or the last error.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.call_traced(request).map(|(_, response)| response)
+    }
+
+    /// [`ResilientClient::call`], also returning the request id of the
+    /// attempt that produced the reply — the id under which the hub journaled
+    /// (or shed) it, which is what equivalence oracles correlate on.
+    pub fn call_traced(&mut self, request: &Request) -> Result<(u64, Response), ClientError> {
+        let retry_safe = Self::is_idempotent(request) || self.policy.retry_non_idempotent;
+        let deadline = Instant::now() + self.policy.request_deadline;
+        let mut attempt = 0u32;
+        loop {
+            if attempt > 0 {
+                self.stats.retries += 1;
+                if let Some(tel) = &self.telemetry {
+                    tel.add(Counter::Retries, 1);
+                }
+            }
+            let outcome = self.attempt(request, deadline);
+            attempt += 1;
+            let budget_left = attempt < self.policy.max_attempts && Instant::now() < deadline;
+            match outcome {
+                Ok((
+                    id,
+                    Response::Error(ProtocolError::Transport(TransportError::Overloaded {
+                        retry_after_ms,
+                    })),
+                )) => {
+                    // Shed before execution: safe to retry anything, after
+                    // honoring the server's hint as a backoff floor.
+                    self.stats.sheds += 1;
+                    if !budget_left {
+                        return Ok((
+                            id,
+                            Response::Error(ProtocolError::Transport(TransportError::Overloaded {
+                                retry_after_ms,
+                            })),
+                        ));
+                    }
+                    self.backoff(attempt, Duration::from_millis(retry_after_ms), deadline);
+                }
+                Ok((id, response)) => {
+                    self.stats.successes += 1;
+                    return Ok((id, response));
+                }
+                Err(error) => {
+                    // The attempt died with the link: reconnect on the next
+                    // try. Whether the server executed it is unknowable here.
+                    self.stats.link_faults += 1;
+                    self.drop_connection();
+                    if !retry_safe {
+                        self.stats.unsafe_aborts += 1;
+                        return Err(ClientError::RetryUnsafe {
+                            op: request.name(),
+                            cause: Box::new(error),
+                        });
+                    }
+                    if !budget_left {
+                        return Err(error);
+                    }
+                    self.backoff(attempt, Duration::ZERO, deadline);
+                }
+            }
+        }
+    }
+
+    /// One submission: returns the request id and reply (completed or shed),
+    /// or the link error that consumed the attempt.
+    fn attempt(
+        &mut self,
+        request: &Request,
+        deadline: Instant,
+    ) -> Result<(u64, Response), ClientError> {
+        self.stats.attempts += 1;
+        let attempt_timeout = self.policy.attempt_timeout;
+        let client = self.ensure_connected()?;
+        let id = client.submit(request);
+        client.flush()?;
+        let wait = attempt_timeout.min(deadline.saturating_duration_since(Instant::now()));
+        client.wait_take(id, wait).map(|response| (id, response))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultyLink};
+    use crate::hub::{Hub, HubConfig};
+    use crate::FusedService;
+    use mkse_core::bitindex::BitIndex;
+    use mkse_protocol::messages::{CacheReport, QueryMessage, SearchReply, SearchResultEntry};
+    use mkse_protocol::{Service, UploadMessage};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Query-echo service counting upload executions, for at-most-once
+    /// assertions.
+    struct CountingService {
+        uploads: Arc<AtomicU64>,
+    }
+
+    impl Service for CountingService {
+        fn call(&mut self, request: Request) -> Response {
+            match request {
+                Request::Query(m) => Response::Search(SearchReply {
+                    matches: vec![SearchResultEntry {
+                        document_id: m.query.count_ones() as u64,
+                        rank: m.query.len() as u32,
+                        metadata: Vec::new(),
+                    }],
+                    cache: CacheReport::default(),
+                }),
+                Request::Upload(_) => {
+                    self.uploads.fetch_add(1, Ordering::SeqCst);
+                    Response::Uploaded { documents: 1 }
+                }
+                _ => Response::Ack,
+            }
+        }
+
+        fn telemetry(&self) -> Option<&mkse_core::telemetry::Telemetry> {
+            None
+        }
+    }
+
+    impl FusedService for CountingService {}
+
+    fn query(ones: usize) -> Request {
+        let mut bits = BitIndex::all_zeros(16);
+        for i in 0..ones {
+            bits.set(i, true);
+        }
+        Request::Query(QueryMessage {
+            query: bits,
+            top: None,
+        })
+    }
+
+    fn upload() -> Request {
+        Request::Upload(UploadMessage {
+            indices: vec![],
+            documents: vec![],
+        })
+    }
+
+    fn quick_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_micros(200),
+            backoff_cap: Duration::from_millis(5),
+            attempt_timeout: Duration::from_millis(250),
+            request_deadline: Duration::from_secs(10),
+            retry_non_idempotent: false,
+        }
+    }
+
+    /// A connector over the hub's memory dialer whose first `kills` links die
+    /// on the first write; later links are clean.
+    fn flaky_connector(hub: &crate::hub::HubHandle, kills: u64) -> Connector {
+        let dialer = hub.memory_dialer();
+        Box::new(move |ordinal| {
+            let (reader, writer) = dialer.connect().split();
+            if ordinal < kills {
+                let (r, w, _h) = FaultyLink::wrap(
+                    Box::new(reader),
+                    Box::new(writer),
+                    FaultPlan {
+                        kill_after_bytes: Some(0),
+                        ..FaultPlan::healthy(ordinal)
+                    },
+                );
+                Ok((Box::new(r), Box::new(w)))
+            } else {
+                Ok((Box::new(reader), Box::new(writer)))
+            }
+        })
+    }
+
+    #[test]
+    fn idempotent_requests_survive_dead_links_via_reconnect() {
+        let uploads = Arc::new(AtomicU64::new(0));
+        let hub = Hub::spawn(
+            CountingService {
+                uploads: uploads.clone(),
+            },
+            HubConfig::default(),
+        );
+        let mut client = ResilientClient::new(flaky_connector(&hub, 2), quick_policy());
+        // The first two connections die on the first write; the third works.
+        let reply = client.call(&query(3)).unwrap();
+        match reply {
+            Response::Search(r) => assert_eq!(r.matches[0].document_id, 3),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let stats = client.stats();
+        assert_eq!(stats.link_faults, 2);
+        assert_eq!(stats.retries, 2);
+        assert_eq!(stats.reconnects, 2);
+        assert_eq!(stats.successes, 1);
+        assert_eq!(
+            stats.attempts,
+            stats.successes + stats.sheds + stats.link_faults
+        );
+        // A second call reuses the healthy connection: no new attempts lost.
+        client.call(&query(5)).unwrap();
+        assert_eq!(client.stats().link_faults, 2);
+        drop(client);
+        drop(hub.shutdown());
+    }
+
+    #[test]
+    fn non_idempotent_requests_fail_retry_unsafe_without_opt_in() {
+        let uploads = Arc::new(AtomicU64::new(0));
+        let hub = Hub::spawn(
+            CountingService {
+                uploads: uploads.clone(),
+            },
+            HubConfig::default(),
+        );
+        let mut client = ResilientClient::new(flaky_connector(&hub, 1), quick_policy());
+        let err = client.call(&upload()).unwrap_err();
+        match err {
+            ClientError::RetryUnsafe { op, .. } => assert_eq!(op, "Upload"),
+            other => panic!("expected RetryUnsafe, got {other}"),
+        }
+        assert_eq!(client.stats().unsafe_aborts, 1);
+        assert_eq!(client.stats().retries, 0, "never silently resubmitted");
+        // The same client still works for later requests (fresh connection).
+        assert!(matches!(client.call(&query(1)), Ok(Response::Search(_))));
+        drop(client);
+        drop(hub.shutdown());
+        assert_eq!(
+            uploads.load(Ordering::SeqCst),
+            0,
+            "the killed-at-byte-0 upload never reached the server"
+        );
+    }
+
+    #[test]
+    fn opt_in_retries_non_idempotent_requests() {
+        let uploads = Arc::new(AtomicU64::new(0));
+        let hub = Hub::spawn(
+            CountingService {
+                uploads: uploads.clone(),
+            },
+            HubConfig::default(),
+        );
+        let policy = RetryPolicy {
+            retry_non_idempotent: true,
+            ..quick_policy()
+        };
+        let mut client = ResilientClient::new(flaky_connector(&hub, 1), policy);
+        let reply = client.call(&upload()).unwrap();
+        assert!(matches!(reply, Response::Uploaded { .. }));
+        assert_eq!(client.stats().retries, 1);
+        drop(client);
+        drop(hub.shutdown());
+        assert_eq!(uploads.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn request_ids_stay_unique_across_reconnects() {
+        let uploads = Arc::new(AtomicU64::new(0));
+        let hub = Hub::spawn(CountingService { uploads }, HubConfig::default());
+        let mut client = ResilientClient::new(flaky_connector(&hub, 1), quick_policy())
+            .with_first_request_id(100);
+        client.call(&query(1)).unwrap();
+        client.call(&query(2)).unwrap();
+        // Attempt 1 consumed id 100 on the dead link; the retry and the
+        // second request used fresh ids on the replacement connection.
+        assert_eq!(client.next_request_id(), 103);
+        let wire = client.wire_stats();
+        assert_eq!(wire.frames_sent, 3, "three submissions across two links");
+        assert_eq!(wire.frames_received, 2);
+        drop(client);
+        drop(hub.shutdown());
+    }
+}

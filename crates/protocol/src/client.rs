@@ -49,6 +49,9 @@ pub struct WireStats {
     pub bytes_sent: u64,
     /// Total framed response bytes.
     pub bytes_received: u64,
+    /// Nanoseconds spent blocked waiting for replies (zero for in-process
+    /// clients; the socket client accumulates its parked reply waits here).
+    pub wait_ns: u64,
 }
 
 impl WireStats {
@@ -60,6 +63,7 @@ impl WireStats {
             frames_received: self.frames_received - earlier.frames_received,
             bytes_sent: self.bytes_sent - earlier.bytes_sent,
             bytes_received: self.bytes_received - earlier.bytes_received,
+            wait_ns: self.wait_ns - earlier.wait_ns,
         }
     }
 
@@ -70,6 +74,7 @@ impl WireStats {
             frames_received: self.frames_received + other.frames_received,
             bytes_sent: self.bytes_sent + other.bytes_sent,
             bytes_received: self.bytes_received + other.bytes_received,
+            wait_ns: self.wait_ns + other.wait_ns,
         }
     }
 }
@@ -553,12 +558,14 @@ mod tests {
             frames_received: 4,
             bytes_sent: 100,
             bytes_received: 90,
+            wait_ns: 900,
         };
         let b = WireStats {
             frames_sent: 2,
             frames_received: 2,
             bytes_sent: 40,
             bytes_received: 30,
+            wait_ns: 400,
         };
         assert_eq!(
             a.since(&b),
@@ -567,6 +574,7 @@ mod tests {
                 frames_received: 2,
                 bytes_sent: 60,
                 bytes_received: 60,
+                wait_ns: 500,
             }
         );
         assert_eq!(
@@ -576,6 +584,7 @@ mod tests {
                 frames_received: 4,
                 bytes_sent: 80,
                 bytes_received: 60,
+                wait_ns: 800,
             }
         );
     }

@@ -73,6 +73,15 @@ pub enum TransportError {
         /// The configured idle limit, in milliseconds.
         idle_ms: u64,
     },
+    /// The server's hub-wide in-flight budget was exhausted and this request
+    /// was shed *before execution*: the server did no work for it, wrote this
+    /// typed reply instead of stalling the reader, and kept the connection
+    /// open. Because a shed request was never executed, it is safe to retry
+    /// even non-idempotent operations after the advisory backoff.
+    Overloaded {
+        /// Advisory backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -83,6 +92,12 @@ impl std::fmt::Display for TransportError {
             }
             TransportError::IdleTimeout { idle_ms } => {
                 write!(f, "connection idle for more than {idle_ms} ms")
+            }
+            TransportError::Overloaded { retry_after_ms } => {
+                write!(
+                    f,
+                    "server overloaded, request shed before execution; retry after {retry_after_ms} ms"
+                )
             }
         }
     }
@@ -208,6 +223,9 @@ mod tests {
         assert!(format!("{e}").contains("limit"));
         let idle = ProtocolError::Transport(TransportError::IdleTimeout { idle_ms: 250 });
         assert!(format!("{idle}").contains("250"));
+        let shed = ProtocolError::Transport(TransportError::Overloaded { retry_after_ms: 7 });
+        assert!(format!("{shed}").contains("overloaded"));
+        assert!(format!("{shed}").contains('7'));
     }
 
     #[test]

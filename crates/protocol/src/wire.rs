@@ -559,6 +559,10 @@ impl Writer {
                 self.u8(1);
                 self.u64(*idle_ms);
             }
+            TransportError::Overloaded { retry_after_ms } => {
+                self.u8(2);
+                self.u64(*retry_after_ms);
+            }
         }
     }
 
@@ -659,6 +663,9 @@ impl Reader<'_> {
             },
             1 => TransportError::IdleTimeout {
                 idle_ms: self.u64()?,
+            },
+            2 => TransportError::Overloaded {
+                retry_after_ms: self.u64()?,
             },
             other => {
                 return Err(CodecError::Malformed(format!(
@@ -1265,15 +1272,17 @@ mod tests {
                     found: arb_string(rng),
                 },
             }),
-            7 => ProtocolError::Transport(if rng.gen_range(0u8..2) == 0 {
-                TransportError::FrameTooLarge {
+            7 => ProtocolError::Transport(match rng.gen_range(0u8..3) {
+                0 => TransportError::FrameTooLarge {
                     declared: rng.gen_range(0u64..u64::MAX),
                     max: rng.gen_range(0u64..1 << 40),
-                }
-            } else {
-                TransportError::IdleTimeout {
+                },
+                1 => TransportError::IdleTimeout {
                     idle_ms: rng.gen_range(0u64..1 << 32),
-                }
+                },
+                _ => TransportError::Overloaded {
+                    retry_after_ms: rng.gen_range(0u64..1 << 32),
+                },
             }),
             _ => ProtocolError::Unsupported(arb_string(rng)),
         }
@@ -1602,6 +1611,55 @@ mod tests {
         assert!(matches!(
             decode_response(&corrupted),
             Err(CodecError::Malformed(msg)) if msg.contains("telemetry level")
+        ));
+    }
+
+    #[test]
+    fn overloaded_transport_error_round_trips() {
+        for &variant in &[
+            TransportError::Overloaded { retry_after_ms: 0 },
+            TransportError::Overloaded { retry_after_ms: 2 },
+            TransportError::Overloaded {
+                retry_after_ms: u64::MAX,
+            },
+            TransportError::FrameTooLarge {
+                declared: 1 << 33,
+                max: 1 << 20,
+            },
+            TransportError::IdleTimeout { idle_ms: 30_000 },
+        ] {
+            let response = Response::Error(ProtocolError::Transport(variant));
+            let frame = encode_response(42, &response);
+            let (payload, rest) = split_frame(&frame).unwrap().unwrap();
+            assert!(rest.is_empty());
+            let (id, decoded) = decode_response(payload).unwrap();
+            assert_eq!(id, 42);
+            assert_eq!(decoded, response);
+        }
+    }
+
+    #[test]
+    fn corrupt_transport_error_tag_is_rejected() {
+        let response = Response::Error(ProtocolError::Transport(TransportError::Overloaded {
+            retry_after_ms: 2,
+        }));
+        let frame = encode_response(42, &response);
+        let (payload, _) = split_frame(&frame).unwrap().unwrap();
+        // Payload layout: 10-byte header (version u8 + request_id u64 + kind
+        // u8), then the protocol-error tag (8 = Transport) at [10] and the
+        // transport-error tag at [11].
+        assert_eq!(payload[10], 8);
+        assert_eq!(payload[11], 2);
+        let mut corrupted = payload.to_vec();
+        corrupted[11] = 9;
+        assert!(matches!(
+            decode_response(&corrupted),
+            Err(CodecError::Malformed(msg)) if msg.contains("transport-error tag 9")
+        ));
+        // Truncating the retry hint mid-u64 is a typed Truncated, not a panic.
+        assert!(matches!(
+            decode_response(&payload[..payload.len() - 3]),
+            Err(CodecError::Truncated)
         ));
     }
 

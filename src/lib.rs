@@ -19,7 +19,10 @@
 //! * [`net`] — the concurrent socket transport: a thread-per-connection TCP hub
 //!   (plus an in-process `MemoryLink` twin for deterministic tests) that pumps
 //!   length-prefixed frames into `Service::call`, with an adaptive cross-client
-//!   batcher that coalesces concurrent single queries into one fused pass.
+//!   batcher that coalesces concurrent single queries into one fused pass, and
+//!   a resilience layer on top — deterministic seeded fault injection
+//!   (`FaultyLink`), a retrying/reconnecting `ResilientClient`, and hub
+//!   overload shedding with typed `Overloaded` pushback.
 //!
 //! ## Architecture: the layered server read path
 //!
@@ -29,6 +32,15 @@
 //! the system can use all available cores — and skip work it has already done:
 //!
 //! ```text
+//!  mkse-net        ResilientClient ─▶ NetClient  the resilience layer: capped-
+//!        │         ─▶ FaultyLink ─▶ any link     backoff retries with reconnect
+//!        ▼                                       and resubmission of idempotent
+//!        │                                       requests only (typed RetryUnsafe
+//!        ▼                                       refusal otherwise); the hub sheds
+//!        │                                       load past its in-flight budget
+//!        ▼                                       with Overloaded { retry_after_ms };
+//!        │                                       FaultyLink replays seeded fault
+//!        ▼                                       plans (kills / tears / corruption)
 //!  mkse-net        Hub: TCP acceptor +           thread-per-connection readers
 //!        │         MemoryLink twin               reassemble length-prefixed frames
 //!        ▼         (NetClient speaks both)       (torn reads, size/idle hygiene)
@@ -187,6 +199,29 @@
 //!   to the same requests issued sequentially in-process, enforced by the
 //!   journal-replay oracle in `tests/net_equivalence.rs`, and graceful
 //!   shutdown drains every accepted frame before the dispatcher exits.
+//! * **Resilience** ([`net::ResilientClient`], [`net::FaultyLink`]): links
+//!   die, and a loaded hub must degrade gracefully rather than queue without
+//!   bound. [`net::FaultyLink`] wraps any `LinkReader`/`LinkWriter` pair in a
+//!   deterministic seeded fault plan — byte-budget kills, torn writes, bit
+//!   corruption, injected delays — so every chaos schedule is replayable from
+//!   its seed. [`net::ResilientClient`] wraps the pipelined `NetClient` with a
+//!   [`net::RetryPolicy`] (attempt budget, capped exponential backoff,
+//!   per-request deadline): it reconnects across link deaths and resubmits
+//!   in-flight *idempotent* requests, while non-idempotent operations
+//!   (upload, cache admin, restore, counter reset) fail with a typed
+//!   `ClientError::RetryUnsafe` unless the caller opts in — at-most-once
+//!   execution is the default, never silently violated. The hub enforces a
+//!   hub-wide in-flight budget and answers excess queries *before execution*
+//!   with a wire-codec'd `TransportError::Overloaded { retry_after_ms }`,
+//!   which the client honors as a backoff floor (and, because the shed
+//!   request never executed, may safely retry regardless of idempotency).
+//!   The oracle is conservation plus equivalence: every attempt lands in
+//!   exactly one bucket (`attempts == successes + sheds + link_faults`), and
+//!   every *completed* reply is byte-identical to the hub journal's
+//!   sequential twin replay (`tests/net_chaos.rs`, release mode in CI;
+//!   `fig4b_resil` re-asserts it before timing and `BENCH_resil.json`
+//!   records that retries buy 100% completion under fault levels that cost a
+//!   retry-less client about a quarter of its answers).
 //!
 //! **Picking a shard count**: shards parallelize a memory-bandwidth-light linear scan,
 //! so physical cores is the right default; past ~8 shards the per-query spawn+merge
@@ -219,6 +254,18 @@
 //! server observes anyway — batching is scheduling, not a new channel, and no
 //! client learns anything about another client's queries from it (§6's
 //! per-query leakage profile is untouched).
+//!
+//! The resilience layer keeps the model intact from the other side of the
+//! wire: a retry retransmits bytes the adversary has *already observed* — a
+//! resubmission is exactly the repeated-query observation §6's search-pattern
+//! leakage already grants, carrying no new information. Shedding is a
+//! function of server-side load (the hub's in-flight count), which the
+//! timing channel already exposes to any client measuring its own latency,
+//! and `retry_after_ms` is a server-chosen constant rather than a
+//! data-dependent quantity. Fault injection itself lives strictly on the
+//! client side of the wire. Resilience changes *when and how often* bytes
+//! cross the wire, never *what* can be computed from them — no new
+//! observation channel opens (§6's leakage model is untouched once more).
 //!
 //! And it covers the telemetry plane ([`core::telemetry`]) once more: every
 //! recorded quantity — stage durations, lane steal counts, per-shard cache
