@@ -160,6 +160,20 @@ pub fn serialize_index_store<S: IndexStore>(store: &S) -> Vec<u8> {
     serialize_store(store.params(), &ordered)
 }
 
+/// Snapshot a **single shard** of an [`IndexStore`] into the same versioned
+/// binary format — the re-assignment currency of the fleet layer: when a node
+/// dies, the coordinator ships exactly the lost shards to survivors instead of
+/// a whole-store snapshot.
+///
+/// Within one shard, slot order *is* global insertion order restricted to that
+/// shard (round-robin placement makes ordinals monotone in the slot), so the
+/// slice is already ordered and the output stays **layout-independent**: it can
+/// be restored through [`deserialize_into`] into a store with any shard count,
+/// and funnels through [`IndexStore::insert`] like every other mutation path.
+pub fn serialize_shard<S: IndexStore>(store: &S, shard: usize) -> Vec<u8> {
+    serialize_store(store.params(), store.shard_documents(shard))
+}
+
 /// Restore a snapshot produced by [`serialize_index_store`] (or [`serialize_store`])
 /// into `store`, appending the decoded indices in their original insertion order.
 ///
@@ -299,6 +313,49 @@ mod tests {
                 .cloned()
                 .collect::<Vec<_>>(),
             indices
+        );
+    }
+
+    #[test]
+    fn per_shard_snapshots_cover_the_store_and_restore_anywhere() {
+        use crate::storage::{IndexStore, ShardedStore, VecStore};
+        let params = SystemParams::default();
+        let indices = sample_indices(&params, 13);
+        let mut sharded = ShardedStore::new(params.clone(), 4);
+        sharded.insert_all(indices.iter().cloned()).unwrap();
+
+        // Each shard slice serializes exactly that shard's documents in slot
+        // (= per-shard insertion) order.
+        let mut total = 0usize;
+        for shard in 0..sharded.num_shards() {
+            let bytes = serialize_shard(&sharded, shard);
+            assert_eq!(
+                bytes,
+                serialize_store(&params, sharded.shard_documents(shard))
+            );
+            let decoded = deserialize_store(&params, &bytes).unwrap();
+            assert_eq!(decoded.as_slice(), sharded.shard_documents(shard));
+            total += decoded.len();
+        }
+        assert_eq!(total, sharded.len(), "shard slices cover the store");
+
+        // Restoring every slice into a differently-sharded store recovers the
+        // full corpus, regardless of the destination layout.
+        let mut restored = ShardedStore::new(params.clone(), 3);
+        for shard in 0..sharded.num_shards() {
+            deserialize_into(&mut restored, &serialize_shard(&sharded, shard)).unwrap();
+        }
+        assert_eq!(restored.len(), sharded.len());
+        for idx in &indices {
+            assert_eq!(restored.document_index(idx.document_id), Some(idx));
+        }
+
+        // A single-shard store's one slice equals its whole-store snapshot.
+        let mut vec_store = VecStore::new(params.clone());
+        vec_store.insert_all(indices.iter().cloned()).unwrap();
+        assert_eq!(
+            serialize_shard(&vec_store, 0),
+            serialize_index_store(&vec_store)
         );
     }
 

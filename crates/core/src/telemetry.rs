@@ -126,11 +126,19 @@ pub enum Counter {
     /// Fault events a chaos harness injected into a link (kills, torn
     /// writes, corrupted bytes, delays).
     FaultsInjected,
+    /// Fleet failovers executed: a node was declared dead and its shards
+    /// re-assigned to survivors.
+    Failovers,
+    /// Heartbeat deadlines a node missed (each sweep that found the node
+    /// silent past its failure deadline).
+    HeartbeatsMissed,
+    /// Shards shipped to a surviving node during failovers.
+    ShardsReassigned,
 }
 
 impl Counter {
     /// All counters, in wire/report order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 25] = [
         Counter::RequestsServed,
         Counter::Queries,
         Counter::Batches,
@@ -153,6 +161,9 @@ impl Counter {
         Counter::Reconnects,
         Counter::Sheds,
         Counter::FaultsInjected,
+        Counter::Failovers,
+        Counter::HeartbeatsMissed,
+        Counter::ShardsReassigned,
     ];
 
     /// Stable snake_case name used by the exposition formats.
@@ -180,6 +191,9 @@ impl Counter {
             Counter::Reconnects => "reconnects",
             Counter::Sheds => "sheds",
             Counter::FaultsInjected => "faults_injected",
+            Counter::Failovers => "failovers",
+            Counter::HeartbeatsMissed => "heartbeats_missed",
+            Counter::ShardsReassigned => "shards_reassigned",
         }
     }
 }
@@ -198,16 +212,23 @@ pub enum Gauge {
     StoreShards,
     /// Transport connections currently open.
     OpenConnections,
+    /// Shard-server nodes that ever registered with the fleet coordinator.
+    NodesRegistered,
+    /// Shard-server nodes currently live (registered and inside their
+    /// failure deadline).
+    NodesLive,
 }
 
 impl Gauge {
     /// All gauges, in wire/report order.
-    pub const ALL: [Gauge; 5] = [
+    pub const ALL: [Gauge; 7] = [
         Gauge::CacheEntries,
         Gauge::ScanLanes,
         Gauge::StoreDocuments,
         Gauge::StoreShards,
         Gauge::OpenConnections,
+        Gauge::NodesRegistered,
+        Gauge::NodesLive,
     ];
 
     /// Stable snake_case name used by the exposition formats.
@@ -218,6 +239,8 @@ impl Gauge {
             Gauge::StoreDocuments => "store_documents",
             Gauge::StoreShards => "store_shards",
             Gauge::OpenConnections => "open_connections",
+            Gauge::NodesRegistered => "nodes_registered",
+            Gauge::NodesLive => "nodes_live",
         }
     }
 }
@@ -249,11 +272,14 @@ pub enum Stage {
     /// Time a resilient client slept backing off between request attempts
     /// (exponential backoff and honored `retry_after_ms` hints).
     BackoffWait,
+    /// One fleet failover end to end: dead-node detection → lost shards
+    /// shipped to survivors → journaled writes replayed.
+    FailoverDuration,
 }
 
 impl Stage {
     /// All stages, in wire/report order.
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::ServiceCall,
         Stage::EngineQuery,
         Stage::EngineBatch,
@@ -264,6 +290,7 @@ impl Stage {
         Stage::FrameDecode,
         Stage::BatcherWait,
         Stage::BackoffWait,
+        Stage::FailoverDuration,
     ];
 
     /// Stable snake_case name used by the exposition formats.
@@ -279,6 +306,7 @@ impl Stage {
             Stage::FrameDecode => "frame_decode",
             Stage::BatcherWait => "batcher_wait",
             Stage::BackoffWait => "backoff_wait",
+            Stage::FailoverDuration => "failover_duration",
         }
     }
 }

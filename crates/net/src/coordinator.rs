@@ -1,0 +1,1059 @@
+//! The fleet coordinator: scatter-gather front of a shard-server fleet.
+//!
+//! A [`Coordinator`] is a [`Service`] like any other party in the protocol —
+//! it answers the same envelope vocabulary a single
+//! [`CloudServer`](mkse_protocol::CloudServer) does, so a
+//! client (or a `Hub`) cannot tell a fleet from one big server. Behind that
+//! facade it partitions the corpus into `num_global_shards` round-robin
+//! shards, assigns shards to registered nodes, scatters queries to every live
+//! node and merges the per-node replies into the canonical result order
+//! (descending rank, ties by ascending document id) — byte-identical to what
+//! one sequential server holding the whole corpus would answer.
+//!
+//! ## Membership and health
+//!
+//! Topology is static wiring plus dynamic membership: [`Coordinator::add_node`]
+//! installs the *connector* for a node id (how to dial it), and the node
+//! activates itself over the wire with [`Request::RegisterNode`], advertising
+//! its [`NodeCapabilities`]. Registration and the periodic
+//! [`Request::NodeHeartbeat`] are answered with the node's current
+//! [`ShardAssignment`] — re-assignments propagate on the next beat. A node
+//! silent for longer than [`FleetConfig::failure_deadline`] is declared dead on
+//! the next request the coordinator serves (deadlines are swept at the top of
+//! every [`Service::call`]; the coordinator has no background thread, which
+//! keeps every test deterministic).
+//!
+//! ## Failover
+//!
+//! The coordinator keeps a full **mirror** of the index (the same
+//! [`ShardedStore`] type the engine uses, same insert path, so validation
+//! errors, partial-upload semantics and snapshot bytes all match a single-node
+//! twin exactly) plus, per shard, a checkpoint: the serialized shard bytes as
+//! of the last ship ([`serialize_shard`] — layout-independent) and the number
+//! of documents they cover. When a node dies — health deadline, exhausted
+//! retries, or a refused reply — its shards are re-homed onto the survivor
+//! with the fewest shards (ties to the lowest node id, capacity respected):
+//! the survivor receives the checkpoint via [`Request::RestoreIndex`] and the
+//! journal of inserts since the checkpoint via [`Request::Upload`], then the
+//! checkpoint advances. Writes forward with `retry_non_idempotent` **off**, so
+//! an ambiguous write marks the node dead instead of risking a duplicate; the
+//! subsequent re-ship replays from the mirror, giving fleet-wide at-most-once
+//! effects.
+//!
+//! ## What the coordinator serves locally
+//!
+//! Document bodies never leave the coordinator: nodes hold index shards only,
+//! so [`Request::Documents`] is answered from the coordinator's own store
+//! (§4.3's metadata/bodies split maps onto the fleet naturally).
+//! [`Request::SnapshotIndex`] serializes the mirror — byte-identical to the
+//! twin's snapshot. Cache administration is refused: the fleet serves the
+//! cache-off oracle and merged replies carry a zero [`CacheReport`].
+//!
+//! §6 leakage note: registration, heartbeat and shard-shipping traffic is
+//! server-side topology maintenance — none of it depends on queries, so the
+//! fleet adds no observable channel beyond what a single server leaks.
+
+use crate::resilient::{Connector, ResilientClient, RetryPolicy};
+use crate::FusedService;
+use mkse_core::storage::{IndexStore, ShardedStore};
+use mkse_core::telemetry::{Counter, Gauge, Stage, Telemetry, TelemetryLevel};
+use mkse_core::{
+    deserialize_store, serialize_index_store, serialize_shard, PersistenceError,
+    RankedDocumentIndex, SystemParams,
+};
+use mkse_protocol::{
+    BatchSearchReply, CacheReport, DocumentReply, EncryptedDocumentTransfer, NodeCapabilities,
+    NodeRegistration, OperationCounters, ProtocolError, QueryMessage, Request, Response,
+    SearchReply, SearchResultEntry, ServerInfo, Service, ShardAssignment, UploadMessage,
+};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Fleet-wide policy: corpus partitioning and the health contract.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Round-robin shards the corpus is partitioned into (fixed for the
+    /// fleet's lifetime; nodes serve subsets of these).
+    pub num_global_shards: usize,
+    /// How often nodes are asked to beat (advisory, sent in every
+    /// [`ShardAssignment`]; the coordinator only enforces the deadline).
+    pub heartbeat_interval: Duration,
+    /// Silence longer than this marks a node dead and triggers failover.
+    pub failure_deadline: Duration,
+    /// Retry policy for the coordinator's per-node clients. The jitter seed is
+    /// decorrelated per node (`jitter_seed ^ node_id`);
+    /// `retry_non_idempotent` is forced off — ambiguous writes must fail over,
+    /// not duplicate.
+    pub node_policy: RetryPolicy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            num_global_shards: 4,
+            heartbeat_interval: Duration::from_millis(500),
+            failure_deadline: Duration::from_secs(2),
+            node_policy: RetryPolicy::default(),
+        }
+    }
+}
+
+/// One node the coordinator knows how to dial.
+struct Node {
+    client: ResilientClient,
+    capabilities: NodeCapabilities,
+    /// Global shards this node currently serves (kept sorted ascending).
+    shards: Vec<u32>,
+    last_beat: Instant,
+    /// Has the node ever completed [`Request::RegisterNode`]?
+    registered: bool,
+    /// Registered, beating within the deadline, and not failed.
+    alive: bool,
+}
+
+impl Node {
+    /// Shard capacity from the advertised slots; 0 means unlimited.
+    fn capacity(&self) -> usize {
+        match self.capabilities.shard_slots {
+            0 => usize::MAX,
+            n => n as usize,
+        }
+    }
+
+    fn has_spare_capacity(&self) -> bool {
+        self.alive && self.registered && self.shards.len() < self.capacity()
+    }
+}
+
+/// The fleet front: one [`Service`] hiding N shard-server nodes.
+pub struct Coordinator {
+    config: FleetConfig,
+    /// Full authoritative copy of the index, same store type and insert path
+    /// as the single-node twin — identical errors, identical snapshot bytes.
+    mirror: ShardedStore,
+    /// Encrypted document bodies, served locally (nodes hold indices only).
+    documents: BTreeMap<u64, EncryptedDocumentTransfer>,
+    nodes: BTreeMap<u64, Node>,
+    /// `owner_of[s]` = the live node serving global shard `s`.
+    owner_of: Vec<Option<u64>>,
+    /// Per-shard failover checkpoint: serialized shard as of the last ship,
+    /// and how many of the shard's documents it covers. Inserts past
+    /// `checkpoint_len` form the replay journal for the next ship.
+    checkpoint_bytes: Vec<Vec<u8>>,
+    checkpoint_len: Vec<usize>,
+    /// Bumped on every fleet layout change; echoed in [`ShardAssignment`].
+    epoch: u64,
+    counters: OperationCounters,
+    telemetry: Telemetry,
+}
+
+impl Coordinator {
+    /// A fleet front with no nodes yet. Counters are on by default — the
+    /// fleet gauges are the whole point of the telemetry satellite.
+    pub fn new(params: SystemParams, config: FleetConfig) -> Coordinator {
+        let shards = config.num_global_shards.max(1);
+        let mirror = ShardedStore::new(params, shards);
+        let telemetry = Telemetry::new();
+        telemetry.set_level(TelemetryLevel::Counters);
+        let checkpoint_bytes = (0..shards).map(|s| serialize_shard(&mirror, s)).collect();
+        Coordinator {
+            config,
+            mirror,
+            documents: BTreeMap::new(),
+            nodes: BTreeMap::new(),
+            owner_of: vec![None; shards],
+            checkpoint_bytes,
+            checkpoint_len: vec![0; shards],
+            epoch: 0,
+            counters: OperationCounters::default(),
+            telemetry,
+        }
+    }
+
+    /// Install the connector for a node id. The node stays invisible to
+    /// queries until it registers over the wire ([`Request::RegisterNode`]).
+    pub fn add_node(&mut self, node_id: u64, connector: Connector) {
+        let policy = RetryPolicy {
+            retry_non_idempotent: false,
+            jitter_seed: self.config.node_policy.jitter_seed ^ node_id,
+            ..self.config.node_policy
+        };
+        let client = ResilientClient::new(connector, policy)
+            .with_first_request_id(node_id.wrapping_mul(1_000_000_000) + 1);
+        self.nodes.insert(
+            node_id,
+            Node {
+                client,
+                capabilities: NodeCapabilities::default(),
+                shards: Vec::new(),
+                last_beat: Instant::now(),
+                registered: false,
+                alive: false,
+            },
+        );
+    }
+
+    /// A clone of the coordinator's telemetry registry (shared handle): read
+    /// the fleet gauges and failover counters from outside the hub.
+    pub fn telemetry_handle(&self) -> Telemetry {
+        self.telemetry.clone()
+    }
+
+    /// The current failover epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Ids of nodes currently alive (registered and within their deadline as
+    /// of the last sweep).
+    pub fn live_nodes(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.alive)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    // ---- membership ------------------------------------------------------
+
+    fn exec_register(&mut self, reg: NodeRegistration) -> Response {
+        let Some(node) = self.nodes.get_mut(&reg.node_id) else {
+            return Response::Error(ProtocolError::Unsupported(format!(
+                "node {} has no connector installed on the coordinator",
+                reg.node_id
+            )));
+        };
+        node.capabilities = reg.capabilities;
+        node.last_beat = Instant::now();
+        node.registered = true;
+        node.alive = true;
+        self.epoch += 1;
+        // Hand the newcomer every unowned shard it has capacity for,
+        // ascending — deterministic for a given registration order.
+        let unowned: Vec<usize> = (0..self.owner_of.len())
+            .filter(|s| self.owner_of[*s].is_none())
+            .collect();
+        for shard in unowned {
+            let node = &self.nodes[&reg.node_id];
+            if !node.alive || node.shards.len() >= node.capacity() {
+                break;
+            }
+            if self.ship_shard(reg.node_id, shard).is_ok() {
+                self.owner_of[shard] = Some(reg.node_id);
+                let node = self.nodes.get_mut(&reg.node_id).unwrap();
+                node.shards.push(shard as u32);
+                node.shards.sort_unstable();
+            } else {
+                self.fail_node(reg.node_id);
+                self.update_gauges();
+                return Response::Error(ProtocolError::Unsupported(format!(
+                    "node {} failed during shard transfer",
+                    reg.node_id
+                )));
+            }
+        }
+        self.update_gauges();
+        Response::ShardAssignment(self.assignment_for(reg.node_id))
+    }
+
+    fn exec_heartbeat(&mut self, node_id: u64) -> Response {
+        match self.nodes.get_mut(&node_id) {
+            Some(node) if node.registered && node.alive => {
+                node.last_beat = Instant::now();
+                Response::ShardAssignment(self.assignment_for(node_id))
+            }
+            Some(node) if node.registered => Response::Error(ProtocolError::Unsupported(format!(
+                "node {node_id} was declared dead; re-register to rejoin the fleet"
+            ))),
+            _ => Response::Error(ProtocolError::Unsupported(format!(
+                "node {node_id} is not registered with the coordinator"
+            ))),
+        }
+    }
+
+    fn assignment_for(&self, node_id: u64) -> ShardAssignment {
+        ShardAssignment {
+            node_id,
+            shards: self.nodes[&node_id].shards.clone(),
+            epoch: self.epoch,
+            heartbeat_interval_ms: self.config.heartbeat_interval.as_millis() as u64,
+            failure_deadline_ms: self.config.failure_deadline.as_millis() as u64,
+        }
+    }
+
+    fn update_gauges(&self) {
+        let registered = self.nodes.values().filter(|n| n.registered).count() as u64;
+        let live = self.nodes.values().filter(|n| n.alive).count() as u64;
+        self.telemetry.set_gauge(Gauge::NodesRegistered, registered);
+        self.telemetry.set_gauge(Gauge::NodesLive, live);
+    }
+
+    /// Declare dead every node whose last beat is older than the deadline.
+    /// Called at the top of every request — liveness advances with traffic,
+    /// never on a background clock, so seeded tests stay deterministic.
+    fn sweep_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| {
+                n.alive && now.duration_since(n.last_beat) > self.config.failure_deadline
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in expired {
+            self.telemetry.add(Counter::HeartbeatsMissed, 1);
+            self.fail_node(id);
+        }
+        if !self.nodes.is_empty() {
+            self.update_gauges();
+        }
+    }
+
+    // ---- failover --------------------------------------------------------
+
+    /// Mark a node dead and re-home its shards onto survivors: fewest shards
+    /// first (ties to the lowest node id), capacity respected. A survivor
+    /// that fails mid-ship dies too and sheds its own shards recursively.
+    /// Shards no survivor can take are left unowned; queries then answer a
+    /// typed error instead of a silently incomplete result.
+    fn fail_node(&mut self, node_id: u64) {
+        let Some(node) = self.nodes.get_mut(&node_id) else {
+            return;
+        };
+        if !node.alive {
+            return;
+        }
+        node.alive = false;
+        let lost: Vec<u32> = node.shards.drain(..).collect();
+        let started = Instant::now();
+        self.telemetry.add(Counter::Failovers, 1);
+        self.epoch += 1;
+        for &s in &lost {
+            self.owner_of[s as usize] = None;
+        }
+        let mut reassigned = 0u64;
+        for s in lost {
+            loop {
+                let target = self
+                    .nodes
+                    .iter()
+                    .filter(|(_, n)| n.has_spare_capacity())
+                    .min_by_key(|(id, n)| (n.shards.len(), **id))
+                    .map(|(id, _)| *id);
+                let Some(t) = target else { break };
+                if self.ship_shard(t, s as usize).is_ok() {
+                    self.owner_of[s as usize] = Some(t);
+                    let survivor = self.nodes.get_mut(&t).unwrap();
+                    survivor.shards.push(s);
+                    survivor.shards.sort_unstable();
+                    reassigned += 1;
+                    break;
+                }
+                self.fail_node(t);
+            }
+        }
+        self.telemetry.add(Counter::ShardsReassigned, reassigned);
+        self.telemetry
+            .record_duration(Stage::FailoverDuration, started.elapsed().as_nanos() as u64);
+        self.update_gauges();
+    }
+
+    /// Ship one global shard to a node: the checkpoint snapshot via
+    /// `RestoreIndex`, then the insert journal since the checkpoint via
+    /// `Upload` (indices only — bodies stay on the coordinator). On success
+    /// the checkpoint advances to the shard's current state. Any refusal or
+    /// link fault (retries are unsafe here, writes are non-idempotent) is the
+    /// caller's cue to declare the node dead.
+    fn ship_shard(&mut self, node_id: u64, shard: usize) -> Result<(), ()> {
+        let journal: Vec<RankedDocumentIndex> =
+            self.mirror.shard_documents(shard)[self.checkpoint_len[shard]..].to_vec();
+        let snapshot = self.checkpoint_bytes[shard].clone();
+        let ship_snapshot = self.checkpoint_len[shard] > 0;
+        let node = self.nodes.get_mut(&node_id).ok_or(())?;
+        if ship_snapshot {
+            match node.client.call(&Request::RestoreIndex(snapshot)) {
+                Ok(Response::Restored { .. }) => {}
+                _ => return Err(()),
+            }
+        }
+        if !journal.is_empty() {
+            let upload = Request::Upload(UploadMessage {
+                indices: journal,
+                documents: vec![],
+            });
+            match node.client.call(&upload) {
+                Ok(Response::Uploaded { .. }) => {}
+                _ => return Err(()),
+            }
+        }
+        self.checkpoint_bytes[shard] = serialize_shard(&self.mirror, shard);
+        self.checkpoint_len[shard] = self.mirror.shard_documents(shard).len();
+        Ok(())
+    }
+
+    /// A non-empty shard no live node serves, if any.
+    fn uncovered_shard(&self) -> Option<usize> {
+        (0..self.owner_of.len())
+            .find(|&s| self.owner_of[s].is_none() && !self.mirror.shard_documents(s).is_empty())
+    }
+
+    /// Live nodes that hold at least one shard (nodes without shards hold no
+    /// documents and need not be scattered to).
+    fn scatter_targets(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .filter(|(_, n)| n.alive && !n.shards.is_empty())
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    fn no_coverage_error(&self, shard: usize) -> Response {
+        Response::Error(ProtocolError::Unsupported(format!(
+            "fleet cannot cover the corpus: no live node serves global shard {shard}"
+        )))
+    }
+
+    // ---- the read path ---------------------------------------------------
+
+    /// Merge per-node match lists into the canonical order: descending rank,
+    /// ties by ascending document id — exactly [`mkse_core::search::sort_matches`]'s
+    /// comparator, so the merged reply is byte-identical to the twin's.
+    fn merge(mut collected: Vec<Vec<SearchResultEntry>>, top: Option<usize>) -> SearchReply {
+        let mut matches: Vec<SearchResultEntry> = collected.drain(..).flatten().collect();
+        matches.sort_by(|a, b| b.rank.cmp(&a.rank).then(a.document_id.cmp(&b.document_id)));
+        if let Some(limit) = top {
+            matches.truncate(limit);
+        }
+        SearchReply {
+            matches,
+            cache: CacheReport::default(),
+        }
+    }
+
+    /// Scatter a request to every shard-holding live node, collecting one
+    /// reply per node via `extract`. Any node error fails that node over and
+    /// re-scatters — each round kills at least one node, so the loop
+    /// terminates. Queries are idempotent, so resubmission is always safe.
+    #[allow(clippy::result_large_err)] // the Err is the Response sent to the caller
+    fn scatter<T>(
+        &mut self,
+        request: &Request,
+        extract: impl Fn(Response) -> Option<T>,
+    ) -> Result<Vec<T>, Response> {
+        loop {
+            if let Some(shard) = self.uncovered_shard() {
+                return Err(self.no_coverage_error(shard));
+            }
+            let targets = self.scatter_targets();
+            let mut collected = Vec::with_capacity(targets.len());
+            let mut failed = None;
+            for id in targets {
+                let node = self.nodes.get_mut(&id).unwrap();
+                let extracted = match node.client.call(request) {
+                    Ok(reply) => extract(reply),
+                    Err(_) => None,
+                };
+                match extracted {
+                    Some(part) => collected.push(part),
+                    None => {
+                        failed = Some(id);
+                        break;
+                    }
+                }
+            }
+            match failed {
+                Some(id) => self.fail_node(id),
+                None => return Ok(collected),
+            }
+        }
+    }
+
+    fn exec_query(&mut self, message: &QueryMessage) -> Response {
+        if self.mirror.is_empty() {
+            return Response::Search(SearchReply {
+                matches: vec![],
+                cache: CacheReport::default(),
+            });
+        }
+        let request = Request::Query(message.clone());
+        match self.scatter(&request, |reply| match reply {
+            Response::Search(r) => Some(r.matches),
+            _ => None,
+        }) {
+            Ok(collected) => Response::Search(Self::merge(collected, message.top)),
+            Err(error) => error,
+        }
+    }
+
+    fn exec_batch_query(&mut self, message: &mkse_protocol::BatchQueryMessage) -> Response {
+        let queries = message.queries.len();
+        if self.mirror.is_empty() {
+            let empty = SearchReply {
+                matches: vec![],
+                cache: CacheReport::default(),
+            };
+            return Response::BatchSearch(BatchSearchReply {
+                replies: vec![empty; queries],
+            });
+        }
+        let request = Request::BatchQuery(message.clone());
+        let per_node = self.scatter(&request, |reply| match reply {
+            Response::BatchSearch(b) if b.replies.len() == queries => Some(b.replies),
+            _ => None,
+        });
+        match per_node {
+            Ok(collected) => {
+                let replies = (0..queries)
+                    .map(|i| {
+                        let parts: Vec<Vec<SearchResultEntry>> = collected
+                            .iter()
+                            .map(|node_replies| node_replies[i].matches.clone())
+                            .collect();
+                        Self::merge(parts, message.top)
+                    })
+                    .collect();
+                Response::BatchSearch(BatchSearchReply { replies })
+            }
+            Err(error) => error,
+        }
+    }
+
+    fn exec_server_info(&mut self) -> Response {
+        let params = self.mirror.params();
+        let (index_bits, rank_levels) = (params.index_bits as u64, params.rank_levels() as u64);
+        let shards = self.owner_of.len() as u64;
+        if self.mirror.is_empty() {
+            return Response::Info(ServerInfo {
+                shards,
+                documents: 0,
+                index_bits,
+                rank_levels,
+                cache_enabled: false,
+            });
+        }
+        // Sum the *nodes'* document counts — this pins the corpus: after any
+        // failover the sum must still equal the mirror, or documents were
+        // lost in transit.
+        match self.scatter(&Request::ServerInfo, |reply| match reply {
+            Response::Info(info) => Some(info.documents),
+            _ => None,
+        }) {
+            Ok(counts) => Response::Info(ServerInfo {
+                shards,
+                documents: counts.iter().sum(),
+                index_bits,
+                rank_levels,
+                cache_enabled: false,
+            }),
+            Err(error) => error,
+        }
+    }
+
+    // ---- the write path --------------------------------------------------
+
+    /// Forward freshly accepted indices to their owning nodes, grouped per
+    /// node. A refused or ambiguous forward fails the node over — the re-ship
+    /// replays the same documents from the mirror's checkpoint + journal, so
+    /// the net effect is at-most-once fleet-wide.
+    fn forward_accepted(&mut self, accepted: &[u64]) {
+        let mut per_node: BTreeMap<u64, Vec<RankedDocumentIndex>> = BTreeMap::new();
+        for &id in accepted {
+            let Some(shard) = self.mirror.shard_of(id) else {
+                continue;
+            };
+            if let Some(owner) = self.owner_of[shard] {
+                per_node
+                    .entry(owner)
+                    .or_default()
+                    .push(self.mirror.document_index(id).unwrap().clone());
+            }
+        }
+        for (node_id, indices) in per_node {
+            let upload = Request::Upload(UploadMessage {
+                indices,
+                documents: vec![],
+            });
+            let node = self.nodes.get_mut(&node_id).unwrap();
+            match node.client.call(&upload) {
+                Ok(Response::Uploaded { .. }) => {}
+                _ => self.fail_node(node_id),
+            }
+        }
+    }
+
+    fn exec_upload(&mut self, upload: UploadMessage) -> Response {
+        // Mirror the twin's `insert_all`: one by one, stopping at the first
+        // invalid index — accepted predecessors remain stored.
+        let mut accepted: Vec<u64> = Vec::with_capacity(upload.indices.len());
+        let mut error = None;
+        for index in upload.indices {
+            let id = index.document_id;
+            match self.mirror.insert(index) {
+                Ok(()) => accepted.push(id),
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        self.forward_accepted(&accepted);
+        match error {
+            // The twin stores bodies only when every index was accepted.
+            Some(e) => Response::Error(e.into()),
+            None => {
+                for doc in upload.documents {
+                    self.documents.insert(doc.document_id, doc);
+                }
+                Response::Uploaded {
+                    documents: self.mirror.len() as u64,
+                }
+            }
+        }
+    }
+
+    fn exec_restore(&mut self, bytes: &[u8]) -> Response {
+        let indices = match deserialize_store(self.mirror.params(), bytes) {
+            Ok(indices) => indices,
+            Err(e) => return Response::Error(e.into()),
+        };
+        let decoded = indices.len() as u64;
+        let mut accepted: Vec<u64> = Vec::with_capacity(indices.len());
+        let mut error = None;
+        for index in indices {
+            let id = index.document_id;
+            match self.mirror.insert(index) {
+                Ok(()) => accepted.push(id),
+                Err(e) => {
+                    // The twin's `deserialize_into` wraps store refusals as
+                    // persistence errors; match it exactly.
+                    error = Some(PersistenceError::Store(e));
+                    break;
+                }
+            }
+        }
+        self.forward_accepted(&accepted);
+        match error {
+            Some(e) => Response::Error(e.into()),
+            None => Response::Restored { documents: decoded },
+        }
+    }
+
+    fn exec_documents(&mut self, ids: &[u64]) -> Response {
+        let mut documents = Vec::with_capacity(ids.len());
+        for id in ids {
+            match self.documents.get(id) {
+                Some(doc) => documents.push(doc.clone()),
+                None => return Response::Error(ProtocolError::UnknownDocument(*id)),
+            }
+        }
+        Response::Documents(DocumentReply { documents })
+    }
+}
+
+impl Service for Coordinator {
+    fn call(&mut self, request: Request) -> Response {
+        self.telemetry.tally(Counter::RequestsServed, 1);
+        self.sweep_deadlines();
+        match request {
+            Request::Query(message) => self.exec_query(&message),
+            Request::BatchQuery(message) => self.exec_batch_query(&message),
+            Request::Documents(req) => self.exec_documents(&req.document_ids),
+            Request::Upload(upload) => self.exec_upload(upload),
+            Request::SnapshotIndex => Response::Snapshot(serialize_index_store(&self.mirror)),
+            Request::RestoreIndex(bytes) => self.exec_restore(&bytes),
+            Request::ServerInfo => self.exec_server_info(),
+            Request::Counters => Response::Counters(self.counters),
+            Request::ResetCounters => {
+                self.counters.reset();
+                Response::Ack
+            }
+            Request::MetricsSnapshot => Response::MetricsReport(self.telemetry.snapshot()),
+            Request::RegisterNode(reg) => self.exec_register(reg),
+            Request::NodeHeartbeat(beat) => self.exec_heartbeat(beat.node_id),
+            Request::EnableCache { .. } | Request::DisableCache | Request::CacheStats => {
+                Response::Error(ProtocolError::Unsupported(format!(
+                    "{} is a per-node knob; the fleet coordinator serves the cache-off oracle",
+                    request.name()
+                )))
+            }
+            Request::Trapdoor(_) | Request::BlindDecrypt(_) => {
+                Response::Error(ProtocolError::Unsupported(format!(
+                    "{} is served by the data owner, not the fleet coordinator",
+                    request.name()
+                )))
+            }
+        }
+    }
+}
+
+// The default sequential `call_query_group` is exactly right: the coordinator
+// merges per-node replies itself, and the journal-replay oracle compares
+// against a twin driven one `Service::call` at a time.
+impl FusedService for Coordinator {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::{Hub, HubConfig, HubHandle, MemoryDialer};
+    use mkse_core::{DocumentIndexer, QueryBuilder, SchemeKeys};
+    use mkse_protocol::{wire, CloudServer, NodeHeartbeat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const GLOBAL_SHARDS: usize = 4;
+
+    struct Fixture {
+        params: SystemParams,
+        indices: Vec<RankedDocumentIndex>,
+        queries: Vec<QueryMessage>,
+    }
+
+    fn fixture() -> Fixture {
+        let params = SystemParams::default();
+        let mut rng = StdRng::seed_from_u64(10_812);
+        let keys = SchemeKeys::generate(&params, &mut rng);
+        let indexer = DocumentIndexer::new(&params, &keys);
+        let keyword_sets: [&[&str]; 10] = [
+            &["cloud", "privacy", "search"],
+            &["weather", "forecast"],
+            &["cloud", "storage", "pricing"],
+            &["encrypted", "archive", "cloud"],
+            &["audit", "encryption"],
+            &["privacy", "cloud", "data"],
+            &["searchable", "encryption"],
+            &["cloud", "audit", "logging"],
+            &["key", "management", "audit"],
+            &["cloud", "migration"],
+        ];
+        let indices = keyword_sets
+            .iter()
+            .enumerate()
+            .map(|(i, kws)| indexer.index_keywords(i as u64, kws))
+            .collect();
+        let pool = keys.random_pool_trapdoors(&params);
+        let query_sets: [&[&str]; 3] = [&["cloud"], &["audit"], &["cloud", "audit"]];
+        let queries = query_sets
+            .iter()
+            .map(|kws| {
+                let trapdoors = keys.trapdoors_for(&params, kws);
+                let q = QueryBuilder::new(&params)
+                    .add_trapdoors(&trapdoors)
+                    .with_randomization(&pool)
+                    .build(&mut rng);
+                QueryMessage {
+                    query: q.bits().clone(),
+                    top: None,
+                }
+            })
+            .collect();
+        Fixture {
+            params,
+            indices,
+            queries,
+        }
+    }
+
+    fn spawn_node(params: &SystemParams) -> HubHandle {
+        Hub::spawn(
+            CloudServer::with_shards(params.clone(), 2),
+            HubConfig::default(),
+        )
+    }
+
+    fn clean_connector(dialer: MemoryDialer) -> Connector {
+        Box::new(move |_ordinal| {
+            let (reader, writer) = dialer.connect().split();
+            Ok((Box::new(reader) as _, Box::new(writer) as _))
+        })
+    }
+
+    fn quick_fleet(failure_deadline: Duration) -> FleetConfig {
+        FleetConfig {
+            num_global_shards: GLOBAL_SHARDS,
+            heartbeat_interval: Duration::from_millis(50),
+            failure_deadline,
+            node_policy: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_micros(200),
+                backoff_cap: Duration::from_millis(2),
+                attempt_timeout: Duration::from_secs(5),
+                request_deadline: Duration::from_secs(10),
+                retry_non_idempotent: false,
+                jitter_per_mille: 250,
+                jitter_seed: 7,
+            },
+        }
+    }
+
+    fn register(coordinator: &mut Coordinator, node_id: u64, shard_slots: u32) -> ShardAssignment {
+        let reply = coordinator.call(Request::RegisterNode(NodeRegistration {
+            node_id,
+            capabilities: NodeCapabilities {
+                shard_slots,
+                scan_lanes: 2,
+                cache_capacity: 0,
+            },
+        }));
+        match reply {
+            Response::ShardAssignment(a) => a,
+            other => panic!("registration refused: {other:?}"),
+        }
+    }
+
+    fn beat(coordinator: &mut Coordinator, node_id: u64) -> Response {
+        coordinator.call(Request::NodeHeartbeat(NodeHeartbeat {
+            node_id,
+            metrics: mkse_core::MetricsSnapshot::default(),
+        }))
+    }
+
+    /// Drive the same request against fleet and twin; both replies (and their
+    /// encoded frames) must be identical.
+    fn assert_twin(
+        coordinator: &mut Coordinator,
+        twin: &mut CloudServer,
+        request: Request,
+        label: &str,
+    ) -> Response {
+        let fleet = coordinator.call(request.clone());
+        let single = twin.call(request);
+        assert_eq!(fleet, single, "{label}: fleet diverged from twin");
+        assert_eq!(
+            wire::encode_response(1, &fleet),
+            wire::encode_response(1, &single),
+            "{label}: frame bytes diverged"
+        );
+        fleet
+    }
+
+    fn gauge(snapshot: &mkse_core::MetricsSnapshot, name: &str) -> u64 {
+        snapshot
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("gauge {name} missing"))
+    }
+
+    #[test]
+    fn fleet_replies_are_byte_identical_to_a_single_node_twin() {
+        let fx = fixture();
+        let node1 = spawn_node(&fx.params);
+        let node2 = spawn_node(&fx.params);
+        let mut coordinator =
+            Coordinator::new(fx.params.clone(), quick_fleet(Duration::from_secs(60)));
+        coordinator.add_node(1, clean_connector(node1.memory_dialer()));
+        coordinator.add_node(2, clean_connector(node2.memory_dialer()));
+        let mut twin = CloudServer::with_shards(fx.params.clone(), GLOBAL_SHARDS);
+
+        // Register before uploading: writes then fan out per owning node.
+        let a1 = register(&mut coordinator, 1, 3);
+        assert_eq!(a1.shards, vec![0, 1, 2], "ascending grant up to capacity");
+        let a2 = register(&mut coordinator, 2, 0);
+        assert_eq!(a2.shards, vec![3], "the remainder goes to the newcomer");
+        assert!(a2.epoch > a1.epoch, "every layout change bumps the epoch");
+
+        let upload = Request::Upload(UploadMessage {
+            indices: fx.indices.clone(),
+            documents: vec![],
+        });
+        assert_twin(&mut coordinator, &mut twin, upload, "seed upload");
+        for (i, q) in fx.queries.iter().enumerate() {
+            assert_twin(
+                &mut coordinator,
+                &mut twin,
+                Request::Query(q.clone()),
+                &format!("query {i}"),
+            );
+            assert_twin(
+                &mut coordinator,
+                &mut twin,
+                Request::Query(QueryMessage {
+                    top: Some(2),
+                    ..q.clone()
+                }),
+                &format!("query {i} top-2"),
+            );
+        }
+        assert_twin(
+            &mut coordinator,
+            &mut twin,
+            Request::BatchQuery(mkse_protocol::BatchQueryMessage {
+                queries: fx.queries.iter().map(|q| q.query.clone()).collect(),
+                top: Some(3),
+            }),
+            "batch query",
+        );
+        assert_twin(
+            &mut coordinator,
+            &mut twin,
+            Request::SnapshotIndex,
+            "index snapshot",
+        );
+        assert_twin(&mut coordinator, &mut twin, Request::ServerInfo, "info");
+
+        let snapshot = coordinator.telemetry_handle().snapshot();
+        assert_eq!(gauge(&snapshot, "nodes_registered"), 2);
+        assert_eq!(gauge(&snapshot, "nodes_live"), 2);
+        assert_eq!(snapshot.counter("failovers"), 0);
+
+        node1.shutdown();
+        node2.shutdown();
+    }
+
+    #[test]
+    fn missed_deadline_rehomes_shards_and_preserves_replies() {
+        let fx = fixture();
+        let node1 = spawn_node(&fx.params);
+        let node2 = spawn_node(&fx.params);
+        let deadline = Duration::from_millis(800);
+        let mut coordinator = Coordinator::new(fx.params.clone(), quick_fleet(deadline));
+        coordinator.add_node(1, clean_connector(node1.memory_dialer()));
+        coordinator.add_node(2, clean_connector(node2.memory_dialer()));
+        let mut twin = CloudServer::with_shards(fx.params.clone(), GLOBAL_SHARDS);
+
+        // Upload before any node registers: the corpus lives in the mirror
+        // and ships at registration time.
+        let upload = Request::Upload(UploadMessage {
+            indices: fx.indices.clone(),
+            documents: vec![],
+        });
+        assert_twin(&mut coordinator, &mut twin, upload, "pre-node upload");
+        let a1 = register(&mut coordinator, 1, 0);
+        assert_eq!(a1.shards, vec![0, 1, 2, 3], "first node takes everything");
+        let a2 = register(&mut coordinator, 2, 0);
+        assert!(a2.shards.is_empty(), "nothing left for the second node");
+        for (i, q) in fx.queries.iter().enumerate() {
+            assert_twin(
+                &mut coordinator,
+                &mut twin,
+                Request::Query(q.clone()),
+                &format!("pre-failover query {i}"),
+            );
+        }
+
+        // Node 2 keeps beating; node 1 goes silent past the deadline and the
+        // next request sweeps it out — its shards re-home onto node 2 from
+        // the checkpointed snapshots.
+        std::thread::sleep(Duration::from_millis(600));
+        assert!(
+            matches!(beat(&mut coordinator, 2), Response::ShardAssignment(_)),
+            "live node's beat is answered"
+        );
+        std::thread::sleep(Duration::from_millis(400));
+        for (i, q) in fx.queries.iter().enumerate() {
+            assert_twin(
+                &mut coordinator,
+                &mut twin,
+                Request::Query(q.clone()),
+                &format!("post-failover query {i}"),
+            );
+        }
+        assert_eq!(coordinator.live_nodes(), vec![2]);
+        assert_twin(
+            &mut coordinator,
+            &mut twin,
+            Request::ServerInfo,
+            "corpus pinned after failover",
+        );
+
+        let snapshot = coordinator.telemetry_handle().snapshot();
+        assert_eq!(snapshot.counter("heartbeats_missed"), 1);
+        assert_eq!(snapshot.counter("failovers"), 1);
+        assert_eq!(snapshot.counter("shards_reassigned"), GLOBAL_SHARDS as u64);
+        assert_eq!(gauge(&snapshot, "nodes_live"), 1);
+        assert_eq!(gauge(&snapshot, "nodes_registered"), 2);
+
+        // The dead node's beat is refused until it re-registers; after
+        // re-registration it is live again (with no shards to serve).
+        let refused = beat(&mut coordinator, 1);
+        assert!(
+            matches!(refused, Response::Error(ProtocolError::Unsupported(_))),
+            "dead node must re-register, got {refused:?}"
+        );
+        let rejoined = register(&mut coordinator, 1, 0);
+        assert!(rejoined.shards.is_empty());
+        assert_eq!(coordinator.live_nodes(), vec![1, 2]);
+
+        node1.shutdown();
+        node2.shutdown();
+    }
+
+    #[test]
+    fn partial_uploads_match_twin_semantics() {
+        let fx = fixture();
+        let node1 = spawn_node(&fx.params);
+        let mut coordinator =
+            Coordinator::new(fx.params.clone(), quick_fleet(Duration::from_secs(60)));
+        coordinator.add_node(1, clean_connector(node1.memory_dialer()));
+        let mut twin = CloudServer::with_shards(fx.params.clone(), GLOBAL_SHARDS);
+        register(&mut coordinator, 1, 0);
+
+        // A duplicate id mid-batch: the prefix lands, the rest is refused —
+        // on the fleet exactly as on the twin.
+        let mut indices = fx.indices.clone();
+        indices[4] = indices[1].clone();
+        let poisoned = Request::Upload(UploadMessage {
+            indices,
+            documents: vec![],
+        });
+        let reply = assert_twin(&mut coordinator, &mut twin, poisoned, "poisoned upload");
+        assert!(
+            matches!(reply, Response::Error(ProtocolError::Store(_))),
+            "duplicate is a visible store error, got {reply:?}"
+        );
+        for (i, q) in fx.queries.iter().enumerate() {
+            assert_twin(
+                &mut coordinator,
+                &mut twin,
+                Request::Query(q.clone()),
+                &format!("post-partial query {i}"),
+            );
+        }
+        assert_twin(&mut coordinator, &mut twin, Request::ServerInfo, "info");
+
+        node1.shutdown();
+    }
+
+    #[test]
+    fn foreign_and_unknown_operations_are_refused() {
+        let fx = fixture();
+        let mut coordinator =
+            Coordinator::new(fx.params.clone(), quick_fleet(Duration::from_secs(60)));
+
+        let unknown = coordinator.call(Request::RegisterNode(NodeRegistration {
+            node_id: 99,
+            capabilities: NodeCapabilities::default(),
+        }));
+        assert!(
+            matches!(unknown, Response::Error(ProtocolError::Unsupported(_))),
+            "no connector, no registration: {unknown:?}"
+        );
+        let unregistered = beat(&mut coordinator, 99);
+        assert!(matches!(
+            unregistered,
+            Response::Error(ProtocolError::Unsupported(_))
+        ));
+        for request in [
+            Request::EnableCache {
+                capacity_per_shard: 8,
+            },
+            Request::DisableCache,
+            Request::CacheStats,
+        ] {
+            let reply = coordinator.call(request);
+            assert!(
+                matches!(reply, Response::Error(ProtocolError::Unsupported(_))),
+                "cache admin is per-node: {reply:?}"
+            );
+        }
+
+        // An empty fleet still answers an empty corpus truthfully.
+        let reply = coordinator.call(Request::Query(fx.queries[0].clone()));
+        match reply {
+            Response::Search(r) => assert!(r.matches.is_empty()),
+            other => panic!("empty fleet, empty corpus: {other:?}"),
+        }
+    }
+}

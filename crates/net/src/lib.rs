@@ -33,19 +33,47 @@
 //! execution (so the journal-replay oracle is untouched), and the
 //! [`resilient::ResilientClient`] accounts every attempt under the
 //! conservation law `attempts == successes + sheds + link_faults`.
+//!
+//! On top of the transport sits the **fleet layer** ([`coordinator`],
+//! [`node`]): shard-server nodes — each a `CloudServer` behind its own hub —
+//! register with a [`coordinator::Coordinator`] over the same framed codec
+//! (`RegisterNode` / `NodeHeartbeat` envelope ops), which scatter-gathers
+//! queries across live nodes, merges replies in canonical rank order, and on
+//! a node death (missed health deadline or exhausted retries) re-homes the
+//! lost shards onto survivors from layout-independent per-shard snapshots
+//! plus an insert journal:
+//!
+//! ```text
+//!   clients ──▶ coordinator hub ──▶ Coordinator (Service)
+//!                                     │  mirror store + doc bodies + per-shard checkpoints
+//!                                     │  scatter/merge · health deadlines · failover
+//!                         ResilientClient per node (retry_non_idempotent OFF)
+//!                                     ▼
+//!                node hub ──▶ CloudServer     node hub ──▶ CloudServer   …
+//!                (NodeRunner: register + heartbeat over the control plane)
+//! ```
+//!
+//! The house invariant survives the fleet: every completed reply is
+//! byte-identical to a single sequential server holding the whole corpus,
+//! even across failovers — `tests/fleet_chaos.rs` proves it with seeded kill
+//! schedules and journal replay.
 
 pub mod client;
+pub mod coordinator;
 pub mod fault;
 pub mod frame;
 pub mod hub;
 pub mod link;
+pub mod node;
 pub mod resilient;
 
 pub use client::{ClientError, NetClient};
+pub use coordinator::{Coordinator, FleetConfig};
 pub use fault::{FaultEvent, FaultHandle, FaultPlan, FaultyLink, FaultyReader, FaultyWriter};
 pub use frame::FrameBuffer;
 pub use hub::{Hub, HubConfig, HubHandle, HubReport, JournalEntry, MemoryDialer};
 pub use link::{memory_duplex, LinkReader, LinkWriter, MemoryLink, MemoryReader, MemoryWriter};
+pub use node::{NodeConfig, NodeError, NodeRunner};
 pub use resilient::{Connector, ResilienceStats, ResilientClient, RetryPolicy};
 
 use mkse_protocol::{CloudServer, QueryMessage, Request, Response, Service};

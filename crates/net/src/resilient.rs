@@ -33,11 +33,16 @@ use crate::client::{ClientError, NetClient};
 use crate::link::{LinkReader, LinkWriter};
 use mkse_core::telemetry::{Counter, Stage, Telemetry};
 use mkse_protocol::{ProtocolError, Request, Response, TransportError, WireStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::io;
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// How a [`ResilientClient`] retries: attempt budget, exponential backoff
-/// with a cap, per-attempt reply timeout, and a per-request deadline.
+/// with a cap and seeded jitter, per-attempt reply timeout, and a
+/// per-request deadline (honored across connect attempts too — a hung
+/// connector cannot pin a request past its deadline).
 #[derive(Clone, Copy, Debug)]
 pub struct RetryPolicy {
     /// Total attempts per request (first try included); at least 1.
@@ -58,6 +63,15 @@ pub struct RetryPolicy {
     /// [`ClientError::RetryUnsafe`]. Duplicated executions surface as
     /// visible server-side errors (e.g. duplicate-document rejections).
     pub retry_non_idempotent: bool,
+    /// Backoff jitter amplitude in per-mille of the exponential value: each
+    /// sleep is perturbed uniformly within ±(exp · jitter_per_mille / 1000)
+    /// before the floor and deadline clamps, de-synchronizing clients that
+    /// shed or fault at the same instant. `0` disables jitter entirely.
+    pub jitter_per_mille: u32,
+    /// Seed for the jitter stream. Same seed, same policy, same fault
+    /// schedule ⇒ the same backoff sequence, so seeded chaos runs stay
+    /// reproducible; give concurrent clients distinct seeds to spread them.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -69,6 +83,8 @@ impl Default for RetryPolicy {
             attempt_timeout: Duration::from_secs(2),
             request_deadline: Duration::from_secs(10),
             retry_non_idempotent: false,
+            jitter_per_mille: 250,
+            jitter_seed: 0,
         }
     }
 }
@@ -103,14 +119,22 @@ pub struct ResilienceStats {
 /// Produces a fresh split link per connection attempt. The argument is the
 /// 0-based connection ordinal, so a chaos harness can derive a distinct
 /// deterministic fault seed per connection.
-pub type Connector =
-    Box<dyn FnMut(u64) -> io::Result<(Box<dyn LinkReader>, Box<dyn LinkWriter>)> + Send>;
+pub type Connector = Box<dyn FnMut(u64) -> io::Result<Links> + Send>;
+
+/// A freshly dialed reader/writer pair, as produced by a [`Connector`].
+pub type Links = (Box<dyn LinkReader>, Box<dyn LinkWriter>);
 
 /// A [`NetClient`] wrapped in reconnect-and-retry machinery. Request ids stay
 /// globally unique across reconnects (the replacement client resumes the id
 /// sequence), so the hub journal still correlates every attempt.
 pub struct ResilientClient {
-    connector: Connector,
+    /// Ordinals queued to the dialer thread that owns the connector.
+    dial_tx: mpsc::Sender<u64>,
+    /// Finished dials back from the dialer thread.
+    dial_rx: mpsc::Receiver<io::Result<Links>>,
+    /// A dial is in flight: its eventual result must be consumed before a
+    /// new ordinal may be queued, even if an earlier wait for it timed out.
+    dial_pending: bool,
     policy: RetryPolicy,
     client: Option<NetClient>,
     /// Next request id, carried across reconnects.
@@ -121,14 +145,31 @@ pub struct ResilientClient {
     /// Wire stats accumulated from connections already torn down.
     retired_wire: WireStats,
     telemetry: Option<Telemetry>,
+    /// Seeded jitter stream; `None` when the policy disables jitter.
+    jitter: Option<StdRng>,
 }
 
 impl ResilientClient {
     /// Wrap `connector` with `policy`. No connection is made until the first
-    /// request needs one.
-    pub fn new(connector: Connector, policy: RetryPolicy) -> ResilientClient {
+    /// request needs one. The connector runs on a dedicated dialer thread so
+    /// a hung connect cannot pin a request past its deadline; the thread
+    /// exits once the client is dropped and any in-flight dial returns.
+    pub fn new(mut connector: Connector, policy: RetryPolicy) -> ResilientClient {
+        let (dial_tx, ordinal_rx) = mpsc::channel::<u64>();
+        let (result_tx, dial_rx) = mpsc::channel();
+        std::thread::spawn(move || {
+            while let Ok(ordinal) = ordinal_rx.recv() {
+                if result_tx.send(connector(ordinal)).is_err() {
+                    break;
+                }
+            }
+        });
+        let jitter =
+            (policy.jitter_per_mille > 0).then(|| StdRng::seed_from_u64(policy.jitter_seed));
         ResilientClient {
-            connector,
+            dial_tx,
+            dial_rx,
+            dial_pending: false,
             policy,
             client: None,
             next_id: 1,
@@ -136,6 +177,7 @@ impl ResilientClient {
             stats: ResilienceStats::default(),
             retired_wire: WireStats::default(),
             telemetry: None,
+            jitter,
         }
     }
 
@@ -190,10 +232,38 @@ impl ResilientClient {
         )
     }
 
-    fn ensure_connected(&mut self) -> Result<&mut NetClient, ClientError> {
+    /// Connect if disconnected, waiting no longer than `deadline`. A connect
+    /// still in flight when the deadline passes keeps running on the dialer
+    /// thread; its result is consumed (and the link reused) by the next call
+    /// instead of leaking or double-dialing.
+    fn ensure_connected(&mut self, deadline: Instant) -> Result<&mut NetClient, ClientError> {
         if self.client.is_none() {
+            if !self.dial_pending {
+                let ordinal = self.connections;
+                self.dial_tx
+                    .send(ordinal)
+                    .map_err(|_| ClientError::Io(io::Error::other("dialer thread exited")))?;
+                self.dial_pending = true;
+            }
+            let wait = deadline.saturating_duration_since(Instant::now());
+            let dialed = match self.dial_rx.recv_timeout(wait) {
+                Ok(result) => {
+                    self.dial_pending = false;
+                    result.map_err(ClientError::Io)?
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // Deadline elapsed mid-connect: surface the timeout now,
+                    // leave `dial_pending` set so the eventual link is reused.
+                    return Err(ClientError::TimedOut {
+                        request_id: self.next_id,
+                    });
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    return Err(ClientError::Io(io::Error::other("dialer thread exited")));
+                }
+            };
             let ordinal = self.connections;
-            let (reader, writer) = (self.connector)(ordinal).map_err(ClientError::Io)?;
+            let (reader, writer) = dialed;
             self.connections += 1;
             if ordinal > 0 {
                 self.stats.reconnects += 1;
@@ -217,11 +287,21 @@ impl ResilientClient {
     }
 
     fn backoff(&mut self, attempt: u32, floor: Duration, deadline: Instant) {
-        let exp = self
+        let mut exp = self
             .policy
             .base_backoff
             .saturating_mul(1u32 << attempt.min(16))
             .min(self.policy.backoff_cap);
+        if let Some(rng) = &mut self.jitter {
+            // Uniform in ±(exp · jitter_per_mille / 1000), drawn from the
+            // seeded stream so identical seeds replay identical sleeps.
+            let span = exp.as_nanos() as u64 * self.policy.jitter_per_mille as u64 / 1000;
+            if span > 0 {
+                let offset = rng.gen_range(0..=2 * span) as i64 - span as i64;
+                let jittered = (exp.as_nanos() as i64).saturating_add(offset).max(0);
+                exp = Duration::from_nanos(jittered as u64);
+            }
+        }
         let sleep = exp.max(floor);
         // Never sleep past the request deadline.
         let sleep = sleep.min(deadline.saturating_duration_since(Instant::now()));
@@ -316,7 +396,7 @@ impl ResilientClient {
     ) -> Result<(u64, Response), ClientError> {
         self.stats.attempts += 1;
         let attempt_timeout = self.policy.attempt_timeout;
-        let client = self.ensure_connected()?;
+        let client = self.ensure_connected(deadline)?;
         let id = client.submit(request);
         client.flush()?;
         let wait = attempt_timeout.min(deadline.saturating_duration_since(Instant::now()));
@@ -394,6 +474,8 @@ mod tests {
             attempt_timeout: Duration::from_millis(250),
             request_deadline: Duration::from_secs(10),
             retry_non_idempotent: false,
+            jitter_per_mille: 250,
+            jitter_seed: 42,
         }
     }
 
@@ -517,5 +599,79 @@ mod tests {
         assert_eq!(wire.frames_received, 2);
         drop(client);
         drop(hub.shutdown());
+    }
+
+    #[test]
+    fn connect_honors_the_request_deadline_and_reuses_the_late_dial() {
+        let uploads = Arc::new(AtomicU64::new(0));
+        let hub = Hub::spawn(CountingService { uploads }, HubConfig::default());
+        let dialer = hub.memory_dialer();
+        let dials = Arc::new(AtomicU64::new(0));
+        let dials_seen = dials.clone();
+        let connector: Connector = Box::new(move |_ordinal| {
+            dials_seen.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_millis(300));
+            let (reader, writer) = dialer.connect().split();
+            Ok((Box::new(reader), Box::new(writer)))
+        });
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            request_deadline: Duration::from_millis(50),
+            ..quick_policy()
+        };
+        let mut client = ResilientClient::new(connector, policy);
+        let started = Instant::now();
+        let err = client.call(&query(1)).unwrap_err();
+        assert!(matches!(err, ClientError::TimedOut { .. }), "got {err}");
+        assert!(
+            started.elapsed() < Duration::from_millis(250),
+            "slow connect pinned the request past its deadline: {:?}",
+            started.elapsed()
+        );
+        let stats = client.stats();
+        assert_eq!(
+            stats.link_faults, 1,
+            "a timed-out connect is a lost attempt"
+        );
+        assert_eq!(
+            stats.attempts,
+            stats.successes + stats.sheds + stats.link_faults
+        );
+        // Wait out the dial: the next call consumes the in-flight result
+        // instead of dialing a second time.
+        std::thread::sleep(Duration::from_millis(350));
+        assert!(matches!(client.call(&query(3)), Ok(Response::Search(_))));
+        assert_eq!(dials.load(Ordering::SeqCst), 1, "the late dial was reused");
+        drop(client);
+        drop(hub.shutdown());
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let uploads = Arc::new(AtomicU64::new(0));
+            let hub = Hub::spawn(CountingService { uploads }, HubConfig::default());
+            let policy = RetryPolicy {
+                jitter_per_mille: 500,
+                jitter_seed: seed,
+                ..quick_policy()
+            };
+            let mut client = ResilientClient::new(flaky_connector(&hub, 3), policy);
+            client.call(&query(2)).unwrap();
+            let stats = client.stats();
+            drop(client);
+            drop(hub.shutdown());
+            stats
+        };
+        let a = run(7);
+        let b = run(7);
+        assert!(a.backoff_waits >= 3, "three dead links force three sleeps");
+        assert_eq!(a.backoff_ns, b.backoff_ns, "same seed replays same sleeps");
+        assert_eq!(a, b, "jittered runs stay fully reproducible per seed");
+        let c = run(8);
+        assert_ne!(
+            a.backoff_ns, c.backoff_ns,
+            "a different seed draws different jitter"
+        );
     }
 }

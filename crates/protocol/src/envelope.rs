@@ -79,6 +79,16 @@ pub enum Request {
     /// stats). Read-only and side-effect-free: serving it changes nothing the
     /// search path can observe.
     MetricsSnapshot,
+    /// Shard node → coordinator: join the fleet, advertising capabilities.
+    /// Answered with a [`Response::ShardAssignment`] naming the shards the
+    /// node now serves.
+    RegisterNode(NodeRegistration),
+    /// Shard node → coordinator: periodic liveness refresh carrying the
+    /// node's [`MetricsSnapshot`] (the heartbeat *is* the metrics envelope —
+    /// no new observable channel). Answered with the node's current
+    /// [`Response::ShardAssignment`], so re-assignments propagate on the
+    /// next beat.
+    NodeHeartbeat(NodeHeartbeat),
 }
 
 impl Request {
@@ -100,8 +110,62 @@ impl Request {
             Request::ResetCounters => "ResetCounters",
             Request::ServerInfo => "ServerInfo",
             Request::MetricsSnapshot => "MetricsSnapshot",
+            Request::RegisterNode(_) => "RegisterNode",
+            Request::NodeHeartbeat(_) => "NodeHeartbeat",
         }
     }
+}
+
+/// Capabilities a shard-server node advertises when registering with the
+/// fleet coordinator. The coordinator uses them to bound how many shards it
+/// assigns; they are static facts about the node process, not query state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeCapabilities {
+    /// Maximum number of index shards the node is willing to serve.
+    pub shard_slots: u32,
+    /// Scan lanes (worker threads) the node's engine runs.
+    pub scan_lanes: u32,
+    /// Result-cache entries per shard the node can hold (0 = cache off).
+    pub cache_capacity: u64,
+}
+
+/// Body of [`Request::RegisterNode`]: a node joining the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeRegistration {
+    /// The node's stable identity (survives reconnects).
+    pub node_id: u64,
+    /// What the node can serve.
+    pub capabilities: NodeCapabilities,
+}
+
+/// Body of [`Request::NodeHeartbeat`]: a periodic liveness refresh. The
+/// payload is the node's existing telemetry snapshot — heartbeat traffic is
+/// server-side topology maintenance and carries nothing query-dependent.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeHeartbeat {
+    /// The beating node's identity.
+    pub node_id: u64,
+    /// Point-in-time copy of the node's telemetry registry.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Body of [`Response::ShardAssignment`]: the coordinator's answer to both
+/// [`Request::RegisterNode`] and [`Request::NodeHeartbeat`] — which global
+/// shards the node serves, under which failover epoch, and the health
+/// contract (beat every `heartbeat_interval_ms`, declared dead after
+/// `failure_deadline_ms` of silence).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardAssignment {
+    /// The node this assignment addresses.
+    pub node_id: u64,
+    /// Global shard indices the node now serves.
+    pub shards: Vec<u32>,
+    /// Failover epoch: bumped every time the fleet layout changes.
+    pub epoch: u64,
+    /// How often the node must refresh its registration.
+    pub heartbeat_interval_ms: u64,
+    /// Silence longer than this marks the node dead.
+    pub failure_deadline_ms: u64,
 }
 
 /// The reply to a [`Request`]. Success variants mirror the request vocabulary;
@@ -141,6 +205,9 @@ pub enum Response {
     /// The telemetry registry's point-in-time state, answered to
     /// [`Request::MetricsSnapshot`].
     MetricsReport(MetricsSnapshot),
+    /// The node's current shard assignment, answered to
+    /// [`Request::RegisterNode`] and [`Request::NodeHeartbeat`].
+    ShardAssignment(ShardAssignment),
     /// The operation failed; the exact [`ProtocolError`] travels in the envelope.
     Error(ProtocolError),
 }
@@ -162,6 +229,7 @@ impl Response {
             Response::Counters(_) => "Counters",
             Response::Info(_) => "Info",
             Response::MetricsReport(_) => "MetricsReport",
+            Response::ShardAssignment(_) => "ShardAssignment",
             Response::Error(_) => "Error",
         }
     }
@@ -226,6 +294,14 @@ mod tests {
             },
             Request::RestoreIndex(vec![1, 2]),
             Request::MetricsSnapshot,
+            Request::RegisterNode(NodeRegistration {
+                node_id: 7,
+                capabilities: NodeCapabilities::default(),
+            }),
+            Request::NodeHeartbeat(NodeHeartbeat {
+                node_id: 7,
+                metrics: MetricsSnapshot::default(),
+            }),
         ];
         let mut names: Vec<&str> = requests.iter().map(|r| r.name()).collect();
         names.sort_unstable();
@@ -234,5 +310,9 @@ mod tests {
 
         assert_eq!(Response::Ack.name(), "Ack");
         assert_eq!(Response::Error(ProtocolError::BadSignature).name(), "Error");
+        assert_eq!(
+            Response::ShardAssignment(ShardAssignment::default()).name(),
+            "ShardAssignment"
+        );
     }
 }

@@ -44,7 +44,10 @@ pub use channel::{CostLedger, Party, Phase};
 pub use client::{serve, Client, WireStats};
 pub use counters::OperationCounters;
 pub use data_owner::{DataOwner, OwnerConfig};
-pub use envelope::{Request, Response, ServerInfo, Service, PROTOCOL_VERSION};
+pub use envelope::{
+    NodeCapabilities, NodeHeartbeat, NodeRegistration, Request, Response, ServerInfo, Service,
+    ShardAssignment, PROTOCOL_VERSION,
+};
 pub use messages::*;
 pub use metrics::{render_json, render_prometheus};
 pub use server::CloudServer;

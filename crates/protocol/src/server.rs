@@ -431,6 +431,12 @@ impl Service for CloudServer {
                     request.name()
                 )))
             }
+            Request::RegisterNode(_) | Request::NodeHeartbeat(_) => {
+                Response::Error(ProtocolError::Unsupported(format!(
+                    "{} is served by the fleet coordinator, not the cloud server",
+                    request.name()
+                )))
+            }
         }
     }
 

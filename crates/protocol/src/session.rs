@@ -142,6 +142,11 @@ impl SessionReport {
                     out.push_str(&format!("  {name:<24} {value}\n"));
                 }
             }
+            for (name, value) in &metrics.gauges {
+                if *value > 0 {
+                    out.push_str(&format!("  {name:<24} {value} (gauge)\n"));
+                }
+            }
             for lane in &metrics.lanes {
                 out.push_str(&format!(
                     "  lane {}: executed {} (stolen {}), failed steals {}, idle polls {}\n",

@@ -29,7 +29,10 @@
 //! [`crate::CostLedger`] also tracks.
 
 use crate::counters::OperationCounters;
-use crate::envelope::{Request, Response, ServerInfo, PROTOCOL_VERSION};
+use crate::envelope::{
+    NodeCapabilities, NodeHeartbeat, NodeRegistration, Request, Response, ServerInfo,
+    ShardAssignment, PROTOCOL_VERSION,
+};
 use crate::messages::{
     BatchQueryMessage, BatchSearchReply, BlindDecryptReply, BlindDecryptRequest, CacheReport,
     DocumentReply, DocumentRequest, EncryptedDocumentTransfer, QueryMessage, SearchReply,
@@ -102,6 +105,8 @@ const K_COUNTERS: u8 = 0x0c;
 const K_RESET_COUNTERS: u8 = 0x0d;
 const K_SERVER_INFO: u8 = 0x0e;
 const K_METRICS_SNAPSHOT: u8 = 0x0f;
+const K_REGISTER_NODE: u8 = 0x10;
+const K_NODE_HEARTBEAT: u8 = 0x11;
 
 const K_R_SEARCH: u8 = 0x81;
 const K_R_BATCH_SEARCH: u8 = 0x82;
@@ -117,6 +122,7 @@ const K_R_COUNTERS: u8 = 0x8b;
 const K_R_INFO: u8 = 0x8c;
 const K_R_ERROR: u8 = 0x8d;
 const K_R_METRICS_REPORT: u8 = 0x8e;
+const K_R_SHARD_ASSIGNMENT: u8 = 0x8f;
 
 // --- public API --------------------------------------------------------------
 
@@ -233,6 +239,8 @@ fn request_kind(request: &Request) -> u8 {
         Request::ResetCounters => K_RESET_COUNTERS,
         Request::ServerInfo => K_SERVER_INFO,
         Request::MetricsSnapshot => K_METRICS_SNAPSHOT,
+        Request::RegisterNode(_) => K_REGISTER_NODE,
+        Request::NodeHeartbeat(_) => K_NODE_HEARTBEAT,
     }
 }
 
@@ -280,6 +288,16 @@ fn write_request_body(w: &mut Writer, request: &Request) {
         }
         Request::EnableCache { capacity_per_shard } => w.u64(*capacity_per_shard),
         Request::RestoreIndex(bytes) => w.bytes(bytes),
+        Request::RegisterNode(reg) => {
+            w.u64(reg.node_id);
+            w.u32(reg.capabilities.shard_slots);
+            w.u32(reg.capabilities.scan_lanes);
+            w.u64(reg.capabilities.cache_capacity);
+        }
+        Request::NodeHeartbeat(beat) => {
+            w.u64(beat.node_id);
+            w.metrics_snapshot(&beat.metrics);
+        }
         Request::DisableCache
         | Request::CacheStats
         | Request::SnapshotIndex
@@ -356,6 +374,18 @@ fn read_request_body(r: &mut Reader<'_>, kind: u8) -> Result<Request, CodecError
         K_RESET_COUNTERS => Request::ResetCounters,
         K_SERVER_INFO => Request::ServerInfo,
         K_METRICS_SNAPSHOT => Request::MetricsSnapshot,
+        K_REGISTER_NODE => Request::RegisterNode(NodeRegistration {
+            node_id: r.u64()?,
+            capabilities: NodeCapabilities {
+                shard_slots: r.u32()?,
+                scan_lanes: r.u32()?,
+                cache_capacity: r.u64()?,
+            },
+        }),
+        K_NODE_HEARTBEAT => Request::NodeHeartbeat(NodeHeartbeat {
+            node_id: r.u64()?,
+            metrics: r.metrics_snapshot()?,
+        }),
         other => return Err(CodecError::UnknownKind(other)),
     })
 }
@@ -377,6 +407,7 @@ fn response_kind(response: &Response) -> u8 {
         Response::Counters(_) => K_R_COUNTERS,
         Response::Info(_) => K_R_INFO,
         Response::MetricsReport(_) => K_R_METRICS_REPORT,
+        Response::ShardAssignment(_) => K_R_SHARD_ASSIGNMENT,
         Response::Error(_) => K_R_ERROR,
     }
 }
@@ -427,6 +458,16 @@ fn write_response_body(w: &mut Writer, response: &Response) {
             w.u8(info.cache_enabled as u8);
         }
         Response::MetricsReport(snapshot) => w.metrics_snapshot(snapshot),
+        Response::ShardAssignment(assignment) => {
+            w.u64(assignment.node_id);
+            w.u32(assignment.shards.len() as u32);
+            for shard in &assignment.shards {
+                w.u32(*shard);
+            }
+            w.u64(assignment.epoch);
+            w.u64(assignment.heartbeat_interval_ms);
+            w.u64(assignment.failure_deadline_ms);
+        }
         Response::Error(e) => w.protocol_error(e),
     }
 }
@@ -498,6 +539,21 @@ fn read_response_body(r: &mut Reader<'_>, kind: u8) -> Result<Response, CodecErr
             cache_enabled: r.bool()?,
         }),
         K_R_METRICS_REPORT => Response::MetricsReport(r.metrics_snapshot()?),
+        K_R_SHARD_ASSIGNMENT => {
+            let node_id = r.u64()?;
+            let n = r.u32()? as usize;
+            let mut shards = Vec::new();
+            for _ in 0..n {
+                shards.push(r.u32()?);
+            }
+            Response::ShardAssignment(ShardAssignment {
+                node_id,
+                shards,
+                epoch: r.u64()?,
+                heartbeat_interval_ms: r.u64()?,
+                failure_deadline_ms: r.u64()?,
+            })
+        }
         K_R_ERROR => Response::Error(r.protocol_error()?),
         other => return Err(CodecError::UnknownKind(other)),
     })
@@ -1345,7 +1401,35 @@ mod tests {
             Request::ResetCounters,
             Request::ServerInfo,
             Request::MetricsSnapshot,
+            Request::RegisterNode(arb_node_registration(rng)),
+            Request::NodeHeartbeat(NodeHeartbeat {
+                node_id: rng.gen_range(0u64..1 << 32),
+                metrics: arb_metrics_snapshot(rng),
+            }),
         ]
+    }
+
+    fn arb_node_registration(rng: &mut StdRng) -> NodeRegistration {
+        NodeRegistration {
+            node_id: rng.gen_range(0u64..1 << 32),
+            capabilities: NodeCapabilities {
+                shard_slots: rng.gen_range(0u32..64),
+                scan_lanes: rng.gen_range(0u32..32),
+                cache_capacity: rng.gen_range(0u64..1 << 20),
+            },
+        }
+    }
+
+    fn arb_shard_assignment(rng: &mut StdRng) -> ShardAssignment {
+        ShardAssignment {
+            node_id: rng.gen_range(0u64..1 << 32),
+            shards: (0..rng.gen_range(0usize..8))
+                .map(|_| rng.gen_range(0u32..64))
+                .collect(),
+            epoch: rng.gen_range(0u64..1 << 40),
+            heartbeat_interval_ms: rng.gen_range(0u64..1 << 20),
+            failure_deadline_ms: rng.gen_range(0u64..1 << 20),
+        }
     }
 
     fn arb_metrics_snapshot(rng: &mut StdRng) -> MetricsSnapshot {
@@ -1465,6 +1549,7 @@ mod tests {
                 cache_enabled: rng.gen_range(0u8..2) == 1,
             }),
             Response::MetricsReport(arb_metrics_snapshot(rng)),
+            Response::ShardAssignment(arb_shard_assignment(rng)),
             Response::Error(arb_protocol_error(rng)),
         ]
     }
@@ -1660,6 +1745,77 @@ mod tests {
         assert!(matches!(
             decode_response(&payload[..payload.len() - 3]),
             Err(CodecError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn fleet_envelopes_round_trip_and_reject_corruption() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let register = Request::RegisterNode(arb_node_registration(&mut rng));
+        let beat = Request::NodeHeartbeat(NodeHeartbeat {
+            node_id: 9,
+            metrics: arb_metrics_snapshot(&mut rng),
+        });
+        let assignment = Response::ShardAssignment(arb_shard_assignment(&mut rng));
+
+        for request in [&register, &beat] {
+            let frame = encode_request(17, request);
+            let (payload, rest) = split_frame(&frame).unwrap().unwrap();
+            assert!(rest.is_empty());
+            let (id, decoded) = decode_request(payload).unwrap();
+            assert_eq!(id, 17);
+            assert_eq!(&decoded, request);
+            // Every payload truncation is a typed error, never a panic.
+            for cut in 0..payload.len() {
+                assert!(decode_request(&payload[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+
+        let frame = encode_response(17, &assignment);
+        let (payload, rest) = split_frame(&frame).unwrap().unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(decode_response(payload).unwrap(), (17, assignment));
+        for cut in 0..payload.len() {
+            assert!(decode_response(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn heartbeat_rejects_unknown_telemetry_level() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let beat = Request::NodeHeartbeat(NodeHeartbeat {
+            node_id: 3,
+            metrics: arb_metrics_snapshot(&mut rng),
+        });
+        let frame = encode_request(7, &beat);
+        let (payload, _) = split_frame(&frame).unwrap().unwrap();
+        // Body layout: node_id u64 at [10..18], then the metrics snapshot
+        // whose level byte leads it at [18].
+        let mut corrupted = payload.to_vec();
+        corrupted[18] = 9;
+        assert!(matches!(
+            decode_request(&corrupted),
+            Err(CodecError::Malformed(msg)) if msg.contains("telemetry level")
+        ));
+    }
+
+    #[test]
+    fn shard_assignment_rejects_trailing_garbage() {
+        let assignment = Response::ShardAssignment(ShardAssignment {
+            node_id: 1,
+            shards: vec![0, 2],
+            epoch: 4,
+            heartbeat_interval_ms: 50,
+            failure_deadline_ms: 200,
+        });
+        let mut frame = encode_response(3, &assignment);
+        frame.extend_from_slice(&[0x5a]);
+        let len = (frame.len() - 4) as u32;
+        frame[..4].copy_from_slice(&len.to_le_bytes());
+        let (payload, _) = split_frame(&frame).unwrap().unwrap();
+        assert!(matches!(
+            decode_response(payload),
+            Err(CodecError::Malformed(_))
         ));
     }
 

@@ -22,7 +22,11 @@
 //!   batcher that coalesces concurrent single queries into one fused pass, and
 //!   a resilience layer on top — deterministic seeded fault injection
 //!   (`FaultyLink`), a retrying/reconnecting `ResilientClient`, and hub
-//!   overload shedding with typed `Overloaded` pushback.
+//!   overload shedding with typed `Overloaded` pushback — and, above both, the
+//!   shard fleet: a `Coordinator` that shard-server nodes (`NodeRunner`)
+//!   register with over the framed codec, which scatter-gathers queries across
+//!   live nodes and fails a dead node's shards over to survivors from
+//!   snapshot + journal replay.
 //!
 //! ## Architecture: the layered server read path
 //!
@@ -32,6 +36,18 @@
 //! the system can use all available cores — and skip work it has already done:
 //!
 //! ```text
+//!  mkse-net        Coordinator (a Service) ─▶    the shard fleet: nodes register
+//!        │         per-node ResilientClients     over the framed codec (capabilities
+//!        ▼         ─▶ node Hubs ─▶ CloudServers  in, shard assignment out; heartbeats
+//!        │                                       carry each node's MetricsSnapshot;
+//!        ▼                                       silence past the failure deadline
+//!        │                                       marks a node dead); queries scatter
+//!        ▼                                       to live shard-holders and merge by
+//!        │                                       (rank desc, id asc); a dead node's
+//!        ▼                                       shards re-ship to survivors from the
+//!        │                                       coordinator mirror's per-shard
+//!        ▼                                       snapshots + insert-journal replay —
+//!        │                                       N nodes == 1 node, byte for byte
 //!  mkse-net        ResilientClient ─▶ NetClient  the resilience layer: capped-
 //!        │         ─▶ FaultyLink ─▶ any link     backoff retries with reconnect
 //!        ▼                                       and resubmission of idempotent
@@ -222,6 +238,31 @@
 //!   `fig4b_resil` re-asserts it before timing and `BENCH_resil.json`
 //!   records that retries buy 100% completion under fault levels that cost a
 //!   retry-less client about a quarter of its answers).
+//! * **Fleet** ([`net::Coordinator`], [`net::NodeRunner`]): one machine is a
+//!   ceiling, so the shard seam distributes. A [`net::NodeRunner`] is a
+//!   `CloudServer` behind its own hub plus a control-plane client; it joins
+//!   the fleet with `Request::RegisterNode` (capabilities in, shard
+//!   assignment out) and stays in it with `Request::NodeHeartbeat` beats
+//!   carrying its own `MetricsSnapshot` — the health refresh *is* the
+//!   existing metrics envelope. The [`net::Coordinator`] (itself a `Service`,
+//!   servable by a hub) grants global shards up to each node's capacity,
+//!   sweeps heartbeat deadlines on every call, scatter-gathers queries across
+//!   live shard-holders through per-node `ResilientClient`s and merges by
+//!   (rank desc, id asc) exactly as the engine's merge point does. It keeps a
+//!   full mirror `ShardedStore` fed by the same insert path (same errors,
+//!   same partial-upload semantics), so when a node dies — deadline missed or
+//!   retries exhausted — its shards re-ship to the fewest-loaded survivors as
+//!   a layout-independent per-shard checkpoint (`serialize_shard` →
+//!   `RestoreIndex`) plus the insert journal since (`Upload`), cascading
+//!   recursively if a survivor dies mid-shipment. Node clients never retry
+//!   non-idempotent forwards: an ambiguous write fails the node over and
+//!   re-ships authoritative state, so writes are fleet-wide at-most-once.
+//!   The oracle is the house invariant distributed: N nodes == 1 node == the
+//!   sequential scan, byte for byte, proven by `tests/fleet_chaos.rs` (nodes
+//!   killed mid-query, mid-failover and during registration on exact seeded
+//!   byte budgets, twin-replay equality, corpus re-pinned after every
+//!   failover, same-seed reproducibility; release mode in CI) and priced by
+//!   `fig4b_fleet` in `BENCH_fleet.json`.
 //!
 //! **Picking a shard count**: shards parallelize a memory-bandwidth-light linear scan,
 //! so physical cores is the right default; past ~8 shards the per-query spawn+merge
@@ -266,6 +307,18 @@
 //! client side of the wire. Resilience changes *when and how often* bytes
 //! cross the wire, never *what* can be computed from them — no new
 //! observation channel opens (§6's leakage model is untouched once more).
+//!
+//! The fleet extends it across machines: registration and heartbeat traffic
+//! is server-side topology exchange — capabilities, shard assignments and
+//! each node's own `MetricsSnapshot` (already argued above) — a function of
+//! fleet membership and self-observation, never of any query's bytes, so it
+//! is not query-dependent and opens no new channel. Scatter frames forward
+//! exactly the query bytes the coordinator already observed to the nodes
+//! holding the relevant shards, and shard re-shipment moves index bytes the
+//! cloud side already holds between cloud-side processes. Which node holds
+//! which shard is — like lane scheduling and cross-client batching — a
+//! where-to-compute decision: no node learns anything about a query beyond
+//! the §6 observations the single server already made.
 //!
 //! And it covers the telemetry plane ([`core::telemetry`]) once more: every
 //! recorded quantity — stage durations, lane steal counts, per-shard cache

@@ -141,6 +141,10 @@ fn chaos_policy() -> RetryPolicy {
         attempt_timeout: Duration::from_secs(3),
         request_deadline: Duration::from_secs(60),
         retry_non_idempotent: false,
+        // Seeded jitter: deterministic per seed, so the same-seed
+        // reproducibility oracle below still holds bit-for-bit.
+        jitter_per_mille: 250,
+        jitter_seed: 20812,
     }
 }
 
@@ -569,6 +573,9 @@ fn shed_storm_resolves_through_retries_with_identical_replies() {
                 attempt_timeout: Duration::from_secs(5),
                 request_deadline: Duration::from_secs(60),
                 retry_non_idempotent: false,
+                // Distinct seeds de-synchronize the stampede's retries.
+                jitter_per_mille: 500,
+                jitter_seed: 0x57A3 + k as u64,
             };
             let mut client = ResilientClient::new(clean_connector(dialer), policy)
                 .with_first_request_id(k as u64 * 1_000_000 + 1);
